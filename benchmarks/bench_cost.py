@@ -1,0 +1,25 @@
+"""Sec 3: price/performance accounting of the GPU cluster.
+
+"by plugging 32 GPUs into this cluster, we increase its theoretical
+peak performance by 16 x 32 = 512 GFlops at a price of $399 x 32 =
+$12,768" — cluster peak (16+10) x 32 = 832 GFlops.
+"""
+
+from repro.perf.cost import paper_cluster_cost
+
+
+def test_cost_accounting(benchmark, report):
+    c = benchmark.pedantic(paper_cluster_cost, rounds=1, iterations=1)
+    report("Sec 3 — cost / peak-performance accounting", [
+        f"GPU peak added:     {c.gpu_peak_gflops:6.1f} GFlops   (paper: 512)",
+        f"CPU peak:           {c.cpu_peak_gflops:6.1f} GFlops   "
+        "(paper: ~10/node)",
+        f"cluster peak:       {c.total_peak_gflops:6.1f} GFlops   (paper: 832)",
+        f"GPU price:         ${c.gpu_price_usd:8,.0f}       (paper: $12,768)",
+        f"GPU MFlops/$:       {c.gpu_mflops_per_dollar:6.1f}          "
+        "(paper prints 41.1; 512000/12768 = 40.1)",
+    ])
+    assert c.gpu_peak_gflops == 512.0
+    assert c.total_peak_gflops == 832.0
+    assert c.gpu_price_usd == 12_768.0
+    assert abs(c.gpu_mflops_per_dollar - 40.1) < 0.1

@@ -1,0 +1,76 @@
+"""Sec 5: the Times Square dispersion run.
+
+Headline: "The LBM flow model runs at 0.31 second/step on the GPU
+cluster" — 480x400x80 lattice on 30 nodes (6x5 arrangement of 80^3
+sub-domains), city model of 91 blocks / ~850 buildings at 3.8 m
+resolution.  Also runs a small *numeric* dispersion end to end.
+"""
+
+import numpy as np
+from conftest import fmt_row
+
+from repro.urban import DispersionScenario, times_square_like
+
+
+def test_paper_scale_step_time(benchmark, report):
+    scenario = DispersionScenario(shape=(480, 400, 80))
+
+    def run():
+        cluster = scenario.make_cluster((6, 5, 1), timing_only=True)
+        return cluster.step()
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    m = t.ms()
+    report("Sec 5 — 480x400x80 on 30 GPU nodes", [
+        fmt_row("compute", "GPU<->CPU", "net", "non-ovl", "total",
+                widths=[9, 10, 7, 8, 8]),
+        fmt_row(m["compute"], m["agp"], m["net_total"], m["net_nonoverlap"],
+                m["total"], widths=[9, 10, 7, 8, 8]),
+        "paper: 0.31 s/step; '20 minutes' to the 1000-step spin-up "
+        f"(simulated: {t.total_s * 1000 / 60:.1f} min)",
+    ])
+    assert abs(t.total_s - 0.31) / 0.31 < 0.05
+    # The 1000-step spin-up lands near the paper's "less than 20 minutes".
+    assert t.total_s * 1000 / 60 < 20.0
+
+
+def test_city_statistics(benchmark, report):
+    city = benchmark.pedantic(times_square_like, rounds=1, iterations=1)
+    stats = city.height_stats()
+    report("Sec 5 — synthetic Times-Square-like city", [
+        f"blocks: {city.n_blocks} (paper: 91)",
+        f"buildings: {city.n_buildings} (paper: ~850)",
+        f"area: {city.extent_m[0] / 1e3:.2f} x {city.extent_m[1] / 1e3:.2f} km"
+        " (paper: 1.66 x 1.13)",
+        f"heights: mean {stats['mean']:.0f} m, p90 {stats['p90']:.0f} m, "
+        f"max {stats['max']:.0f} m",
+    ])
+    assert city.n_blocks == 91
+    assert 780 <= city.n_buildings <= 950
+
+
+def test_small_numeric_dispersion(benchmark, report):
+    """A real (numeric) downscaled dispersion: wind develops, tracers
+    drift downwind — measured wall-clock for the whole pipeline."""
+
+    def run():
+        sc = DispersionScenario(shape=(40, 32, 10), resolution_m=45.0,
+                                wind_speed=0.06, tau=0.65)
+        solver = sc.make_single_solver()
+        solver.step(40)
+        cloud = sc.release_tracers(500)
+        start = cloud.center_of_mass().copy()
+        for _ in range(20):
+            solver.step(1)
+            cloud.step(solver.f)
+        _, u = solver.macroscopic()
+        return (float(u[0][~sc.solid].mean()),
+                cloud.center_of_mass() - start)
+
+    mean_ux, drift = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Sec 5 — numeric downscaled dispersion (40x32x10)", [
+        f"mean streamwise velocity: {mean_ux:+.4f} (wind from +x)",
+        f"20-step plume drift: {np.round(drift, 2)} cells",
+    ])
+    assert mean_ux < 0            # flow follows the wind
+    assert drift[0] < 0.5         # plume does not travel upwind

@@ -1,0 +1,69 @@
+"""The paper's future-work items, implemented and quantified:
+
+* Sec 4.3's open idea: lossless compression of halo traffic (temporal
+  delta + byte transposition + DEFLATE), with the ratio measured on
+  *real* LBM border data and the CPU cost charged against the overlap
+  window;
+* Sec 5's online visualization: per-node slab rendering + Sepia
+  binary-swap compositing at 450-500 MB/s;
+* Sec 3's PCI-Express prediction: multiple GPUs per host exchanging
+  intra-node faces over the bus instead of the switch.
+"""
+
+from conftest import fmt_row
+
+from repro.core.compression import compression_whatif, measure_flow_halo_ratio
+from repro.perf.whatif import multi_gpu_per_node
+from repro.viz.compositing import online_visualization_timing
+
+
+def test_halo_compression(benchmark, report):
+    stats = benchmark.pedantic(
+        lambda: measure_flow_halo_ratio(steps=6, sub=(10, 10, 8)),
+        rounds=1, iterations=1)
+    w32 = compression_whatif(nodes=32, ratio=stats.ratio)
+    w16 = compression_whatif(nodes=16, ratio=stats.ratio)
+    report("Sec 4.3 open idea — lossless halo compression", [
+        f"measured ratio on real LBM halos: {stats.ratio:.3f} "
+        f"({stats.messages} messages, delta+transpose+DEFLATE)",
+        f"32 nodes: net {w32['net_base_ms']:.0f} -> "
+        f"{w32['net_compressed_ms']:.0f} ms, codec CPU "
+        f"{w32['codec_cpu_ms']:.1f} ms, step total "
+        f"{w32['total_base_ms']:.0f} -> {w32['total_compressed_ms']:.0f} ms "
+        f"({'worth it' if w32['worth_it'] else 'not worth it'})",
+        f"16 nodes: step total unchanged "
+        f"({w16['total_base_ms']:.0f} ms) — network already fully hidden",
+    ])
+    assert stats.ratio < 0.5
+    assert w32["worth_it"]
+    assert abs(w16["total_compressed_ms"] - w16["total_base_ms"]) < 1e-6
+
+
+def test_online_visualization(benchmark, report):
+    t = benchmark.pedantic(online_visualization_timing, rounds=1,
+                           iterations=1)
+    report("Sec 5 future work — online visualization (30 nodes, 640x480)", [
+        fmt_row("render", "DVI read", "composite", "frame", "fps",
+                widths=[8, 9, 10, 8, 6]),
+        fmt_row(t.render_s * 1e3, t.readout_s * 1e3, t.composite_s * 1e3,
+                t.frame_s * 1e3, t.fps, widths=[8, 9, 10, 8, 6]),
+        "simulation step: 310 ms -> visual feedback keeps up",
+    ])
+    assert t.frame_s < 0.31
+
+
+def test_multi_gpu_per_node(benchmark, report):
+    rows = benchmark.pedantic(multi_gpu_per_node, rounds=1, iterations=1)
+    lines = [fmt_row("GPUs/node", "hosts", "net ms", "intra ms", "total ms",
+                     "speedup", widths=[9, 6, 8, 9, 9, 8])]
+    for r in rows:
+        lines.append(fmt_row(r["gpus_per_node"], r["hosts"],
+                             r["net_total_ms"], r["intra_node_ms"],
+                             r["total_ms"], r["speedup_vs_cpu"],
+                             widths=[9, 6, 8, 9, 9, 8]))
+    report("Sec 3 prediction — multiple GPUs per node over PCI-Express",
+           lines)
+    # "will greatly reduce the network load": monotone network shrink.
+    nets = [r["net_total_ms"] for r in rows]
+    assert all(b < a for a, b in zip(nets, nets[1:]))
+    assert rows[-1]["speedup_vs_cpu"] >= rows[0]["speedup_vs_cpu"]

@@ -1,0 +1,31 @@
+"""Figure 10: parallel efficiency of the GPU cluster vs node count.
+
+Reproduction target (shape): ~94% at 2 nodes decaying to ~67% at 32,
+with the visible extra dip past 28 nodes.
+"""
+
+from conftest import fmt_row
+
+from repro.perf.model import PAPER_TABLE2, table2_rows
+
+
+def test_fig10_efficiency_curve(benchmark, report):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    lines = [fmt_row("nodes", "efficiency", "paper", widths=[5, 11, 7])]
+    plot = []
+    for r in rows[1:]:
+        ref = PAPER_TABLE2[r.nodes][2]
+        lines.append(fmt_row(r.nodes, f"{r.efficiency * 100:.1f}%",
+                             f"{ref}%", widths=[5, 11, 7]))
+        plot.append(f"  {r.nodes:>2} | " + "=" * int(round(r.efficiency * 50)))
+    report("Figure 10 — GPU-cluster efficiency", lines + [""] + plot)
+
+    by_n = {r.nodes: r for r in rows}
+    assert abs(by_n[2].efficiency - 0.935) < 0.05
+    assert abs(by_n[32].efficiency - 0.668) < 0.05
+    effs = [r.efficiency for r in rows[1:]]
+    assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+    # The 28+ dip is steeper than the 16->24 glide.
+    glide = by_n[16].efficiency - by_n[24].efficiency
+    dip = by_n[24].efficiency - by_n[32].efficiency
+    assert dip > glide

@@ -1,0 +1,53 @@
+"""Figure 8: network communication time vs node count, split into the
+part overlapped with the ~120 ms inner-cell collision window and the
+non-overlapping remainder (Sec 4.4).
+
+Reproduction target (shape): total network time grows from ~38 ms to
+~90 ms through 24 nodes (all of it hidden under the window), then jumps
+at 28+ nodes, spilling a 10-45 ms remainder.
+"""
+
+from conftest import fmt_row
+
+from repro.perf.model import PAPER_NODE_COUNTS, PAPER_TABLE1, cluster_timings
+
+WIDTHS = [5, 11, 11, 12, 11]
+
+
+def _series():
+    rows = []
+    for n in PAPER_NODE_COUNTS[1:]:
+        gpu, _ = cluster_timings(n)
+        rows.append({
+            "nodes": n,
+            "total_ms": gpu.net_total_s * 1e3,
+            "window_ms": gpu.overlap_window_s * 1e3,
+            "overlapped_ms": min(gpu.net_total_s, gpu.overlap_window_s) * 1e3,
+            "remainder_ms": gpu.net_nonoverlap_s * 1e3,
+        })
+    return rows
+
+
+def test_fig8_network_overlap(benchmark, report):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    lines = [fmt_row("nodes", "net total", "overlapped", "remainder",
+                     "paper tot", widths=WIDTHS)]
+    for r in rows:
+        lines.append(fmt_row(r["nodes"], r["total_ms"], r["overlapped_ms"],
+                             r["remainder_ms"], PAPER_TABLE1[r["nodes"]][3],
+                             widths=WIDTHS))
+    bar = [f"  {r['nodes']:>2} | " + "#" * int(r["overlapped_ms"] / 3)
+           + "!" * int(round(r["remainder_ms"] / 3)) for r in rows]
+    report("Figure 8 — network time (ms): '#' overlapped, '!' remainder",
+           lines + [""] + bar)
+
+    by_n = {r["nodes"]: r for r in rows}
+    # Fully hidden through 24 nodes; remainder appears at 28+.
+    for n in (2, 4, 8, 12, 16, 20, 24):
+        assert by_n[n]["remainder_ms"] == 0.0
+    assert by_n[28]["remainder_ms"] > 5
+    assert by_n[30]["remainder_ms"] > by_n[28]["remainder_ms"]
+    assert by_n[32]["remainder_ms"] > by_n[30]["remainder_ms"]
+    # Totals track the published column within 15%.
+    for n, r in by_n.items():
+        assert abs(r["total_ms"] - PAPER_TABLE1[n][3]) / PAPER_TABLE1[n][3] < 0.15

@@ -1,0 +1,29 @@
+"""Figure 9: GPU-cluster / CPU-cluster speedup factor vs node count.
+
+Reproduction target (shape): 6.64 at one node (the no-communication
+ceiling), flattening at ~5 for 8-24 nodes, dropping past 28 when the
+network can no longer be fully overlapped.
+"""
+
+from conftest import fmt_row
+
+from repro.perf.model import PAPER_NODE_COUNTS, PAPER_TABLE1, table1_rows
+
+
+def test_fig9_speedup_curve(benchmark, report):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    lines = [fmt_row("nodes", "speedup", "paper", widths=[5, 9, 7])]
+    for r in rows:
+        lines.append(fmt_row(r.nodes, r.speedup, PAPER_TABLE1[r.nodes][5],
+                             widths=[5, 9, 7]))
+    plot = [f"  {r.nodes:>2} | " + "*" * int(round(r.speedup * 8))
+            for r in rows]
+    report("Figure 9 — GPU cluster / CPU cluster speedup", lines + [""] + plot)
+
+    by_n = {r.nodes: r for r in rows}
+    assert by_n[1].speedup == max(r.speedup for r in rows)   # the ceiling
+    for n, ref in PAPER_TABLE1.items():
+        assert abs(by_n[n].speedup - ref[5]) / ref[5] < 0.10, n
+    # The knee: monotone decrease through the tail.
+    tail = [by_n[n].speedup for n in (24, 28, 30, 32)]
+    assert all(b < a for a, b in zip(tail, tail[1:]))

@@ -1,0 +1,33 @@
+"""Sec 4.4 strong scaling: fixed 160x160x80 lattice, growing node count.
+
+"When the number of nodes increases from 4 to 16, the GPU cluster /
+CPU cluster speedup factor drops from 5.3 to 2.4.  When more nodes are
+used, the GPU cluster and the CPU cluster gradually converge to achieve
+comparable performance."
+"""
+
+from conftest import fmt_row
+
+from repro.perf.model import strong_scaling_rows
+
+WIDTHS = [5, 16, 10, 10, 9]
+
+
+def test_fixed_problem_size(benchmark, report):
+    rows = benchmark.pedantic(strong_scaling_rows, rounds=1, iterations=1)
+    lines = [fmt_row("nodes", "sub-domain", "GPU ms", "CPU ms", "speedup",
+                     widths=WIDTHS)]
+    for r in rows:
+        lines.append(fmt_row(r["nodes"], str(r["sub_shape"]),
+                             r["gpu_total_ms"], r["cpu_total_ms"],
+                             r["speedup"], widths=WIDTHS))
+    lines.append("paper: 5.3 at 4 nodes -> 2.4 at 16; converging beyond")
+    report("Sec 4.4 — fixed 160x160x80 lattice (strong scaling)", lines)
+
+    by_n = {r["nodes"]: r for r in rows}
+    assert abs(by_n[4]["speedup"] - 5.3) / 5.3 < 0.15
+    assert abs(by_n[16]["speedup"] - 2.4) / 2.4 < 0.15
+    # Monotone collapse and convergence toward parity.
+    sp = [by_n[n]["speedup"] for n in (4, 8, 16, 32)]
+    assert all(b < a for a, b in zip(sp, sp[1:]))
+    assert by_n[32]["speedup"] < 1.5

@@ -1,0 +1,96 @@
+"""Sec 4.3 network findings as ablations:
+
+1. the scheduled pairwise pattern (Fig 7, with indirect diagonal
+   routing) vs the naive fire-everything-at-once direct pattern;
+2. fewer-neighbour patterns beat more-neighbour patterns at equal
+   volume;
+3. the indirect diagonal routing costs only c/(5N) extra bytes;
+4. the MPI_Barrier trade-off (helps <= 16 nodes, hurts beyond).
+"""
+
+from conftest import fmt_row
+
+from repro.core.decomposition import BlockDecomposition, arrange_nodes_2d
+from repro.core.halo import HaloPlan
+from repro.core.schedule import CommSchedule, naive_schedule
+from repro.net.switch import GigabitSwitch
+from repro.perf.whatif import barrier_crossover, barrier_tradeoff
+
+
+def _compare(nodes: int, sub=(80, 80, 80)):
+    arrangement = arrange_nodes_2d(nodes)
+    shape = tuple(s * a for s, a in zip(sub, arrangement))
+    d = BlockDecomposition(shape, arrangement, periodic=(False, False, False))
+    plan = HaloPlan(sub)
+    sw = GigabitSwitch()
+    sched = sw.phase_time(CommSchedule(d, plan).round_bytes(), nodes)
+    naive = sw.naive_time(naive_schedule(d, plan), nodes)
+    return sched * 1e3, naive * 1e3
+
+
+def test_scheduled_vs_naive(benchmark, report):
+    counts = (4, 8, 16, 32)
+    rows = benchmark.pedantic(lambda: [(n, *_compare(n)) for n in counts],
+                              rounds=1, iterations=1)
+    lines = [fmt_row("nodes", "scheduled", "naive", "ratio",
+                     widths=[5, 11, 9, 7])]
+    for n, sched, naive in rows:
+        lines.append(fmt_row(n, sched, naive, naive / sched,
+                             widths=[5, 11, 9, 7]))
+    report("Sec 4.3 — scheduled (Fig 7) vs naive direct exchange (ms)",
+           lines)
+    for n, sched, naive in rows:
+        assert sched < naive, n
+    # The advantage widens with node count (more interruptions).
+    ratios = [naive / sched for _, sched, naive in rows]
+    assert ratios[-1] > ratios[0]
+
+
+def test_fewer_neighbors_beat_more_neighbors(benchmark, report):
+    """Equal bytes, different fan-out (Sec 4.3 finding 2)."""
+    sw = GigabitSwitch()
+    face = 5 * 80 * 80 * 4
+
+    def run():
+        few = sw.naive_time({s: [((s + 1) % 8, 4 * face)]
+                             for s in range(8)}, nodes=8)
+        many = sw.naive_time({s: [((s + k + 1) % 8, face) for k in range(4)]
+                              for s in range(8)}, nodes=8)
+        return few * 1e3, many * 1e3
+
+    few, many = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Sec 4.3 — fan-out at equal volume (8 nodes, ms)", [
+        f"1 neighbour x 4x bytes: {few:8.1f}",
+        f"4 neighbours x 1x bytes: {many:8.1f}",
+    ])
+    assert many > few
+
+
+def test_indirect_overhead_tiny(benchmark, report):
+    plan = HaloPlan((80, 80, 80))
+    frac = benchmark.pedantic(plan.indirect_overhead_fraction, args=(0, 2),
+                              rounds=1, iterations=1)
+    report("Sec 4.3 — indirect diagonal routing overhead", [
+        f"face message growth from piggybacking c=2 edge lines: "
+        f"{frac * 100:.2f}%  (paper: c/(5N) = 0.50%)",
+    ])
+    assert frac == 2 / (5 * 80)
+
+
+def test_barrier_tradeoff(benchmark, report):
+    counts = (4, 8, 16, 20, 24, 32)
+    rows = benchmark.pedantic(
+        lambda: [barrier_tradeoff(n) for n in counts], rounds=1, iterations=1)
+    lines = [fmt_row("nodes", "barrier ms", "desync ms", "winner",
+                     widths=[5, 11, 10, 10])]
+    for r in rows:
+        lines.append(fmt_row(r["nodes"], r["barrier_cost_s"] * 1e3,
+                             r["desync_cost_s"] * 1e3,
+                             "barrier" if r["barrier_wins"] else "free-run",
+                             widths=[5, 11, 10, 10]))
+    lines.append(f"crossover at {barrier_crossover()} nodes "
+                 "(paper: 16)")
+    report("Sec 4.3 — MPI_Barrier per schedule step: help or hurt?", lines)
+    assert rows[0]["barrier_wins"]           # 4 nodes
+    assert rows[2]["barrier_wins"]           # 16 nodes
+    assert not rows[-1]["barrier_wins"]      # 32 nodes

@@ -1,0 +1,39 @@
+"""Table 1: per-step execution time for the CPU and GPU clusters and the
+GPU/CPU speedup factor, 1..32 nodes, 80^3 sub-domain each (Sec 4.4).
+
+Reproduction target (shape): 6.64x at 1 node, ~5x plateau through 24
+nodes, drop to ~4.5x at 32 as the network stops being overlappable.
+"""
+
+from conftest import fmt_row
+
+from repro.perf.model import PAPER_NODE_COUNTS, PAPER_TABLE1, table1_rows
+
+WIDTHS = [5, 10, 9, 10, 11, 9, 10, 8, 14]
+
+
+def _render(rows):
+    lines = [fmt_row("nodes", "CPU total", "GPU comp", "GPU<->CPU",
+                     "net(total)", "non-ovl", "GPU total", "speedup",
+                     "paper tot/spd", widths=WIDTHS)]
+    for r in rows:
+        ref = PAPER_TABLE1[r.nodes]
+        lines.append(fmt_row(r.nodes, r.cpu_total, r.gpu_compute, r.gpu_agp,
+                             r.net_total, r.net_nonoverlap, r.gpu_total,
+                             r.speedup, f"{ref[4]}/{ref[5]:.2f}",
+                             widths=WIDTHS))
+    return lines
+
+
+def test_table1(benchmark, report):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    report("Table 1 — per-step execution time (ms), 80^3 per node",
+           _render(rows))
+    by_n = {r.nodes: r for r in rows}
+    # Shape assertions: who wins, by roughly what factor, where the
+    # crossovers fall.
+    assert by_n[1].speedup > 6.5
+    assert all(4.8 < by_n[n].speedup < 6.0 for n in (8, 12, 16, 20, 24))
+    assert by_n[32].speedup < by_n[24].speedup
+    for n in PAPER_NODE_COUNTS:
+        assert by_n[n].gpu_total < by_n[n].cpu_total   # GPU always wins

@@ -1,0 +1,49 @@
+"""Table 2: GPU-cluster computational power (cells/s), weak-scaling
+speedup and efficiency vs node count (Sec 4.4) — plus the supercomputer
+comparison quoted alongside it.
+"""
+
+from conftest import fmt_row
+
+from repro.perf.comparisons import GPU_CLUSTER_HEADLINE, SUPERCOMPUTER_RESULTS
+from repro.perf.model import PAPER_TABLE2, table2_rows
+
+WIDTHS = [5, 12, 9, 11, 16]
+
+
+def _render(rows):
+    lines = [fmt_row("nodes", "Mcells/s", "speedup", "efficiency",
+                     "paper(Mc/s,eff%)", widths=WIDTHS)]
+    for r in rows:
+        ref = PAPER_TABLE2[r.nodes]
+        lines.append(fmt_row(
+            r.nodes, r.cells_per_s / 1e6,
+            f"{r.speedup:.2f}" if r.speedup else "-",
+            f"{r.efficiency * 100:.1f}%" if r.efficiency else "-",
+            f"{ref[0]}, {ref[2] if ref[2] else '-'}", widths=WIDTHS))
+    return lines
+
+
+def test_table2(benchmark, report):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    lines = _render(rows)
+    lines.append("")
+    lines.append("Supercomputer comparison (Sec 4.4):")
+    for r in SUPERCOMPUTER_RESULTS:
+        lines.append(f"  {r.mcells_per_s:>6.1f} Mcells/s  {r.system}"
+                     f"  [{r.reference}]")
+    ours = rows[-1].cells_per_s / 1e6
+    lines.append(f"  {ours:>6.1f} Mcells/s  simulated GPU cluster, 32 nodes "
+                 f"(paper: {GPU_CLUSTER_HEADLINE.mcells_per_s})")
+    report("Table 2 — throughput and efficiency", lines)
+
+    by_n = {r.nodes: r for r in rows}
+    assert abs(by_n[1].cells_per_s / 1e6 - 2.39) < 0.1
+    assert abs(by_n[32].cells_per_s / 1e6 - 49.2) < 3.0
+    # Efficiency monotone decreasing, ~94% -> ~67% (Fig 10 endpoints).
+    effs = [r.efficiency for r in rows if r.efficiency]
+    assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+    # The 2004 ranking is preserved: above the 2002 IBM SP results,
+    # below the 2004 Power4 vector code.
+    sc = sorted(r.mcells_per_s for r in SUPERCOMPUTER_RESULTS)
+    assert sc[-2] < by_n[32].cells_per_s / 1e6 < sc[-1]

@@ -1,0 +1,40 @@
+"""Sec 4.4 'three enhancements' + the sub-domain shape design argument.
+
+"(1) Using a faster network, such as Myrinet.  (2) Using the
+PCI-Express bus ... (3) Using GPUs with larger texture memories."
+Sec 4.3: cube-shaped sub-domains minimise boundary-surface to volume.
+"""
+
+from conftest import fmt_row
+
+from repro.perf.whatif import enhancement_speedups, subdomain_shape_study
+
+
+def test_three_enhancements(benchmark, report):
+    speedups = benchmark.pedantic(enhancement_speedups, rounds=1,
+                                  iterations=1)
+    lines = [f"  {label:<40s} {value:5.2f}x"
+             for label, value in speedups.items()]
+    lines.append("  (single-node ceiling: 6.64x)")
+    report("Sec 4.4 — what-if enhancements at 32 nodes", lines)
+    base = speedups["baseline (GbE + AGP 8x + 128MB)"]
+    others = [v for k, v in speedups.items() if k != "baseline (GbE + AGP 8x + 128MB)"]
+    assert all(v > base for v in others)
+    assert max(speedups.values()) == speedups["all three"] < 6.64
+
+
+def test_subdomain_shape(benchmark, report):
+    rows = benchmark.pedantic(subdomain_shape_study, rounds=1, iterations=1)
+    lines = [fmt_row("sub-domain", "surf/vol", "net ms", "total ms",
+                     widths=[16, 9, 8, 9])]
+    for r in rows:
+        lines.append(fmt_row(str(r["sub_shape"]), r["surface_to_volume"],
+                             r["net_total_ms"], r["total_ms"],
+                             widths=[16, 9, 8, 9]))
+    report("Sec 4.3 — sub-domain shape at equal volume (3D arrangement)",
+           lines)
+    assert rows[0]["total_ms"] == min(r["total_ms"] for r in rows)
+    s2v = [r["surface_to_volume"] for r in rows]
+    net = [r["net_total_ms"] for r in rows]
+    assert sorted(range(len(s2v)), key=s2v.__getitem__) == \
+        sorted(range(len(net)), key=net.__getitem__)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+rows next to the published values, so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction table outside of pytest's capture."""
+
+    def _print(title: str, lines) -> None:
+        with capsys.disabled():
+            print()
+            print(f"=== {title} ===")
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+def fmt_row(*cols, widths=None) -> str:
+    widths = widths or [10] * len(cols)
+    out = []
+    for c, w in zip(cols, widths):
+        if isinstance(c, float):
+            out.append(f"{c:>{w}.2f}")
+        else:
+            out.append(f"{str(c):>{w}}")
+    return " ".join(out)

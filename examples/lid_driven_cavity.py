@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Lid-driven cavity: the classic LBM validation flow (2D, D2Q9).
+
+Demonstrates the exact-velocity Zou-He boundary (the moving lid) with
+bounce-back walls, runs to steady state, reports the primary-vortex
+diagnostics, and writes ``cavity_speed.pgm`` (speed magnitude with the
+vortex visible) — a compact end-to-end check of the 2D machinery the
+Sec-6 solvers and tests build on.
+
+Usage:  python examples/lid_driven_cavity.py [--n 48] [--re 100]
+            [--steps 4000] [--outdir .]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+import numpy as np
+
+from repro.lbm import D2Q9, LBMSolver, ZouHeVelocity2D
+from repro.lbm.collision import viscosity_to_tau
+from repro.viz import write_pgm
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--n", type=int, default=48, help="cavity edge (cells)")
+    ap.add_argument("--re", type=float, default=100.0, help="Reynolds number")
+    ap.add_argument("--steps", type=int, default=4000)
+    ap.add_argument("--lid-u", type=float, default=0.08)
+    ap.add_argument("--outdir", default=".")
+    args = ap.parse_args()
+
+    n, lid_u = args.n, args.lid_u
+    nu = lid_u * n / args.re
+    tau = viscosity_to_tau(nu)
+    if tau <= 0.51:
+        raise SystemExit(f"Re={args.re} needs tau={tau:.3f} <= 0.51: "
+                         "increase --n or --lid-u")
+    print(f"cavity {n}x{n}, Re={args.re}, lid u={lid_u}, tau={tau:.3f}")
+
+    solid = np.zeros((n, n), bool)
+    solid[0, :] = solid[-1, :] = True
+    solid[:, 0] = True
+    lid = ZouHeVelocity2D(axis=1, side="high", velocity=(lid_u, 0.0),
+                          exclude=solid[:, -1])
+    s = LBMSolver((n, n), tau=tau, lattice=D2Q9, solid=solid,
+                  boundaries=[lid], periodic=False, dtype=np.float64)
+
+    for chunk in range(4):
+        s.step(args.steps // 4)
+        _, u = s.macroscopic()
+        print(f"  step {s.time_step:>5}: max|u| = {np.abs(u).max():.4f}, "
+              f"centre u_x = {u[0, n // 2, n // 2]:+.4f}")
+
+    _, u = s.macroscopic()
+    # Primary-vortex centre from the streamfunction extremum.
+    psi = np.cumsum(u[0], axis=1)
+    psi[solid] = 0.0
+    cx, cy = np.unravel_index(np.argmax(np.abs(psi[2:-2, 2:-2])),
+                              psi[2:-2, 2:-2].shape)
+    print(f"primary vortex centre ~ ({(cx + 2) / n:.2f}, {(cy + 2) / n:.2f}) "
+          "(Ghia et al. Re=100: (0.62, 0.74))")
+
+    os.makedirs(args.outdir, exist_ok=True)
+    speed = np.hypot(u[0], u[1])
+    write_pgm(os.path.join(args.outdir, "cavity_speed.pgm"), speed.T[::-1])
+    print("wrote cavity_speed.pgm")
+    assert np.isfinite(u).all()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scaling study (Tables 1-2, Figs 8-10, Sec 4.4).
+
+Sweeps the simulated GPU cluster and its CPU-cluster baseline over the
+paper's node counts (80^3 sub-domain per node, 2D arrangement) and
+prints:
+
+* Table 1  — per-step times and GPU/CPU speedup;
+* Table 2  — cells/s, weak-scaling speedup, efficiency;
+* Fig 8    — network time: overlapped vs non-overlapping remainder;
+* the strong-scaling experiment (fixed 160x160x80 lattice);
+* the Sec 4.4 what-if enhancements (Myrinet / PCI-Express / 256 MB).
+
+Usage:  python examples/scaling_study.py [--nodes 1,2,4,...] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf.model import (PAPER_NODE_COUNTS, PAPER_TABLE1, PAPER_TABLE2,
+                              strong_scaling_rows, table1_rows, table2_rows)
+from repro.perf.whatif import enhancement_speedups
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nodes", default=None,
+                    help="comma-separated node counts (default: paper's)")
+    ap.add_argument("--quick", action="store_true",
+                    help="skip the what-if sweep")
+    args = ap.parse_args()
+    counts = (tuple(int(n) for n in args.nodes.split(","))
+              if args.nodes else PAPER_NODE_COUNTS)
+
+    print("=== Table 1: per-step execution time (ms), 80^3 per node ===")
+    print(f"{'nodes':>5} {'CPU total':>9} {'GPU comp':>8} {'GPU<->CPU':>9} "
+          f"{'net(total)':>10} {'non-ovl':>7} {'GPU total':>9} {'speedup':>7}"
+          f"   paper(total/speedup)")
+    for row in table1_rows(counts):
+        ref = PAPER_TABLE1.get(row.nodes)
+        ptxt = f"{ref[4]:>6} / {ref[5]:.2f}" if ref else "      -"
+        print(f"{row.nodes:>5} {row.cpu_total:>9.0f} {row.gpu_compute:>8.0f} "
+              f"{row.gpu_agp:>9.0f} {row.net_total:>10.0f} "
+              f"{row.net_nonoverlap:>7.0f} {row.gpu_total:>9.0f} "
+              f"{row.speedup:>7.2f}   {ptxt}")
+
+    print("\n=== Table 2: throughput and efficiency ===")
+    print(f"{'nodes':>5} {'Mcells/s':>9} {'speedup':>8} {'efficiency':>10}"
+          f"   paper(Mcells/s, eff%)")
+    for row in table2_rows(counts):
+        ref = PAPER_TABLE2.get(row.nodes)
+        sp = f"{row.speedup:8.2f}" if row.speedup else "       -"
+        ef = f"{row.efficiency * 100:9.1f}%" if row.efficiency else "         -"
+        ptxt = (f"{ref[0]:>5.1f}, {ref[2] if ref[2] else '-'}"
+                if ref else "-")
+        print(f"{row.nodes:>5} {row.cells_per_s / 1e6:>9.1f} {sp} {ef}   {ptxt}")
+
+    print("\n=== Strong scaling: fixed 160x160x80 lattice (Sec 4.4) ===")
+    for r in strong_scaling_rows():
+        print(f"  {r['nodes']:>2} nodes, sub-domain {r['sub_shape']}: "
+              f"GPU {r['gpu_total_ms']:.0f} ms, CPU {r['cpu_total_ms']:.0f} ms, "
+              f"speedup {r['speedup']:.2f} "
+              f"{'(paper: 5.3)' if r['nodes'] == 4 else ''}"
+              f"{'(paper: 2.4)' if r['nodes'] == 16 else ''}")
+
+    if not args.quick:
+        print("\n=== What-if enhancements at 32 nodes (Sec 4.4) ===")
+        for label, speedup in enhancement_speedups().items():
+            print(f"  {label}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "GPU Cluster for High Performance Computing".
+
+Fan, Qiu, Kaufman, Yoakum-Stover (SC 2004): parallel lattice Boltzmann
+flow simulation on a cluster of commodity GPUs, demonstrated with an
+urban airborne-dispersion simulation of the Times Square area.
+
+Subpackages
+-----------
+``repro.lbm``
+    D3Q19 lattice Boltzmann numerics (BGK, MRT, hybrid thermal),
+    boundaries, tracers — the flow model of Sec 4.1.
+``repro.gpu``
+    Simulated GeForce-FX-class GPU: textures, fragment programs, pixel
+    buffer, AGP bus, timing model — the substrate of Secs 2-3, 4.2.
+``repro.net``
+    Simulated gigabit-switched cluster network and an in-process
+    MPI-like message layer — the substrate of Secs 3, 4.3.
+``repro.core``
+    The paper's contribution: domain decomposition, communication
+    schedules, and the GPU/CPU cluster LBM drivers (Secs 4.3-4.4).
+``repro.perf``
+    Calibrated performance models and the table/figure generators.
+``repro.urban``
+    Procedural city model, voxelization and dispersion app (Sec 5).
+``repro.solvers``
+    Cellular automata, explicit PDE, and distributed sparse linear
+    solvers for the GPU cluster (Sec 6).
+``repro.viz``
+    Streamlines and volume splatting (Figs 12-13 analogues).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["lbm", "gpu", "net", "core", "perf", "urban", "solvers", "viz"]

@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+::
+
+    python -m repro table1            # Table 1 rows vs published
+    python -m repro table2            # Table 2 + supercomputer context
+    python -m repro fig8|fig9|fig10   # the figures as ASCII series
+    python -m repro strong            # Sec 4.4 fixed-problem scaling
+    python -m repro whatif            # Sec 4.4 enhancements
+    python -m repro cost              # Sec 3 accounting
+    python -m repro dispersion        # Sec 5 headline (0.31 s/step)
+
+All output comes from the same row generators the benchmark harness
+uses (`repro.perf.model`), so the CLI and `pytest benchmarks/` always
+agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args) -> None:
+    from repro.perf.model import PAPER_TABLE1, table1_rows
+    print(f"{'nodes':>5} {'CPU':>6} {'GPUcmp':>7} {'AGP':>5} {'net':>6} "
+          f"{'novl':>5} {'GPUtot':>7} {'spd':>6}   paper(tot/spd)")
+    for r in table1_rows(args.nodes):
+        ref = PAPER_TABLE1.get(r.nodes)
+        p = f"{ref[4]}/{ref[5]:.2f}" if ref else "-"
+        print(f"{r.nodes:>5} {r.cpu_total:>6.0f} {r.gpu_compute:>7.0f} "
+              f"{r.gpu_agp:>5.0f} {r.net_total:>6.0f} "
+              f"{r.net_nonoverlap:>5.0f} {r.gpu_total:>7.0f} "
+              f"{r.speedup:>6.2f}   {p}")
+
+
+def _cmd_table2(args) -> None:
+    from repro.perf.comparisons import SUPERCOMPUTER_RESULTS
+    from repro.perf.model import PAPER_TABLE2, table2_rows
+    print(f"{'nodes':>5} {'Mcells/s':>9} {'speedup':>8} {'eff':>7}   paper")
+    for r in table2_rows(args.nodes):
+        ref = PAPER_TABLE2.get(r.nodes)
+        sp = f"{r.speedup:.2f}" if r.speedup else "-"
+        ef = f"{r.efficiency * 100:.1f}%" if r.efficiency else "-"
+        print(f"{r.nodes:>5} {r.cells_per_s / 1e6:>9.2f} {sp:>8} {ef:>7}"
+              f"   {ref[0] if ref else '-'}")
+    print("\ncontext:")
+    for s in SUPERCOMPUTER_RESULTS:
+        print(f"  {s.mcells_per_s:>6.1f} Mcells/s  {s.system}")
+
+
+def _cmd_fig(args, which: str) -> None:
+    from repro.perf.model import cluster_timings, table2_rows
+    if which == "fig8":
+        print("nodes  net(ms)  overlapped  remainder")
+        for n in args.nodes:
+            if n < 2:
+                continue
+            gpu, _ = cluster_timings(n)
+            ovl = min(gpu.net_total_s, gpu.overlap_window_s) * 1e3
+            print(f"{n:>5} {gpu.net_total_s * 1e3:>8.0f} "
+                  f"{'#' * int(ovl / 3):<32} {'!' * int(gpu.net_nonoverlap_s * 1e3 / 3)}")
+    elif which == "fig9":
+        from repro.perf.model import table1_rows
+        for r in table1_rows(args.nodes):
+            print(f"{r.nodes:>5} {r.speedup:5.2f} " + "*" * int(r.speedup * 8))
+    else:
+        for r in table2_rows(args.nodes):
+            if r.efficiency:
+                print(f"{r.nodes:>5} {r.efficiency * 100:5.1f}% "
+                      + "=" * int(r.efficiency * 50))
+
+
+def _cmd_strong(args) -> None:
+    from repro.perf.model import strong_scaling_rows
+    for r in strong_scaling_rows():
+        print(f"{r['nodes']:>3} nodes {str(r['sub_shape']):>14}: "
+              f"GPU {r['gpu_total_ms']:6.0f} ms, CPU {r['cpu_total_ms']:6.0f} ms, "
+              f"speedup {r['speedup']:.2f}")
+
+
+def _cmd_whatif(args) -> None:
+    from repro.perf.whatif import enhancement_speedups, multi_gpu_per_node
+    for label, v in enhancement_speedups().items():
+        print(f"  {label:<40s} {v:5.2f}x")
+    print("\nmultiple GPUs per node (PCI-Express):")
+    for r in multi_gpu_per_node():
+        print(f"  {r['gpus_per_node']} GPU(s)/node, {r['hosts']:>2} hosts: "
+              f"net {r['net_total_ms']:6.1f} ms, total {r['total_ms']:6.1f} ms, "
+              f"speedup {r['speedup_vs_cpu']:.2f}x")
+
+
+def _cmd_cost(args) -> None:
+    from repro.perf.cost import paper_cluster_cost
+    c = paper_cluster_cost()
+    print(f"GPU peak added:  {c.gpu_peak_gflops:6.1f} GFlops")
+    print(f"cluster peak:    {c.total_peak_gflops:6.1f} GFlops")
+    print(f"GPU price:      ${c.gpu_price_usd:,.0f}")
+    print(f"MFlops/$:        {c.gpu_mflops_per_dollar:.1f}")
+
+
+def _cmd_dispersion(args) -> None:
+    from repro.urban import DispersionScenario
+    scenario = DispersionScenario(shape=tuple(args.shape))
+    cluster = scenario.make_cluster(tuple(args.arrangement), timing_only=True)
+    t = cluster.step()
+    print(f"{scenario.shape} on {cluster.decomp.n_nodes} GPU nodes: "
+          f"{t.total_s:.3f} s/step (paper: 0.31)")
+    for k, v in t.ms().items():
+        print(f"  {k:>14}: {v:7.1f} ms")
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(x) for x in text.split(","))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+    default_nodes = "1,2,4,8,12,16,20,24,28,30,32"
+    for name in ("table1", "table2", "fig8", "fig9", "fig10"):
+        sp = sub.add_parser(name)
+        sp.add_argument("--nodes", type=_int_list, default=_int_list(default_nodes))
+    sub.add_parser("strong")
+    sub.add_parser("whatif")
+    sub.add_parser("cost")
+    sp = sub.add_parser("dispersion")
+    sp.add_argument("--shape", type=_int_list, default=(480, 400, 80))
+    sp.add_argument("--arrangement", type=_int_list, default=(6, 5, 1))
+    sp = sub.add_parser("report")
+    sp.add_argument("--out", default=None,
+                    help="write markdown to a file instead of stdout")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cmd = args.command
+    if cmd == "table1":
+        _cmd_table1(args)
+    elif cmd == "table2":
+        _cmd_table2(args)
+    elif cmd in ("fig8", "fig9", "fig10"):
+        _cmd_fig(args, cmd)
+    elif cmd == "strong":
+        _cmd_strong(args)
+    elif cmd == "whatif":
+        _cmd_whatif(args)
+    elif cmd == "cost":
+        _cmd_cost(args)
+    elif cmd == "dispersion":
+        _cmd_dispersion(args)
+    elif cmd == "report":
+        from repro.perf.report import generate_report
+        text = generate_report()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,310 @@
+"""The GPU-cluster and CPU-cluster parallel LBM drivers (Secs 4.3-4.4).
+
+:class:`GPUClusterLBM` orchestrates one :class:`~repro.core.gpu_node.GPUNode`
+per cluster node through the paper's per-step protocol:
+
+1. collision passes on every GPU (recording the inner-cell overlap
+   window, ~120 ms at 80^3);
+2. border gather + a single AGP readback per node, then the scheduled
+   pairwise network exchange (Fig 7) with indirect two-hop routing of
+   the diagonal traffic, then ghost uploads;
+3. streaming + boundary passes;
+4. a :class:`StepTiming` decomposition in exactly Table 1's columns:
+   computation, GPU<->CPU communication, total network time, and the
+   non-overlapping remainder ``max(0, T_net - T_window)``.
+
+:class:`CPUClusterLBM` is the paper's baseline: the same decomposition
+and schedule with software nodes whose second thread overlaps the whole
+compute time.
+
+Both drivers run in two modes: *numeric* (every value computed for
+real; gather/compare against the single-domain reference solver) and
+*timing-only* (paper-scale sweeps through the calibrated model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cpu_node import CPUNode
+from repro.core.decomposition import BlockDecomposition, arrange_nodes_2d
+from repro.core.gpu_node import GPUNode
+from repro.core.halo import HaloPlan
+from repro.core.schedule import CommSchedule
+from repro.gpu.specs import AGP_8X, GEFORCE_FX_5800_ULTRA, XEON_2_4, BusSpec, CPUSpec, GPUSpec
+from repro.net.switch import GigabitSwitch
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Per-step time decomposition, Table-1 shaped (seconds)."""
+
+    nodes: int
+    compute_s: float
+    agp_s: float
+    net_total_s: float
+    overlap_window_s: float
+
+    @property
+    def net_nonoverlap_s(self) -> float:
+        """Network time the overlap window could not hide."""
+        return max(0.0, self.net_total_s - self.overlap_window_s)
+
+    @property
+    def total_s(self) -> float:
+        """The Table-1 'Total': compute + GPU/CPU transfer + remainder."""
+        return self.compute_s + self.agp_s + self.net_nonoverlap_s
+
+    def ms(self) -> dict[str, float]:
+        """Milliseconds view for printing Table-1 rows."""
+        return {
+            "compute": self.compute_s * 1e3,
+            "agp": self.agp_s * 1e3,
+            "net_total": self.net_total_s * 1e3,
+            "net_nonoverlap": self.net_nonoverlap_s * 1e3,
+            "total": self.total_s * 1e3,
+        }
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration shared by both cluster drivers.
+
+    Attributes
+    ----------
+    sub_shape:
+        Per-node sub-domain (the paper fixes 80^3 for Table 1).
+    arrangement:
+        Node grid (W, H, D); use :func:`arrange_nodes_2d` for the
+        paper's 2D layouts.
+    tau:
+        BGK relaxation time.
+    periodic:
+        Global per-axis periodicity.
+    timing_only:
+        Skip numerics (paper-scale sweeps).
+    solid:
+        Optional *global* obstacle mask.
+    inlet / outflow / force:
+        Global boundary conditions, applied on the nodes that own the
+        corresponding global boundary.
+    """
+
+    sub_shape: tuple[int, int, int]
+    arrangement: tuple[int, int, int]
+    tau: float = 0.6
+    periodic: tuple[bool, bool, bool] = (True, True, True)
+    timing_only: bool = False
+    solid: np.ndarray | None = None
+    inlet: tuple | None = None
+    outflow: tuple | None = None
+    force: tuple | None = None
+    gpu_spec: GPUSpec = GEFORCE_FX_5800_ULTRA
+    bus: BusSpec = AGP_8X
+    cpu_spec: CPUSpec = XEON_2_4
+    use_sse: bool = False
+    switch: GigabitSwitch | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.sub_shape) != 3 or any(s < 2 for s in self.sub_shape):
+            raise ValueError(f"sub_shape must be 3D with extents >= 2, "
+                             f"got {self.sub_shape}")
+        if len(self.arrangement) != 3 or any(a < 1 for a in self.arrangement):
+            raise ValueError(f"bad arrangement {self.arrangement}")
+        if self.tau <= 0.5:
+            raise ValueError(f"tau must be > 0.5, got {self.tau}")
+        for name, bc in (("inlet", self.inlet), ("outflow", self.outflow)):
+            if bc is not None:
+                axis = bc[0]
+                if not 0 <= axis <= 2:
+                    raise ValueError(f"{name} axis must be 0..2")
+                if self.periodic[axis]:
+                    raise ValueError(
+                        f"{name} on axis {axis} conflicts with periodicity; "
+                        f"set periodic[{axis}] = False")
+        if self.solid is not None and np.asarray(self.solid).shape != self.global_shape:
+            raise ValueError(
+                f"solid mask shape {np.asarray(self.solid).shape} != global "
+                f"lattice {self.global_shape}")
+
+    @property
+    def global_shape(self) -> tuple[int, int, int]:
+        return tuple(s * a for s, a in zip(self.sub_shape, self.arrangement))
+
+    @property
+    def n_nodes(self) -> int:
+        return int(np.prod(self.arrangement))
+
+
+class _ClusterLBMBase:
+    """Shared coordinator: decomposition, schedule, exchange, timing."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.decomp = BlockDecomposition(config.global_shape, config.arrangement,
+                                         periodic=config.periodic)
+        self.plan = HaloPlan(config.sub_shape)
+        self.schedule = CommSchedule(self.decomp, self.plan)
+        self.switch = config.switch if config.switch is not None else GigabitSwitch()
+        solids = (self.decomp.scatter_field(config.solid)
+                  if config.solid is not None else [None] * self.decomp.n_nodes)
+        self.nodes = [self._make_node(rank, solids[rank])
+                      for rank in range(self.decomp.n_nodes)]
+        self.time_step = 0
+        self.last_timing: StepTiming | None = None
+
+    # -- node construction -------------------------------------------------
+    def _node_boundary_config(self, rank: int) -> dict:
+        """Which global BCs land on this node, in local terms."""
+        cfg = self.config
+        coords = self.decomp.coords_of(rank)
+        out = {"inlet": None, "outflow": None}
+        if cfg.inlet is not None:
+            axis, side, velocity, rho = cfg.inlet
+            edge = 0 if side == "low" else self.decomp.arrangement[axis] - 1
+            if coords[axis] == edge:
+                out["inlet"] = cfg.inlet
+        if cfg.outflow is not None:
+            axis, side = cfg.outflow
+            edge = 0 if side == "low" else self.decomp.arrangement[axis] - 1
+            if coords[axis] == edge:
+                out["outflow"] = cfg.outflow
+        return out
+
+    def _make_node(self, rank: int, solid):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- the per-step protocol ----------------------------------------------
+    def _exchange(self) -> None:
+        """Numeric-mode halo exchange, axis phase by axis phase.
+
+        The sequential axis order implements the paper's indirect
+        two-hop diagonal routing: later-axis border layers include the
+        ghost rims already received from earlier axes, so edge/corner
+        data reaches second-nearest neighbours without direct diagonal
+        messages.
+        """
+        cfg = self.config
+        for axis in range(3):
+            borders = {rank: node.read_borders(axis)
+                       for rank, node in enumerate(self.nodes)}
+            for rank, node in enumerate(self.nodes):
+                for direction in (-1, 1):
+                    peer = self.decomp.neighbor(rank, axis, direction)
+                    if peer is None:
+                        if cfg.periodic[axis]:
+                            node.write_ghost(axis, direction,
+                                             borders[rank][-direction])
+                        else:
+                            node.fill_ghost_zero_gradient(axis, direction)
+                    else:
+                        node.write_ghost(axis, direction,
+                                         borders[peer][-direction])
+
+    def step(self, n: int = 1) -> StepTiming:
+        """Advance ``n`` time steps; returns the last step's timing."""
+        timing = self.last_timing
+        for _ in range(n):
+            for node in self.nodes:
+                node.begin_step()
+            for node in self.nodes:
+                node.collide_phase()
+            if not self.config.timing_only:
+                self._exchange()
+            for node in self.nodes:
+                node.charge_transfers()
+            net_total = (self.switch.phase_time(self.schedule.round_bytes(),
+                                                self.decomp.n_nodes)
+                         if self.decomp.n_nodes > 1 else 0.0)
+            for node in self.nodes:
+                node.finish_step()
+            timing = StepTiming(
+                nodes=self.decomp.n_nodes,
+                compute_s=max(nd.compute_s for nd in self.nodes),
+                agp_s=max(nd.agp_s for nd in self.nodes),
+                net_total_s=net_total,
+                overlap_window_s=max(nd.overlap_window_s for nd in self.nodes),
+            )
+            self.time_step += 1
+        self.last_timing = timing
+        return timing
+
+    # -- observables -----------------------------------------------------------
+    def _numeric_nodes(self):
+        if self.config.timing_only:
+            raise RuntimeError("no numeric state in timing_only mode")
+        return self.nodes
+
+    def gather_distributions(self) -> np.ndarray:
+        """Assemble the global (19, nx, ny, nz) distribution field."""
+        parts = [self._node_distributions(nd) for nd in self._numeric_nodes()]
+        return self.decomp.gather_field(parts)
+
+    def gather_macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global (rho, u) fields."""
+        from repro.lbm.macroscopic import macroscopic
+        from repro.lbm.lattice import D3Q19
+        f = self.gather_distributions()
+        return macroscopic(D3Q19, f)
+
+    def _node_distributions(self, node) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def cells_total(self) -> int:
+        """Total lattice cells across the cluster."""
+        return int(np.prod(self.config.global_shape))
+
+
+class GPUClusterLBM(_ClusterLBMBase):
+    """The paper's system: one simulated GPU per node (Sec 4.3)."""
+
+    def _make_node(self, rank: int, solid):
+        bc = self._node_boundary_config(rank)
+        return GPUNode(rank, self.config.sub_shape, self.config.tau, solid=solid,
+                       face_dirs=list(self.decomp.face_neighbors(rank)),
+                       edge_dirs=list(self.decomp.edge_neighbors(rank)),
+                       timing_only=self.config.timing_only,
+                       gpu_spec=self.config.gpu_spec, bus=self.config.bus,
+                       inlet=bc["inlet"], outflow=bc["outflow"],
+                       force=self.config.force)
+
+    def _node_distributions(self, node) -> np.ndarray:
+        return node.solver.distributions()
+
+    def initialize(self, rho: float = 1.0, u=None) -> None:
+        """Reset every node to equilibrium at (rho, u)."""
+        for node in self._numeric_nodes():
+            node.solver.initialize(rho=rho, u=u)
+
+    def load_global_distributions(self, f: np.ndarray) -> None:
+        """Scatter a global distribution field to the nodes."""
+        parts = self.decomp.scatter_field(f)
+        for node, part in zip(self._numeric_nodes(), parts):
+            node.solver.load_distributions(part)
+
+
+class CPUClusterLBM(_ClusterLBMBase):
+    """The paper's baseline: software LBM per node, second-thread
+    overlap (Sec 4.4)."""
+
+    def _make_node(self, rank: int, solid):
+        bc = self._node_boundary_config(rank)
+        return CPUNode(rank, self.config.sub_shape, self.config.tau, solid=solid,
+                       face_dirs=list(self.decomp.face_neighbors(rank)),
+                       edge_dirs=list(self.decomp.edge_neighbors(rank)),
+                       timing_only=self.config.timing_only,
+                       cpu_spec=self.config.cpu_spec,
+                       use_sse=self.config.use_sse,
+                       inlet=bc["inlet"], outflow=bc["outflow"],
+                       force=self.config.force)
+
+    def _node_distributions(self, node) -> np.ndarray:
+        return node.solver.f.copy()
+
+    def load_global_distributions(self, f: np.ndarray) -> None:
+        """Scatter a global distribution field to the nodes."""
+        parts = self.decomp.scatter_field(f)
+        for node, part in zip(self._numeric_nodes(), parts):
+            node.solver.f[...] = part.astype(node.solver.dtype)

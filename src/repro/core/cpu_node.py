@@ -1,0 +1,137 @@
+"""One cluster node's CPU sub-domain — the paper's baseline (Sec 4.4).
+
+The CPU implementation runs the same decomposed LBM in software on one
+Xeon thread per node, with "the network communication time ...
+overlapped with the computation by using a second thread": its overlap
+window is the whole compute time, which is why Table 1's CPU column
+shows computation only.
+
+The numerics reuse the reference :class:`~repro.lbm.LBMSolver` (same
+ghost-padded layout), so the CPU and GPU cluster paths are checked
+against each other and against the single-domain solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.solver import LBMSolver
+from repro.gpu.specs import XEON_2_4, CPUSpec
+from repro.perf import calibration as cal
+
+
+class CPUNode:
+    """One sub-domain computed in software on a host CPU.
+
+    Parameters mirror :class:`~repro.core.gpu_node.GPUNode`; see there.
+    """
+
+    def __init__(self, rank: int, sub_shape, tau: float, solid=None,
+                 face_dirs=(), edge_dirs=(), timing_only: bool = False,
+                 cpu_spec: CPUSpec = XEON_2_4, inlet=None, outflow=None,
+                 force=None, use_sse: bool = False) -> None:
+        self.rank = rank
+        self.sub_shape = tuple(int(s) for s in sub_shape)
+        self.tau = float(tau)
+        self.face_dirs = list(face_dirs)
+        self.edge_dirs = list(edge_dirs)
+        self.timing_only = bool(timing_only)
+        self.cpu_spec = cpu_spec
+        self.use_sse = bool(use_sse)
+        self._boundaries = []
+        if timing_only:
+            self.solver = None
+        else:
+            from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
+            from repro.lbm.lattice import D3Q19
+            bcs = []
+            if inlet is not None:
+                axis, side, velocity, rho = inlet
+                bcs.append(EquilibriumVelocityInlet(D3Q19, axis, side, velocity, rho))
+            if outflow is not None:
+                bcs.append(OutflowBoundary(D3Q19, *outflow))
+            self.solver = LBMSolver(self.sub_shape, tau, solid=solid,
+                                    boundaries=bcs, force=force, periodic=False)
+        self.compute_s = 0.0
+        self.agp_s = 0.0           # always 0: no GPU on this path
+        self.overlap_window_s = 0.0
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def cells(self) -> int:
+        return int(np.prod(self.sub_shape))
+
+    def face_cells(self, axis: int) -> int:
+        return int(np.prod([s for a, s in enumerate(self.sub_shape) if a != axis]))
+
+    # -- timing model -------------------------------------------------------
+    def _model_compute_s(self) -> float:
+        ns = self.cpu_spec.lbm_ns_per_cell
+        if self.use_sse:
+            ns /= self.cpu_spec.sse_speedup
+        t = self.cells * ns * 1e-9
+        for (axis, _) in self.face_dirs:
+            t += (cal.CPU_BORDER_COMPUTE_S_PER_DIR
+                  * self.face_cells(axis) / cal.BORDER_COMPUTE_REF_FACE_CELLS)
+        for (aa, _, ab, _) in self.edge_dirs:
+            other = next(a for a in range(3) if a not in (aa, ab))
+            t += cal.CPU_BORDER_COMPUTE_S_PER_DIR * self.sub_shape[other] / 80.0
+        return t
+
+    # -- per-step protocol ----------------------------------------------------
+    def begin_step(self) -> None:
+        self.compute_s = 0.0
+        self.agp_s = 0.0
+        self.overlap_window_s = 0.0
+
+    def collide_phase(self) -> None:
+        """Collision (software); the second thread overlaps the network
+        with the *entire* computation, so the window is set at finish."""
+        if not self.timing_only:
+            self.solver.collide()
+            for b in self.solver.boundaries:
+                b.pre_stream(self.solver.fg)
+
+    # -- ghost-layer plumbing on the padded array ----------------------------
+    def _layer_index(self, axis: int, side: str, ghost: bool) -> int:
+        if side == "low":
+            return 0 if ghost else 1
+        return self.sub_shape[axis] + 1 if ghost else self.sub_shape[axis]
+
+    def read_borders(self, axis: int) -> dict[int, np.ndarray]:
+        out = {}
+        for direction in (-1, 1):
+            side = "low" if direction == -1 else "high"
+            idx = self._layer_index(axis, side, ghost=False)
+            out[direction] = np.take(self.solver.fg, idx, axis=1 + axis).copy()
+        return out
+
+    def write_ghost(self, axis: int, direction: int, data: np.ndarray) -> None:
+        side = "low" if direction == -1 else "high"
+        idx = self._layer_index(axis, side, ghost=True)
+        sl = [slice(None)] * 4
+        sl[1 + axis] = idx
+        self.solver.fg[tuple(sl)] = data
+
+    def fill_ghost_zero_gradient(self, axis: int, direction: int) -> None:
+        side = "low" if direction == -1 else "high"
+        src = self._layer_index(axis, side, ghost=False)
+        dst = self._layer_index(axis, side, ghost=True)
+        sl_s = [slice(None)] * 4
+        sl_d = [slice(None)] * 4
+        sl_s[1 + axis] = src
+        sl_d[1 + axis] = dst
+        self.solver.fg[tuple(sl_d)] = self.solver.fg[tuple(sl_s)]
+
+    def charge_transfers(self) -> None:
+        """No GPU bus on the CPU path; MPI buffers are packed on the
+        compute thread (folded into the border compute term)."""
+        self.agp_s = 0.0
+
+    def finish_step(self) -> None:
+        if not self.timing_only:
+            self.solver.stream()
+            self.solver.post_stream()
+            self.solver.time_step += 1
+        self.compute_s = self._model_compute_s()
+        self.overlap_window_s = self.compute_s

@@ -1,0 +1,188 @@
+"""One cluster node's GPU sub-domain (Secs 4.2-4.3).
+
+A :class:`GPUNode` wraps a padded-mode :class:`~repro.gpu.GPULBMSolver`
+on its own :class:`~repro.gpu.SimulatedGPU` and implements the node's
+side of the cluster protocol:
+
+* collide passes (with the inner/outer timing split that creates the
+  ~120 ms overlap window of Sec 4.4);
+* gather of all outgoing border distributions followed by a *single*
+  readback over AGP ("we minimize the overhead of initializing the
+  read operations", Sec 4.3);
+* ghost uploads of data received from neighbours;
+* stream + bounce-back passes.
+
+In ``timing_only`` mode no numerics run: the node reports the same
+timing decomposition from the closed-form model, allowing paper-scale
+(80^3 x 32) sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.fragment import FragmentProgram
+from repro.gpu.lbm_gpu import GPULBMSolver
+from repro.gpu.specs import AGP_8X, GEFORCE_FX_5800_ULTRA, BusSpec, GPUSpec
+from repro.perf import calibration as cal
+
+#: Declared per-fragment cost of the border gather/scatter passes that
+#: pack outgoing distributions into the transfer texture (Sec 4.3).
+GATHER_PROGRAM = FragmentProgram("gather", kernel=None, alu_ops=4, tex_fetches=2)
+
+
+class GPUNode:
+    """One sub-domain on one simulated GPU.
+
+    Parameters
+    ----------
+    rank:
+        Cluster rank (for diagnostics).
+    sub_shape:
+        The node's lattice block.
+    tau:
+        BGK relaxation time.
+    solid:
+        Local obstacle mask.
+    face_dirs:
+        Active face-exchange directions ``(axis, direction)``.
+    edge_dirs:
+        Active diagonal-edge directions (for AGP edge overhead).
+    timing_only:
+        Skip numerics, model timing only.
+    """
+
+    def __init__(self, rank: int, sub_shape, tau: float, solid=None,
+                 face_dirs=(), edge_dirs=(), timing_only: bool = False,
+                 gpu_spec: GPUSpec = GEFORCE_FX_5800_ULTRA,
+                 bus: BusSpec = AGP_8X, inlet=None, outflow=None,
+                 force=None) -> None:
+        self.rank = rank
+        self.sub_shape = tuple(int(s) for s in sub_shape)
+        self.tau = float(tau)
+        self.face_dirs = list(face_dirs)
+        self.edge_dirs = list(edge_dirs)
+        self.timing_only = bool(timing_only)
+        self.device = SimulatedGPU(spec=gpu_spec, bus=bus,
+                                   enforce_memory=not timing_only)
+        if timing_only:
+            self.solver = None
+        else:
+            self.solver = GPULBMSolver(self.sub_shape, tau, device=self.device,
+                                       mode="padded", solid=solid, inlet=inlet,
+                                       outflow=outflow, force=force)
+        # Per-step timing buckets (seconds).
+        self.compute_s = 0.0
+        self.agp_s = 0.0
+        self.overlap_window_s = 0.0
+
+    # -- geometry helpers -------------------------------------------------
+    @property
+    def cells(self) -> int:
+        return int(np.prod(self.sub_shape))
+
+    def inner_cells(self) -> int:
+        return int(np.prod([max(0, s - 2) for s in self.sub_shape]))
+
+    def face_cells(self, axis: int) -> int:
+        return int(np.prod([s for a, s in enumerate(self.sub_shape) if a != axis]))
+
+    # -- timing-model pieces ----------------------------------------------
+    def _border_compute_s(self) -> float:
+        """Fitted border-handling overhead: ~3 ms per border direction
+        (faces and edges alike) at the 80^3 reference, scaled with the
+        border size (see BORDER_COMPUTE_S_PER_DIR provenance)."""
+        border = 0.0
+        for (axis, _) in self.face_dirs:
+            border += (cal.BORDER_COMPUTE_S_PER_DIR
+                       * self.face_cells(axis) / cal.BORDER_COMPUTE_REF_FACE_CELLS)
+        for (aa, _, ab, _) in self.edge_dirs:
+            other = next(a for a in range(3) if a not in (aa, ab))
+            border += cal.BORDER_COMPUTE_S_PER_DIR * self.sub_shape[other] / 80.0
+        return border
+
+    def _model_compute_s(self) -> float:
+        base = self.cells * cal.lbm_step_compute_ns_per_cell() * 1e-9
+        base /= self.device.spec.lbm_throughput_scale
+        return base + self._border_compute_s()
+
+    def _model_window_s(self) -> float:
+        per_cell = (290 * cal.GPU_NS_PER_ALU + 20 * cal.GPU_NS_PER_FETCH) * 1e-9
+        return self.inner_cells() * per_cell / self.device.spec.lbm_throughput_scale
+
+    def _model_agp_s(self) -> float:
+        if not self.face_dirs and not self.edge_dirs:
+            return 0.0
+        up_rate = cal.effective_upstream_bytes_per_s(self.device.bus)
+        down_rate = cal.effective_downstream_bytes_per_s(self.device.bus)
+        t = cal.READBACK_FLUSH_S
+        for (axis, _) in self.face_dirs:
+            nbytes = 5 * self.face_cells(axis) * 4
+            t += nbytes / up_rate                       # single gathered read
+            t += cal.UPLOAD_OVERHEAD_S + nbytes / down_rate
+            t += 2 * self.device.pass_time_s(GATHER_PROGRAM, self.face_cells(axis))
+        for _ in self.edge_dirs:
+            t += cal.EDGE_PACK_OVERHEAD_S + cal.UPLOAD_OVERHEAD_S
+        return t
+
+    # -- per-step protocol --------------------------------------------------
+    def begin_step(self) -> None:
+        """Reset the step's timing buckets."""
+        self.compute_s = 0.0
+        self.agp_s = 0.0
+        self.overlap_window_s = 0.0
+        if not self.timing_only:
+            self.device.reset_clock()
+
+    def collide_phase(self) -> None:
+        """Macro + collision passes; records the overlap window."""
+        if self.timing_only:
+            self.overlap_window_s = self._model_window_s()
+            return
+        before = self.device.clock_s
+        self.solver.run_macro_pass()
+        self.solver.run_collide_passes()
+        collide_s = self.device.clock_s - before
+        inner_frac = self.inner_cells() / self.cells
+        self.overlap_window_s = collide_s * inner_frac
+
+    def read_borders(self, axis: int) -> dict[int, np.ndarray]:
+        """Read both border faces along ``axis`` (numeric mode)."""
+        out = {}
+        for direction in (-1, 1):
+            side = "low" if direction == -1 else "high"
+            out[direction] = self.solver.get_border_layer(axis, side)
+        return out
+
+    def write_ghost(self, axis: int, direction: int, data: np.ndarray) -> None:
+        """Install a received ghost face (numeric mode)."""
+        side = "low" if direction == -1 else "high"
+        self.solver.set_ghost_layer(data, axis, side)
+
+    def fill_ghost_zero_gradient(self, axis: int, direction: int) -> None:
+        """Global non-periodic boundary: copy own border outward."""
+        side = "low" if direction == -1 else "high"
+        border = self.solver.get_border_layer(axis, side)
+        self.solver.set_ghost_layer(border, axis, side)
+
+    def charge_transfers(self) -> None:
+        """Charge the step's AGP cost (gather passes + single readback +
+        per-direction uploads), identically in both modes."""
+        self.agp_s = self._model_agp_s()
+
+    def finish_step(self) -> None:
+        """Stream + boundary passes; close out compute accounting."""
+        if self.timing_only:
+            self.compute_s = self._model_compute_s()
+            return
+        self.solver.run_stream_passes()
+        if self.solver.has_solid:
+            self.solver.run_bounce_passes()
+        if self.solver.inlet is not None:
+            self.solver._apply_inlet()
+        if self.solver.outflow is not None:
+            self.solver._apply_outflow()
+        # Everything charged on the device this step is compute; the AGP
+        # bucket is modeled separately by charge_transfers().
+        self.compute_s = self.device.clock_s + self._border_compute_s()

@@ -1,0 +1,108 @@
+"""The D3Q19 ghost-exchange plan (Sec 4.3).
+
+"If the sub-domain in a GPU node is a lattice of size N^3, the size of
+the data that it sends to a nearest neighbor is 5N^2, while the data it
+sends to a second-nearest neighbor has size of only N."
+
+Pull-streaming across a sub-domain boundary needs, in the ghost layer
+on side ``(axis, -1)``, exactly the distributions with positive
+velocity along ``axis`` — five of the nineteen for any axis of D3Q19 —
+and one diagonal distribution per edge ghost line.  :class:`HaloPlan`
+enumerates those link sets and the message byte counts the network
+model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lbm.lattice import D3Q19, Lattice
+
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class FaceMessage:
+    """Bytes and links of one axial face message."""
+
+    axis: int
+    direction: int          # +1: sent toward increasing coordinate
+    links: tuple[int, ...]  # the 5 link indices carried
+    face_cells: int
+    piggyback_edges: int    # number of edge lines forwarded (indirect routing)
+    edge_cells: int
+
+    @property
+    def nbytes(self) -> int:
+        """5 N^2 (+ piggybacked edge lines), as Sec 4.3 counts."""
+        return (len(self.links) * self.face_cells
+                + self.piggyback_edges * self.edge_cells) * FLOAT_BYTES
+
+
+class HaloPlan:
+    """Link sets and message sizes for one sub-domain shape.
+
+    Parameters
+    ----------
+    sub_shape:
+        The node's lattice block (nx, ny, nz).
+    lattice:
+        Velocity set (D3Q19).
+    """
+
+    def __init__(self, sub_shape, lattice: Lattice = D3Q19) -> None:
+        self.sub_shape = tuple(int(s) for s in sub_shape)
+        self.lattice = lattice
+
+    def face_links(self, axis: int, direction: int) -> np.ndarray:
+        """Link indices streaming out of the ``(axis, direction)`` face
+        (the ones a neighbour's ghost layer needs)."""
+        if direction == 1:
+            return self.lattice.links_with_positive(axis)
+        if direction == -1:
+            return self.lattice.links_with_negative(axis)
+        raise ValueError("direction must be +-1")
+
+    def edge_links(self, axis_a: int, dir_a: int, axis_b: int, dir_b: int) -> np.ndarray:
+        """The single link streaming out through the signed edge."""
+        return self.lattice.edge_links(axis_a, dir_a, axis_b, dir_b)
+
+    def face_cells(self, axis: int) -> int:
+        """Interior cells of a face normal to ``axis``."""
+        dims = [s for a, s in enumerate(self.sub_shape) if a != axis]
+        return int(np.prod(dims))
+
+    def edge_cells(self, axis_a: int, axis_b: int) -> int:
+        """Cells along the edge line shared by two face-normal axes."""
+        (rem,) = [a for a in range(3) if a not in (axis_a, axis_b)]
+        return self.sub_shape[rem]
+
+    def face_message(self, axis: int, direction: int,
+                     piggyback_edges: int = 0) -> FaceMessage:
+        """Build the byte-accounted message for one face direction."""
+        axis_b = next(a for a in range(3) if a != axis)
+        return FaceMessage(
+            axis=axis,
+            direction=direction,
+            links=tuple(int(i) for i in self.face_links(axis, direction)),
+            face_cells=self.face_cells(axis),
+            piggyback_edges=piggyback_edges,
+            edge_cells=self.edge_cells(axis, axis_b),
+        )
+
+    def face_bytes(self, axis: int) -> int:
+        """The headline 5 N^2 * 4 B of one face message (no piggyback)."""
+        return 5 * self.face_cells(axis) * FLOAT_BYTES
+
+    def edge_bytes(self, axis_a: int, axis_b: int) -> int:
+        """The N * 4 B of one diagonal edge message."""
+        return self.edge_cells(axis_a, axis_b) * FLOAT_BYTES
+
+    def indirect_overhead_fraction(self, axis: int, n_piggyback: int) -> float:
+        """Relative growth of a face message from carrying ``c`` edge
+        lines: the paper's ``c / (5 N)`` for cubic sub-domains."""
+        axis_b = next(a for a in range(3) if a != axis)
+        return (n_piggyback * self.edge_cells(axis, axis_b)
+                / (5.0 * self.face_cells(axis)))

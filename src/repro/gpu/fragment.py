@@ -1,0 +1,146 @@
+"""Fragment programs and render passes.
+
+Sec 2 of the paper: "Each computation step is implemented with a
+user-defined fragment program which can include gather and mathematic
+operations.  The results are encoded as pixel colors and rendered into
+a pixel-buffer ... Results that are to be used in subsequent
+calculations are copied to textures for temporary storage."
+
+A :class:`FragmentProgram` declares its per-fragment cost (ALU ops and
+texture fetches, used by the device's timing model) and provides a
+numpy-vectorized kernel.  The kernel receives a :class:`RenderContext`
+whose :meth:`~RenderContext.fetch` implements the *gather* operation:
+reading a texel at an offset from the current fragment position —
+including from neighbouring Z slices of a stack, which is how 3D
+streaming is expressed on 2D textures.
+
+The engine enforces the pipeline discipline (Sec 2): a pass may not
+read its own render target; results land in a pixel buffer and are
+copied (or swapped) into a texture after the full pass, which is what
+makes same-stack dependencies (streaming!) hazard-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.gpu.texture import TextureStack
+
+
+@dataclass(frozen=True)
+class FragmentProgram:
+    """A compiled fragment shader (Cg analogue).
+
+    Attributes
+    ----------
+    name:
+        For diagnostics and per-pass time accounting.
+    kernel:
+        ``kernel(ctx: RenderContext) -> (h, w, 4) float32`` computing
+        the RGBA output for every fragment of the render rectangle.
+    alu_ops:
+        Arithmetic instructions executed per fragment (4-wide vector
+        ops counted once, matching how Cg programs were counted).
+    tex_fetches:
+        Texture fetches per fragment (one RGBA texel per fetch).
+    """
+
+    name: str
+    kernel: Callable
+    alu_ops: int
+    tex_fetches: int
+
+
+class Rect:
+    """Render rectangle in texture coordinates: rows [y0, y1), cols [x0, x1).
+
+    The paper covers boundary regions with "multiple small rectangles";
+    rectangles are also how the interior of a ghost-padded texture is
+    addressed.
+    """
+
+    __slots__ = ("y0", "y1", "x0", "x1")
+
+    def __init__(self, y0: int, y1: int, x0: int, x1: int) -> None:
+        if y1 <= y0 or x1 <= x0:
+            raise ValueError(f"empty rect ({y0},{y1},{x0},{x1})")
+        self.y0, self.y1, self.x0, self.x1 = int(y0), int(y1), int(x0), int(x1)
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def fragments(self) -> int:
+        return self.height * self.width
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Rect(y=[{self.y0},{self.y1}), x=[{self.x0},{self.x1}))"
+
+
+class RenderContext:
+    """Per-slice execution context handed to fragment kernels.
+
+    Parameters
+    ----------
+    bindings:
+        Name -> :class:`TextureStack` inputs.
+    z:
+        Output slice index within the target stack.
+    rect:
+        Render rectangle (shared coordinate frame with all inputs).
+    wrap:
+        If True, fetches wrap toroidally in all three axes (periodic
+        single-domain layout); if False, offsets index directly into
+        the ghost-padded textures (out-of-range raises — the pass
+        structure must guarantee validity, as a real shader must).
+    consts:
+        Uniform constants visible to the kernel.
+    """
+
+    def __init__(self, bindings: Mapping[str, TextureStack], z: int, rect: Rect,
+                 wrap: bool, consts: Mapping | None = None) -> None:
+        self._bindings = bindings
+        self.z = int(z)
+        self.rect = rect
+        self.wrap = bool(wrap)
+        self.consts = dict(consts or {})
+        self.fetch_count = 0
+
+    def fetch(self, name: str, dx: int = 0, dy: int = 0, dz: int = 0,
+              channels=None) -> np.ndarray:
+        """Gather: texel values at (fragment position + (dx, dy, dz)).
+
+        Returns shape ``(h, w, 4)`` (or ``(h, w)`` / ``(h, w, k)`` when
+        ``channels`` selects specific components).  Counted for the
+        timing model via ``fetch_count``.
+        """
+        stack = self._bindings[name]
+        self.fetch_count += 1
+        r = self.rect
+        if self.wrap:
+            zz = (self.z + dz) % stack.depth
+            sl = stack.data[zz]
+            if dx or dy:
+                sl = np.roll(sl, shift=(-dy, -dx), axis=(0, 1))
+            out = sl[r.y0:r.y1, r.x0:r.x1]
+        else:
+            zz = self.z + dz
+            if not (0 <= zz < stack.depth):
+                raise IndexError(
+                    f"fetch from {name} slice {zz} outside stack depth {stack.depth}")
+            ys = slice(r.y0 + dy, r.y1 + dy)
+            xs = slice(r.x0 + dx, r.x1 + dx)
+            if ys.start < 0 or xs.start < 0 or ys.stop > stack.height or xs.stop > stack.width:
+                raise IndexError(f"fetch offset ({dx},{dy}) leaves texture {name}")
+            out = stack.data[zz, ys, xs]
+        if channels is None:
+            return out
+        return out[..., channels]

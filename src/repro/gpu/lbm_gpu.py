@@ -1,0 +1,410 @@
+"""The D3Q19 LBM step as fragment programs on the simulated GPU (Sec 4.2).
+
+"The LBM operations (e.g., streaming, collision, and boundary
+conditions) are translated into fragment programs to be executed in the
+rendering passes.  For each fragment in a given pass, the fragment
+program fetches any required current lattice state information from the
+appropriate textures, computes the LBM equations to evaluate the new
+lattice states, and renders the results to a pixel buffer."
+
+Pass suite per time step (declared per-fragment costs feed the timing
+model; their totals are the anchors in ``repro.perf.calibration``):
+
+=========  ======  =====  ========================================
+pass       ALU     fetch  role
+=========  ======  =====  ========================================
+macro       40       5    rho, u from the 5 distribution stacks
+collide x5  50       3    BGK relaxation for 4 links (+flags)
+stream  x5   4       4    pull-propagation, per-channel offsets
+bounce  x5   8       6    bounce-back at solid flags
+=========  ======  =====  ========================================
+
+Two layouts are supported:
+
+* ``mode="wrap"`` — unpadded textures, toroidal fetches: the layout of
+  the paper's single-GPU solver, whose memory ceiling reproduces the
+  92^3 maximum lattice of Sec 2.
+* ``mode="padded"`` — one ghost texel of padding per axis: the cluster
+  layout of Sec 4.3, where ghost layers are written from data received
+  over the network and border layers are gathered for readback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.fragment import FragmentProgram, Rect
+from repro.gpu.packing import D3Q19Packing, N_DISTRIBUTION_STACKS, link_location, stack_links
+from repro.gpu.texture import TextureStack
+from repro.lbm.lattice import D3Q19
+from repro.lbm.equilibrium import equilibrium_site
+
+F32 = np.float32
+
+
+class GPULBMSolver:
+    """BGK D3Q19 LBM executing entirely through texture render passes.
+
+    Parameters
+    ----------
+    shape:
+        Lattice shape (nx, ny, nz).
+    tau:
+        BGK relaxation time.
+    device:
+        A :class:`SimulatedGPU`; a fresh FX 5800 Ultra by default.
+    mode:
+        ``"wrap"`` (periodic, unpadded) or ``"padded"`` (ghost shell,
+        for cluster sub-domains).
+    solid:
+        Optional bool obstacle mask (nx, ny, nz).
+    force:
+        Optional constant body force.
+    inlet:
+        Optional ``(axis, side, velocity, rho)`` equilibrium inlet.
+    outflow:
+        Optional ``(axis, side)`` zero-gradient outlet.
+    """
+
+    def __init__(self, shape, tau: float, device: SimulatedGPU | None = None,
+                 mode: str = "wrap", solid=None, force=None,
+                 inlet=None, outflow=None) -> None:
+        if len(shape) != 3:
+            raise ValueError("GPULBMSolver is 3D (D3Q19)")
+        if mode not in ("wrap", "padded"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if tau <= 0.5:
+            raise ValueError("tau must be > 0.5")
+        self.lattice = D3Q19
+        self.shape = tuple(int(s) for s in shape)
+        self.tau = float(tau)
+        self.omega = F32(1.0 / tau)
+        self.mode = mode
+        self.device = device if device is not None else SimulatedGPU()
+        self.packing = D3Q19Packing()
+        self.force = None if force is None else np.asarray(force, dtype=np.float64)
+        self.inlet = inlet
+        self.outflow = outflow
+
+        nx, ny, nz = self.shape
+        self.pad = 0 if mode == "wrap" else 1
+        p = self.pad
+        tw, th, td = nx + 2 * p, ny + 2 * p, nz + 2 * p
+        dev = self.device
+        self.f_stacks = [dev.new_stack(tw, th, td, name=f"f{s}")
+                         for s in range(N_DISTRIBUTION_STACKS)]
+        self.macro_stack = dev.new_stack(tw, th, td, name="macro")
+        # The pixel buffer the passes render into before the copy-back
+        # (counted against texture memory, per the paper's accounting).
+        self.pbuffer = dev.new_stack(tw, th, td, name="pbuffer")
+        self.solid = (np.zeros(self.shape, dtype=bool) if solid is None
+                      else np.asarray(solid, dtype=bool))
+        if self.solid.shape != self.shape:
+            raise ValueError("solid mask shape mismatch")
+        self.has_solid = bool(self.solid.any())
+        # Boundary flags only exist when there are obstacles.  (The
+        # paper stores boundary-link data in small per-slice rectangles
+        # — see repro.gpu.boundary_rects — so obstacle-free lattices pay
+        # no flag memory; this is what makes the 92^3 maximum of Sec 2.)
+        if self.has_solid:
+            self.flags_stack = dev.new_stack(tw, th, td, name="flags")
+            self.flags_stack.data[p:td - p, p:th - p, p:tw - p, 0] = (
+                self.solid.transpose(2, 1, 0).astype(F32))
+        else:
+            self.flags_stack = None
+
+        self._rect = (Rect(0, th, 0, tw) if mode == "wrap"
+                      else Rect(1, th - 1, 1, tw - 1))
+        self._z_range = range(td) if mode == "wrap" else range(1, td - 1)
+        self._wrap = mode == "wrap"
+        self._programs = self._build_programs()
+        self.time_step = 0
+        self.initialize()
+
+    # ------------------------------------------------------------------
+    def initialize(self, rho: float = 1.0, u=None) -> None:
+        """Load equilibrium distributions at (rho, u) into the textures."""
+        uvec = np.zeros(3) if u is None else np.asarray(u, dtype=np.float64)
+        feq = equilibrium_site(self.lattice, rho, uvec).astype(F32)
+        f = np.broadcast_to(feq.reshape(19, 1, 1, 1), (19,) + self.shape).copy()
+        self.load_distributions(f)
+        self.time_step = 0
+
+    def load_distributions(self, f: np.ndarray) -> None:
+        """Pack a (19, nx, ny, nz) field into the distribution stacks."""
+        if f.shape != (19,) + self.shape:
+            raise ValueError(f"bad distribution shape {f.shape}")
+        off = (self.pad,) * 3
+        self.packing.pack_distributions(np.asarray(f, dtype=F32), self.f_stacks,
+                                        offset=off)
+
+    def distributions(self) -> np.ndarray:
+        """Unpack the current distributions (host-side copy, untimed)."""
+        return self.packing.unpack_distributions(self.f_stacks, self.shape,
+                                                 offset=(self.pad,) * 3)
+
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rho, u) as of the last macro pass (host-side copy, untimed)."""
+        return self.packing.unpack_macroscopic(self.macro_stack, self.shape,
+                                               offset=(self.pad,) * 3)
+
+    # -- fragment programs ----------------------------------------------
+    def _build_programs(self) -> dict:
+        lat = self.lattice
+        c = lat.c.astype(F32)
+        w = lat.w.astype(F32)
+        omega = self.omega
+        n_stacks = N_DISTRIBUTION_STACKS
+        force_term = None
+        if self.force is not None:
+            force_term = ((c @ self.force.astype(F32)) * (F32(3.0) * w)).astype(F32)
+
+        def macro_kernel(ctx):
+            rho = None
+            mom = [None, None, None]
+            for s in range(n_stacks):
+                tex = ctx.fetch(f"f{s}")
+                for ch, link in enumerate(stack_links(s)):
+                    v = tex[..., ch]
+                    rho = v.copy() if rho is None else rho + v
+                    for a in range(3):
+                        if c[link, a] != 0:
+                            t = c[link, a] * v
+                            mom[a] = t if mom[a] is None else mom[a] + t
+            out = np.empty(rho.shape + (4,), dtype=F32)
+            safe = np.where(rho > 0, rho, F32(1.0))
+            out[..., 0] = rho
+            for a in range(3):
+                out[..., 1 + a] = (mom[a] / safe) if mom[a] is not None else 0.0
+            return out
+
+        programs = {"macro": FragmentProgram("macro", macro_kernel, alu_ops=40,
+                                             tex_fetches=5)}
+
+        has_solid = self.has_solid
+
+        def make_collide(s):
+            links = stack_links(s)
+
+            def collide_kernel(ctx):
+                f = ctx.fetch(f"f{s}")
+                mac = ctx.fetch("macro")
+                fluid = (ctx.fetch("flags", channels=0) == 0.0
+                         if has_solid else True)
+                rho = mac[..., 0]
+                u = mac[..., 1:4]
+                usq = (u * u).sum(axis=-1)
+                out = f.copy()
+                for ch, link in enumerate(links):
+                    cu = (u @ c[link])
+                    feq = (w[link] * rho
+                           * (F32(1.0) + F32(3.0) * cu + F32(4.5) * cu * cu
+                              - F32(1.5) * usq))
+                    new = f[..., ch] + omega * (feq - f[..., ch])
+                    if force_term is not None and force_term[link] != 0.0:
+                        new = new + force_term[link]
+                    out[..., ch] = np.where(fluid, new, f[..., ch])
+                return out
+
+            return FragmentProgram(f"collide{s}", collide_kernel, alu_ops=50,
+                                   tex_fetches=3 if has_solid else 2)
+
+        def make_stream(s):
+            links = stack_links(s)
+
+            def stream_kernel(ctx):
+                cols = []
+                for link in links:
+                    cx, cy, cz = (int(v) for v in lat.c[link])
+                    cols.append(ctx.fetch(f"f{s}", dx=-cx, dy=-cy, dz=-cz,
+                                          channels=link_location(link)[1]))
+                while len(cols) < 4:
+                    cols.append(np.zeros_like(cols[0]))
+                return np.stack(cols, axis=-1)
+
+            return FragmentProgram(f"stream{s}", stream_kernel, alu_ops=4,
+                                   tex_fetches=len(links))
+
+        def make_bounce(s):
+            links = stack_links(s)
+
+            def bounce_kernel(ctx):
+                f = ctx.fetch(f"f{s}")
+                solid = ctx.fetch("flags", channels=0) != 0.0
+                out = f.copy()
+                for ch, link in enumerate(links):
+                    os_, och = link_location(int(lat.opp[link]))
+                    opp_val = ctx.fetch(f"f{os_}", channels=och)
+                    out[..., ch] = np.where(solid, opp_val, f[..., ch])
+                return out
+
+            return FragmentProgram(f"bounce{s}", bounce_kernel, alu_ops=8,
+                                   tex_fetches=2 + len(links))
+
+        for s in range(n_stacks):
+            programs[f"collide{s}"] = make_collide(s)
+            programs[f"stream{s}"] = make_stream(s)
+            programs[f"bounce{s}"] = make_bounce(s)
+        return programs
+
+    # -- ghost-layer management (padded mode) -----------------------------
+    def _check_padded(self) -> None:
+        if self.mode != "padded":
+            raise RuntimeError("ghost operations require mode='padded'")
+
+    def set_ghost_layer(self, f_ghost: np.ndarray, axis: int, side: str) -> None:
+        """Write a (19, ...) ghost face received from a neighbour.
+
+        ``f_ghost`` has the shape of the corresponding face of the
+        *padded* array excluding the two ghost rims of the other axes
+        being set separately — i.e. exactly ``(19,) + face_shape`` with
+        face_shape the full padded cross-section, allowing edge/corner
+        ghost texels to be included by the caller.
+        """
+        self._check_padded()
+        nx, ny, nz = self.shape
+        full = {0: (ny + 2, nz + 2), 1: (nx + 2, nz + 2), 2: (nx + 2, ny + 2)}[axis]
+        if f_ghost.shape != (19,) + full:
+            raise ValueError(f"ghost face shape {f_ghost.shape} != {(19,) + full}")
+        idx_along = 0 if side == "low" else (self.shape[axis] + 1)
+        for i in range(19):
+            s, ch = link_location(i)
+            data = self.f_stacks[s].data
+            if axis == 0:
+                data[:, :, idx_along, ch] = f_ghost[i].transpose(1, 0)
+            elif axis == 1:
+                data[:, idx_along, :, ch] = f_ghost[i].transpose(1, 0)
+            else:
+                data[idx_along, :, :, ch] = f_ghost[i].transpose(1, 0)
+
+    def get_border_layer(self, axis: int, side: str) -> np.ndarray:
+        """Read the interior border face (19, full padded cross-section).
+
+        Returns the post-collision distributions of the outermost
+        interior layer, padded cross-section orientation matching
+        :meth:`set_ghost_layer` so a neighbour can consume it directly.
+        """
+        self._check_padded()
+        idx_along = 1 if side == "low" else self.shape[axis]
+        out = []
+        for i in range(19):
+            s, ch = link_location(i)
+            data = self.f_stacks[s].data
+            if axis == 0:
+                out.append(data[:, :, idx_along, ch].transpose(1, 0))
+            elif axis == 1:
+                out.append(data[:, idx_along, :, ch].transpose(1, 0))
+            else:
+                out.append(data[idx_along, :, :, ch].transpose(1, 0))
+        return np.stack(out, axis=0)
+
+    # -- boundary-layer passes --------------------------------------------
+    def _apply_inlet(self) -> None:
+        axis, side, velocity, rho = self.inlet
+        feq = equilibrium_site(self.lattice, rho, velocity).astype(F32)
+        self._write_layer_constant(axis, side, feq)
+
+    def _write_layer_constant(self, axis: int, side: str, feq: np.ndarray) -> None:
+        p = self.pad
+        nx, ny, nz = self.shape
+        idx_along = p if side == "low" else (self.shape[axis] - 1 + p)
+        for i in range(19):
+            s, ch = link_location(i)
+            data = self.f_stacks[s].data
+            sl = [slice(p, nz + p), slice(p, ny + p), slice(p, nx + p), ch]
+            sl[2 - axis] = idx_along
+            data[tuple(sl)] = feq[i]
+        # Modeled cost: one small constant-fill pass per stack.
+        face = {0: ny * nz, 1: nx * nz, 2: nx * ny}[axis]
+        prog = FragmentProgram("inlet", lambda ctx: None, alu_ops=2, tex_fetches=0)
+        self.device.charge("inlet", 5 * self.device.pass_time_s(prog, face))
+
+    def _apply_outflow(self) -> None:
+        axis, side = self.outflow
+        p = self.pad
+        nx, ny, nz = self.shape
+        if side == "low":
+            dst, src = p, p + 1
+        else:
+            dst, src = self.shape[axis] - 1 + p, self.shape[axis] - 2 + p
+        for s in range(N_DISTRIBUTION_STACKS):
+            data = self.f_stacks[s].data
+            sl_d = [slice(p, nz + p), slice(p, ny + p), slice(p, nx + p), slice(None)]
+            sl_s = list(sl_d)
+            sl_d[2 - axis] = dst
+            sl_s[2 - axis] = src
+            data[tuple(sl_d)] = data[tuple(sl_s)]
+        face = {0: ny * nz, 1: nx * nz, 2: nx * ny}[axis]
+        prog = FragmentProgram("outflow", lambda ctx: None, alu_ops=2, tex_fetches=1)
+        self.device.charge("outflow", 5 * self.device.pass_time_s(prog, face))
+
+    # -- the step -----------------------------------------------------------
+    def bindings(self) -> dict:
+        b = {f"f{s}": self.f_stacks[s] for s in range(N_DISTRIBUTION_STACKS)}
+        b["macro"] = self.macro_stack
+        if self.flags_stack is not None:
+            b["flags"] = self.flags_stack
+        return b
+
+    def run_macro_pass(self) -> None:
+        self.device.run_pass(self._programs["macro"], self.macro_stack,
+                             self.bindings(), self._rect, self._z_range,
+                             wrap=self._wrap)
+
+    def run_collide_passes(self, z_range=None, rect=None, charge: bool = True) -> None:
+        """Collision passes; sub-rectangles support the inner/outer split
+        the cluster driver uses for communication overlap."""
+        for s in range(N_DISTRIBUTION_STACKS):
+            self.device.run_pass(self._programs[f"collide{s}"], self.f_stacks[s],
+                                 self.bindings(), rect or self._rect,
+                                 z_range if z_range is not None else self._z_range,
+                                 wrap=self._wrap, charge=charge)
+
+    def run_stream_passes(self) -> None:
+        for s in range(N_DISTRIBUTION_STACKS):
+            self.device.run_pass(self._programs[f"stream{s}"], self.f_stacks[s],
+                                 self.bindings(), self._rect, self._z_range,
+                                 wrap=self._wrap)
+
+    def run_bounce_passes(self) -> None:
+        # Bounce-back swaps opposite distributions across stacks, so all
+        # five passes must read a consistent pre-swap snapshot.
+        b = self.bindings()
+        self.device.run_pass_group(
+            [(self._programs[f"bounce{s}"], self.f_stacks[s], b)
+             for s in range(N_DISTRIBUTION_STACKS)],
+            self._rect, self._z_range, wrap=self._wrap)
+
+    def fill_ghosts_periodic(self) -> None:
+        """Padded-mode periodic wrap (used when no cluster is attached)."""
+        self._check_padded()
+        stacks_to_wrap = [self.f_stacks[s] for s in range(N_DISTRIBUTION_STACKS)]
+        if self.flags_stack is not None:
+            stacks_to_wrap.append(self.flags_stack)
+        for stacks in stacks_to_wrap:
+            d = stacks.data
+            for ax in range(3):
+                n = d.shape[ax]
+                lo = [slice(None)] * 4
+                hi = [slice(None)] * 4
+                lo[ax], hi[ax] = 0, n - 2
+                d[tuple(lo)] = d[tuple(hi)]
+                lo[ax], hi[ax] = n - 1, 1
+                d[tuple(lo)] = d[tuple(hi)]
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` time steps through the full pass suite."""
+        for _ in range(n):
+            self.run_macro_pass()
+            self.run_collide_passes()
+            if self.mode == "padded":
+                self.fill_ghosts_periodic()
+            self.run_stream_passes()
+            if self.has_solid:
+                self.run_bounce_passes()
+            if self.inlet is not None:
+                self._apply_inlet()
+            if self.outflow is not None:
+                self._apply_outflow()
+            self.time_step += 1

@@ -1,0 +1,128 @@
+"""Texture memory, 2D textures, and stacks of 2D textures.
+
+Sec 2: "the data are laid out as texel colors in textures"; Sec 4.2 /
+Fig 5: volumes with the resolution of the LBM lattice are packed four
+at a time into the RGBA channels of "a stack of 2D textures".
+
+:class:`TextureMemory` is an allocator that enforces the on-board
+memory budget, letting tests reproduce the paper's observation that a
+128 MB FX 5800 Ultra can hold at most a 92^3 lattice (Sec 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BYTES_PER_CHANNEL = 4  # 32-bit float components (Sec 1: "single-precision
+                       # 32bit floating point capabilities")
+CHANNELS = 4           # RGBA
+
+
+class OutOfTextureMemory(MemoryError):
+    """Raised when an allocation exceeds the device's texture memory."""
+
+
+class TextureMemory:
+    """Byte-accounted allocator for GPU texture memory.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total allocatable bytes (use the spec's ``usable_lattice_bytes``
+        to model the practically usable portion).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = int(capacity_bytes)
+        self.allocated_bytes = 0
+        self._live: set[int] = set()
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, nbytes: int, what: str = "texture") -> int:
+        """Reserve ``nbytes``; returns an allocation handle."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if self.allocated_bytes + nbytes > self.capacity_bytes:
+            raise OutOfTextureMemory(
+                f"cannot allocate {nbytes} B for {what}: "
+                f"{self.allocated_bytes}/{self.capacity_bytes} B in use")
+        self.allocated_bytes += nbytes
+        handle = id(object())
+        token = (handle, nbytes)
+        self._live.add(token[0])
+        self._sizes = getattr(self, "_sizes", {})
+        self._sizes[handle] = nbytes
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release an allocation."""
+        sizes = getattr(self, "_sizes", {})
+        if handle not in sizes:
+            raise KeyError("unknown or already-freed texture handle")
+        self.allocated_bytes -= sizes.pop(handle)
+        self._live.discard(handle)
+
+
+class Texture2D:
+    """A single RGBA float32 2D texture.
+
+    Data layout is ``(height, width, 4)`` C-contiguous — texels are
+    adjacent in x, matching the fragment pipeline's access pattern.
+    """
+
+    def __init__(self, memory: TextureMemory, width: int, height: int,
+                 name: str = "tex") -> None:
+        self.width = int(width)
+        self.height = int(height)
+        self.name = name
+        self.nbytes = self.width * self.height * CHANNELS * BYTES_PER_CHANNEL
+        self._memory = memory
+        self._handle = memory.allocate(self.nbytes, what=name)
+        self.data = np.zeros((self.height, self.width, CHANNELS), dtype=np.float32)
+
+    def release(self) -> None:
+        """Free the texture's memory."""
+        if self._handle is not None:
+            self._memory.free(self._handle)
+            self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Texture2D({self.name}, {self.width}x{self.height})"
+
+
+class TextureStack:
+    """A stack of 2D textures representing up to four packed volumes.
+
+    Shape convention: ``data[z, y, x, channel]``.  Depth is the number
+    of Z slices of the (possibly ghost-padded) lattice.
+    """
+
+    def __init__(self, memory: TextureMemory, width: int, height: int,
+                 depth: int, name: str = "stack") -> None:
+        self.width = int(width)
+        self.height = int(height)
+        self.depth = int(depth)
+        self.name = name
+        self.nbytes = self.width * self.height * self.depth * CHANNELS * BYTES_PER_CHANNEL
+        self._memory = memory
+        self._handle = memory.allocate(self.nbytes, what=name)
+        self.data = np.zeros((self.depth, self.height, self.width, CHANNELS),
+                             dtype=np.float32)
+
+    def release(self) -> None:
+        """Free the stack's memory."""
+        if self._handle is not None:
+            self._memory.free(self._handle)
+            self._handle = None
+
+    def slice(self, z: int) -> np.ndarray:
+        """View of one 2D texture of the stack, shape (h, w, 4)."""
+        return self.data[z]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TextureStack({self.name}, {self.width}x{self.height}"
+                f"x{self.depth})")

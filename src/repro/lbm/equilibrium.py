@@ -1,0 +1,72 @@
+"""Equilibrium distribution for the BGK model.
+
+The BGK collision (Sec 4.1) relaxes distributions toward the discrete
+Maxwell-Boltzmann equilibrium expanded to second order in velocity::
+
+    f_i^eq = w_i * rho * (1 + 3 (c_i . u) + 4.5 (c_i . u)^2 - 1.5 u.u)
+
+(for lattices with cs^2 = 1/3).  This expansion is what makes the LBM
+second-order accurate and, in the limit of vanishing time step, yields
+the incompressible Navier-Stokes equations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+
+
+def equilibrium(lattice: Lattice, rho: np.ndarray, u: np.ndarray,
+                out: np.ndarray | None = None) -> np.ndarray:
+    """Compute ``f_eq`` for every site.
+
+    Parameters
+    ----------
+    lattice:
+        The velocity set.
+    rho:
+        Density field, shape ``grid`` (e.g. ``(nx, ny, nz)``).
+    u:
+        Velocity field, shape ``(D,) + grid``.
+    out:
+        Optional preallocated output of shape ``(Q,) + grid``; reused to
+        avoid allocations in the hot loop (in-place idiom).
+
+    Returns
+    -------
+    numpy.ndarray
+        Equilibrium distributions, shape ``(Q,) + grid``, dtype of ``rho``.
+    """
+    rho = np.asarray(rho)
+    u = np.asarray(u)
+    if u.shape[0] != lattice.D:
+        raise ValueError(f"u must have leading dim {lattice.D}, got {u.shape}")
+    dtype = rho.dtype
+    grid = rho.shape
+    if out is None:
+        out = np.empty((lattice.Q,) + grid, dtype=dtype)
+    inv_cs2 = dtype.type(1.0 / lattice.cs2)          # 3
+    half_inv_cs4 = dtype.type(0.5 / lattice.cs2 ** 2)  # 4.5
+    half_inv_cs2 = dtype.type(0.5 / lattice.cs2)      # 1.5
+    usq = np.einsum("a...,a...->...", u, u)
+    c = lattice.c.astype(dtype)
+    w = lattice.w.astype(dtype)
+    for i in range(lattice.Q):
+        cu = np.einsum("a,a...->...", c[i], u)
+        np.multiply(
+            w[i] * rho,
+            1.0 + inv_cs2 * cu + half_inv_cs4 * cu * cu - half_inv_cs2 * usq,
+            out=out[i],
+        )
+    return out
+
+
+def equilibrium_site(lattice: Lattice, rho: float, u) -> np.ndarray:
+    """Equilibrium at a single site (scalar rho, length-D velocity).
+
+    Convenience wrapper used for boundary conditions and initialisation.
+    """
+    u = np.asarray(u, dtype=np.float64).reshape(lattice.D, 1)
+    r = np.asarray([rho], dtype=np.float64)
+    return equilibrium(lattice, r, u)[:, 0]

@@ -1,0 +1,150 @@
+"""Lattice velocity sets (D3Q19, D2Q9).
+
+The paper uses the D3Q19 lattice (Fig 4): one rest velocity, 6 axial
+nearest-neighbour links and 12 second-nearest minor-diagonal links.
+Each link ``i`` carries a velocity distribution ``f_i``.
+
+The ordering chosen here groups the 18 moving directions so that the
+axial links come first (indices 1..6) followed by the diagonal links
+(7..18); this matches the cluster halo-exchange logic which treats
+axial-face traffic (5 distributions per face) and diagonal-edge
+traffic (1 distribution per edge) differently, exactly as Sec 4.3 of
+the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """An LBM velocity set.
+
+    Attributes
+    ----------
+    name:
+        Conventional name, e.g. ``"D3Q19"``.
+    c:
+        Integer link velocities, shape ``(Q, D)``.
+    w:
+        Quadrature weights, shape ``(Q,)``; sums to 1.
+    cs2:
+        Squared lattice speed of sound (1/3 for the standard sets).
+    """
+
+    name: str
+    c: np.ndarray
+    w: np.ndarray
+    cs2: float = 1.0 / 3.0
+    opp: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.c, dtype=np.int64)
+        w = np.asarray(self.w, dtype=np.float64)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "w", w)
+        object.__setattr__(self, "opp", self._compute_opposites())
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def Q(self) -> int:
+        """Number of discrete velocities."""
+        return self.c.shape[0]
+
+    @property
+    def D(self) -> int:
+        """Spatial dimension."""
+        return self.c.shape[1]
+
+    def _compute_opposites(self) -> np.ndarray:
+        opp = np.full(self.c.shape[0], -1, dtype=np.int64)
+        for i, ci in enumerate(self.c):
+            for j, cj in enumerate(self.c):
+                if np.array_equal(ci, -cj):
+                    opp[i] = j
+                    break
+        return opp
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the isotropy constraints every LBM velocity set must obey.
+
+        Raises ``ValueError`` if the weights/velocities are inconsistent;
+        these identities are what make the lattice recover Navier-Stokes
+        in the hydrodynamic limit (Sec 4.1).
+        """
+        w, c, cs2 = self.w, self.c.astype(np.float64), self.cs2
+        if abs(w.sum() - 1.0) > 1e-12:
+            raise ValueError(f"{self.name}: weights sum to {w.sum()}, not 1")
+        # First moment must vanish.
+        m1 = np.einsum("q,qa->a", w, c)
+        if np.abs(m1).max() > 1e-12:
+            raise ValueError(f"{self.name}: first moment nonzero: {m1}")
+        # Second moment must equal cs2 * identity.
+        m2 = np.einsum("q,qa,qb->ab", w, c, c)
+        if np.abs(m2 - cs2 * np.eye(self.D)).max() > 1e-12:
+            raise ValueError(f"{self.name}: second moment anisotropic:\n{m2}")
+        if (self.opp < 0).any():
+            raise ValueError(f"{self.name}: velocity set not symmetric")
+
+    # ------------------------------------------------------------------
+    def links_with_positive(self, axis: int) -> np.ndarray:
+        """Indices of links whose velocity component along ``axis`` is +1.
+
+        For D3Q19 and any axis this returns 5 links: this is the origin of
+        the ``5 N^2`` face-message size in Sec 4.3.
+        """
+        return np.nonzero(self.c[:, axis] > 0)[0]
+
+    def links_with_negative(self, axis: int) -> np.ndarray:
+        """Indices of links whose velocity component along ``axis`` is -1."""
+        return np.nonzero(self.c[:, axis] < 0)[0]
+
+    def edge_links(self, axis_a: int, sign_a: int, axis_b: int, sign_b: int) -> np.ndarray:
+        """Indices of diagonal links pointing into the (axis_a, axis_b) edge.
+
+        For D3Q19 there is exactly one such link per signed edge: this is
+        the ``N``-sized diagonal message of Sec 4.3.
+        """
+        sel = (self.c[:, axis_a] == sign_a) & (self.c[:, axis_b] == sign_b)
+        other = [a for a in range(self.D) if a not in (axis_a, axis_b)]
+        for a in other:
+            sel &= self.c[:, a] == 0
+        return np.nonzero(sel)[0]
+
+
+def _make_d3q19() -> Lattice:
+    c = [
+        (0, 0, 0),
+        # 6 axial nearest-neighbour links
+        (1, 0, 0), (-1, 0, 0),
+        (0, 1, 0), (0, -1, 0),
+        (0, 0, 1), (0, 0, -1),
+        # 12 minor-diagonal second-nearest links
+        (1, 1, 0), (-1, -1, 0), (1, -1, 0), (-1, 1, 0),
+        (1, 0, 1), (-1, 0, -1), (1, 0, -1), (-1, 0, 1),
+        (0, 1, 1), (0, -1, -1), (0, 1, -1), (0, -1, 1),
+    ]
+    w = [1.0 / 3.0] + [1.0 / 18.0] * 6 + [1.0 / 36.0] * 12
+    return Lattice("D3Q19", np.array(c), np.array(w))
+
+
+def _make_d2q9() -> Lattice:
+    c = [
+        (0, 0),
+        (1, 0), (-1, 0), (0, 1), (0, -1),
+        (1, 1), (-1, -1), (1, -1), (-1, 1),
+    ]
+    w = [4.0 / 9.0] + [1.0 / 9.0] * 4 + [1.0 / 36.0] * 4
+    return Lattice("D2Q9", np.array(c), np.array(w))
+
+
+#: The lattice the paper's flow model uses (Fig 4).
+D3Q19 = _make_d3q19()
+
+#: Two-dimensional set used by tests and the Sec-6 solver examples.
+D2Q9 = _make_d2q9()

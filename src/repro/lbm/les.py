@@ -1,0 +1,114 @@
+"""Smagorinsky large-eddy BGK collision.
+
+The paper positions its urban simulation against HIGRAD, which does
+"large eddy simulation with a small time step to resolve turbulent
+eddies" (Sec 1), and emphasises resolving "small vortices" at 3.8 m
+spacing.  At such resolutions and wind speeds the flow is turbulent;
+the standard LBM treatment is the Smagorinsky subgrid model, which
+needs *no* extra communication (it is purely local), so it drops into
+the GPU-cluster framework unchanged — an extension the evaluation
+implies but does not spell out.
+
+The model: an eddy viscosity proportional to the local strain rate is
+added to the molecular viscosity each step.  In LBM the strain rate is
+available locally from the non-equilibrium stress tensor::
+
+    Q = sqrt(2 sum_ab Pi^neq_ab Pi^neq_ab),
+    Pi^neq_ab = sum_i c_ia c_ib (f_i - f_i^eq)
+
+and the effective relaxation time solves a quadratic (Hou et al. 1996)::
+
+    tau_eff = (tau0 + sqrt(tau0^2 + 18 sqrt(2) Csm^2 Q / rho)) / 2
+
+With ``Csm = 0`` the operator reduces exactly to BGK (tested); with
+``Csm > 0`` high-shear regions relax slower (higher local viscosity),
+which is what stabilises under-resolved turbulent flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.collision import BGKCollision
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.lattice import Lattice
+from repro.lbm.macroscopic import macroscopic
+
+
+class SmagorinskyBGK:
+    """BGK collision with a Smagorinsky eddy-viscosity closure.
+
+    Parameters
+    ----------
+    lattice:
+        Velocity set.
+    tau0:
+        Molecular relaxation time (> 0.5).
+    c_smago:
+        Smagorinsky constant (0.1-0.2 typical; 0 reduces to BGK).
+    force:
+        Optional constant body force (same treatment as BGK).
+    """
+
+    def __init__(self, lattice: Lattice, tau0: float, c_smago: float = 0.16,
+                 force=None) -> None:
+        if tau0 <= 0.5:
+            raise ValueError(f"tau0 must be > 0.5, got {tau0}")
+        if c_smago < 0:
+            raise ValueError("c_smago must be non-negative")
+        self.lattice = lattice
+        self.tau = float(tau0)          # molecular tau (BGK-compatible attr)
+        self.c_smago = float(c_smago)
+        self.force = None if force is None else np.asarray(force, np.float64)
+        # Pairwise (a, b) index lists for the stress contraction.
+        c = lattice.c.astype(np.float64)
+        self._cc = np.einsum("qa,qb->qab", c, c)
+
+    @property
+    def viscosity(self) -> float:
+        """Molecular viscosity (the eddy part is flow-dependent)."""
+        return (self.tau - 0.5) / 3.0
+
+    def effective_tau(self, f: np.ndarray, feq: np.ndarray,
+                      rho: np.ndarray) -> np.ndarray:
+        """Per-cell tau_eff from the non-equilibrium stress norm."""
+        dtype = f.dtype
+        fneq = (f - feq).astype(np.float64)
+        pi = np.einsum("qab,q...->ab...", self._cc, fneq)
+        q = np.sqrt(2.0 * np.einsum("ab...,ab...->...", pi, pi))
+        safe_rho = np.where(rho > 0, rho, 1.0).astype(np.float64)
+        tau0 = self.tau
+        tau_eff = 0.5 * (tau0 + np.sqrt(
+            tau0 * tau0 + 18.0 * np.sqrt(2.0) * self.c_smago ** 2 * q / safe_rho))
+        return tau_eff.astype(dtype)
+
+    def __call__(self, f: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        lat = self.lattice
+        rho, u = macroscopic(lat, f)
+        feq = equilibrium(lat, rho, u)
+        if self.c_smago == 0.0:
+            omega = f.dtype.type(1.0 / self.tau)
+        else:
+            omega = (1.0 / self.effective_tau(f, feq, rho)).astype(f.dtype)
+        if mask is None:
+            f += omega * (feq - f)
+        else:
+            f[:, mask] += (omega * (feq - f))[:, mask]
+        if self.force is not None:
+            c = lat.c.astype(f.dtype)
+            w = lat.w.astype(f.dtype)
+            cf = (c @ self.force.astype(f.dtype)) * (3.0 * w)
+            add = cf.reshape((lat.Q,) + (1,) * (f.ndim - 1)).astype(f.dtype)
+            if mask is None:
+                f += add
+            else:
+                f[:, mask] += np.broadcast_to(add, f.shape)[:, mask]
+        return f
+
+    def eddy_viscosity(self, f: np.ndarray) -> np.ndarray:
+        """Diagnostic: the per-cell subgrid viscosity added this step."""
+        lat = self.lattice
+        rho, u = macroscopic(lat, f)
+        feq = equilibrium(lat, rho, u)
+        tau_eff = self.effective_tau(f, feq, rho)
+        return (tau_eff - self.tau) / 3.0

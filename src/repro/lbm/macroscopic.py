@@ -1,0 +1,37 @@
+"""Macroscopic moments of the distribution field.
+
+Density and momentum are the conserved moments of the LBM collision;
+flow velocity is momentum over density.  The paper packs these per-site
+quantities into one RGBA texture stack on the GPU (Sec 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+
+
+def density(f: np.ndarray) -> np.ndarray:
+    """Density ``rho = sum_i f_i``; shape ``grid``."""
+    return f.sum(axis=0)
+
+
+def momentum(lattice: Lattice, f: np.ndarray) -> np.ndarray:
+    """Momentum ``j_a = sum_i c_ia f_i``; shape ``(D,) + grid``."""
+    c = lattice.c.astype(f.dtype)
+    return np.einsum("qa,q...->a...", c, f)
+
+
+def macroscopic(lattice: Lattice, f: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Density and velocity ``(rho, u)`` with ``u = j / rho``.
+
+    Division is guarded against zero density (which only occurs at
+    uninitialised solid sites); such sites get ``u = 0``.
+    """
+    rho = density(f)
+    j = momentum(lattice, f)
+    safe = np.where(rho > 0, rho, f.dtype.type(1.0))
+    u = j / safe
+    u[:, rho <= 0] = 0
+    return rho, u

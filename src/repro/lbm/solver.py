@@ -1,0 +1,173 @@
+"""Single-domain reference LBM solver.
+
+This is the golden model: the GPU texture implementation (``repro.gpu``)
+and the distributed GPU-cluster implementation (``repro.core``) are both
+validated against it.  The step pipeline mirrors the paper's rendering
+passes (Sec 4.2): collision, streaming, boundary conditions.
+
+The solver keeps its distributions in a ghost-padded array so the same
+streaming kernel serves both the periodic single-domain case (ghosts
+filled by wrap-around) and the decomposed case (ghosts filled from the
+network by the cluster driver).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.boundaries import Boundary, BounceBackNodes
+from repro.lbm.collision import BGKCollision
+from repro.lbm.equilibrium import equilibrium, equilibrium_site
+from repro.lbm.lattice import D3Q19, Lattice
+from repro.lbm.macroscopic import macroscopic
+from repro.lbm.mrt import MRTCollision
+from repro.lbm.streaming import fill_ghosts_periodic, interior, stream_pull
+
+
+class LBMSolver:
+    """Reference lattice Boltzmann solver on a single domain.
+
+    Parameters
+    ----------
+    shape:
+        Grid shape, e.g. ``(nx, ny, nz)``.
+    tau:
+        BGK/MRT relaxation time (> 0.5).
+    lattice:
+        Velocity set; defaults to D3Q19.
+    collision:
+        ``"bgk"`` or ``"mrt"`` (MRT requires D3Q19), or a prebuilt
+        collision operator.
+    solid:
+        Optional boolean obstacle mask (True = solid); handled with
+        full-way bounce-back.
+    boundaries:
+        Extra :class:`~repro.lbm.boundaries.Boundary` handlers, applied
+        post-stream in order.
+    force:
+        Optional constant body force (BGK only).
+    periodic:
+        If True (default) ghost cells wrap around; otherwise they are
+        zero-gradient copies of the edge layer (boundary handlers are
+        then expected to impose the real condition).
+    dtype:
+        ``numpy.float32`` by default, matching the GPU's single
+        precision.
+    """
+
+    def __init__(self, shape, tau: float, lattice: Lattice = D3Q19,
+                 collision: str | object = "bgk", solid=None, boundaries=(),
+                 force=None, periodic: bool = True, dtype=np.float32) -> None:
+        self.lattice = lattice
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) != lattice.D:
+            raise ValueError(f"shape {shape} does not match lattice dim {lattice.D}")
+        self.dtype = np.dtype(dtype)
+        self.periodic = bool(periodic)
+        if isinstance(collision, str):
+            if collision == "bgk":
+                self.collision = BGKCollision(lattice, tau, force=force)
+            elif collision == "mrt":
+                if force is not None:
+                    raise ValueError("force is supported with BGK collision only")
+                self.collision = MRTCollision(lattice, tau)
+            else:
+                raise ValueError(f"unknown collision {collision!r}")
+        else:
+            self.collision = collision
+        self.solid = (np.zeros(self.shape, dtype=bool) if solid is None
+                      else np.asarray(solid, dtype=bool))
+        if self.solid.shape != self.shape:
+            raise ValueError("solid mask shape mismatch")
+        self.fluid = ~self.solid
+        self.boundaries = list(boundaries)
+        self._bounce = BounceBackNodes(lattice, self.solid)
+
+        padded = (lattice.Q,) + tuple(s + 2 for s in self.shape)
+        self.fg = np.zeros(padded, dtype=self.dtype)
+        self._fg_next = np.zeros(padded, dtype=self.dtype)
+        self.time_step = 0
+        self.initialize()
+
+    # ------------------------------------------------------------------
+    @property
+    def f(self) -> np.ndarray:
+        """Interior (unpadded) view of the distributions."""
+        return self.fg[(slice(None),) + interior(self.lattice.D)]
+
+    def initialize(self, rho: float | np.ndarray = 1.0, u=None) -> None:
+        """Set distributions to equilibrium at ``(rho, u)``."""
+        lat = self.lattice
+        if np.isscalar(rho) and (u is None or np.asarray(u).ndim == 1):
+            uvec = np.zeros(lat.D) if u is None else np.asarray(u, dtype=np.float64)
+            feq = equilibrium_site(lat, float(rho), uvec).astype(self.dtype)
+            self.f[...] = feq.reshape((lat.Q,) + (1,) * lat.D)
+        else:
+            rho_arr = np.broadcast_to(np.asarray(rho, dtype=self.dtype), self.shape).copy()
+            u_arr = (np.zeros((lat.D,) + self.shape, dtype=self.dtype) if u is None
+                     else np.asarray(u, dtype=self.dtype))
+            self.f[...] = equilibrium(lat, rho_arr, u_arr)
+        self.time_step = 0
+
+    # -- step phases (reused by the distributed driver) ----------------
+    def collide(self) -> None:
+        """Collision on interior fluid cells (in place)."""
+        fi = self.f
+        self.collision(fi, mask=self.fluid)
+
+    def fill_ghosts(self) -> None:
+        """Populate the ghost shell (periodic wrap or zero-gradient)."""
+        if self.periodic:
+            fill_ghosts_periodic(self.fg)
+        else:
+            # Zero-gradient: copy the edge layer outward so nothing
+            # spurious streams in; inlets/outlets overwrite afterwards.
+            for ax in range(1, self.fg.ndim):
+                n = self.fg.shape[ax]
+                lo = [slice(None)] * self.fg.ndim
+                src = [slice(None)] * self.fg.ndim
+                lo[ax], src[ax] = 0, 1
+                self.fg[tuple(lo)] = self.fg[tuple(src)]
+                lo[ax], src[ax] = n - 1, n - 2
+                self.fg[tuple(lo)] = self.fg[tuple(src)]
+
+    def stream(self) -> None:
+        """Pull-stream into the double buffer and swap."""
+        stream_pull(self.lattice, self.fg, out=self._fg_next)
+        self.fg, self._fg_next = self._fg_next, self.fg
+
+    def post_stream(self) -> None:
+        """Bounce-back on solids, then user boundary handlers."""
+        if self.solid.any():
+            self._bounce.apply(self.fg)
+        for b in self.boundaries:
+            b.apply(self.fg)
+
+    # ------------------------------------------------------------------
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` LBM time steps."""
+        for _ in range(n):
+            self.collide()
+            for b in self.boundaries:
+                b.pre_stream(self.fg)
+            self.fill_ghosts()
+            self.stream()
+            self.post_stream()
+            self.time_step += 1
+
+    # -- observables ----------------------------------------------------
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Density and velocity of the interior."""
+        return macroscopic(self.lattice, self.f)
+
+    def total_mass(self) -> float:
+        """Total mass over fluid cells (conserved by collision)."""
+        return float(self.f[:, self.fluid].sum(dtype=np.float64))
+
+    def velocity(self) -> np.ndarray:
+        """Velocity field, shape ``(D,) + shape``."""
+        return self.macroscopic()[1]
+
+    def density(self) -> np.ndarray:
+        """Density field, shape ``shape``."""
+        return self.macroscopic()[0]

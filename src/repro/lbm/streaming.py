@@ -1,0 +1,97 @@
+"""Streaming (propagation) step.
+
+Particles stream synchronously along their links in discrete time
+steps (Sec 4.1).  Two variants are provided:
+
+``stream_periodic``
+    Toroidal streaming via ``np.roll`` — used by the single-domain
+    reference solver for periodic problems and by tests.
+
+``stream_pull``
+    Pull-scheme streaming on an array with a one-cell ghost shell:
+    ``f_new[i][x] = f_old[i][x - c_i]`` for interior x.  The ghost shell
+    holds either copies of the opposite boundary (periodic), inlet
+    populations, or — in the distributed solver — the neighbour
+    sub-domain's border populations received over the (simulated)
+    network.  This is exactly the decomposition contract of Sec 4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+
+
+def stream_periodic(lattice: Lattice, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Periodic streaming; returns a new array (or fills ``out``).
+
+    ``np.roll`` by ``+c_i`` implements the pull update
+    ``f_new[i](x) = f_old[i](x - c_i)`` on a torus.
+    """
+    if out is None:
+        out = np.empty_like(f)
+    axes = tuple(range(1, f.ndim))
+    for i in range(lattice.Q):
+        shift = tuple(int(s) for s in lattice.c[i])
+        out[i] = np.roll(f[i], shift=shift, axis=tuple(range(f[i].ndim)))
+    return out
+
+
+def interior(ndim: int) -> tuple[slice, ...]:
+    """Slice selecting the interior of a ghost-padded array."""
+    return tuple(slice(1, -1) for _ in range(ndim))
+
+
+def stream_pull(lattice: Lattice, fg: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Pull-stream a ghost-padded distribution array.
+
+    Parameters
+    ----------
+    fg:
+        Ghost-padded distributions, shape ``(Q, nx+2, ny+2, nz+2)`` (or
+        2D analogue).  Ghost cells must already contain whatever should
+        stream in (filled by the halo exchange or boundary handler).
+    out:
+        Optional ghost-padded output array.  Ghost layers of ``out`` are
+        left untouched (they are overwritten by the next exchange).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``out`` with interior cells updated.
+    """
+    D = lattice.D
+    if out is None:
+        out = np.empty_like(fg)
+    n = fg.shape[1:]
+    for i in range(lattice.Q):
+        src = tuple(slice(1 - int(ci), n[a] - 1 - int(ci)) for a, ci in enumerate(lattice.c[i]))
+        out[(i,) + interior(D)] = fg[(i,) + src]
+    return out
+
+
+def pad_with_ghosts(f: np.ndarray) -> np.ndarray:
+    """Return a copy of ``f`` padded with a zero ghost shell on each axis."""
+    Q = f.shape[0]
+    padded = np.zeros((Q,) + tuple(s + 2 for s in f.shape[1:]), dtype=f.dtype)
+    padded[(slice(None),) + interior(f.ndim - 1)] = f
+    return padded
+
+
+def fill_ghosts_periodic(f: np.ndarray) -> None:
+    """Fill the ghost shell of a padded array with periodic wrap copies.
+
+    Handles faces, edges and corners by wrapping one axis at a time
+    (after all axes are processed the diagonals are consistent).
+    """
+    for ax in range(1, f.ndim):
+        n = f.shape[ax]
+        lo = [slice(None)] * f.ndim
+        hi = [slice(None)] * f.ndim
+        lo[ax] = 0
+        hi[ax] = n - 2
+        f[tuple(lo)] = f[tuple(hi)]
+        lo[ax] = n - 1
+        hi[ax] = 1
+        f[tuple(lo)] = f[tuple(hi)]

@@ -1,0 +1,29 @@
+"""Simulated cluster network (Secs 3 and 4.3).
+
+The paper's cluster is 32 HP PCs on a 1 Gigabit Ethernet switch, using
+MPI (and, for the paper's own network experiments, raw TCP sockets).
+Neither the machines nor the switch are available, so this package
+simulates them:
+
+* :mod:`repro.net.switch` — the switch timing model: per-port
+  bandwidth, per-message and per-round overheads, straggler growth with
+  concurrent pairs, the drift penalty past ~24 free-running nodes, and
+  the interruption cost that makes *unscheduled* communication slow
+  (the Sec 4.3 findings).  Constants live in
+  ``repro.perf.calibration`` with their fits documented.
+* :mod:`repro.net.simmpi` — an in-process, thread-per-rank message
+  passing layer with an mpi4py-like API (``Send``/``Recv``/
+  ``sendrecv``/``barrier``/``allreduce``/...) whose simulated clocks
+  are advanced by the switch model.  The Sec-6 solvers run on it.
+
+Determinism note: the round-based entry points used by the LBM cluster
+driver are fully deterministic; the threaded point-to-point API is
+deterministic in message *content* and in all the invariants the tests
+check, while exact interleavings under contention may vary as on a real
+cluster.
+"""
+
+from repro.net.switch import GigabitSwitch, RoundTiming
+from repro.net.simmpi import SimCluster, SimComm
+
+__all__ = ["GigabitSwitch", "RoundTiming", "SimCluster", "SimComm"]

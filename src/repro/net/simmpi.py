@@ -1,0 +1,253 @@
+"""SimMPI — an in-process, thread-per-rank message-passing layer.
+
+The paper "use[s] MPI for data transfer across the network during
+execution" (Sec 3).  With no multi-host cluster available, SimMPI runs
+each rank as a thread and carries numpy buffers through in-memory
+mailboxes, while a :class:`~repro.net.switch.GigabitSwitch` advances
+per-rank *simulated clocks* so communication costs match the modeled
+network.
+
+The API follows the mpi4py idioms the guides recommend: upper-case
+``Send``/``Recv`` take numpy arrays (buffer-like, copied exactly once
+at the send side, as a real MPI would serialize them), and collectives
+(`barrier`, `allreduce`, `gather`, `bcast`, `alltoall`) synchronise the
+simulated clocks the way a real implementation's semantics would.
+
+Example
+-------
+>>> from repro.net import SimCluster
+>>> def main(comm):
+...     import numpy as np
+...     data = np.full(4, comm.rank, dtype=np.float64)
+...     right = (comm.rank + 1) % comm.size
+...     left = (comm.rank - 1) % comm.size
+...     got = comm.sendrecv(data, dest=right, source=left)
+...     return float(got[0])
+>>> SimCluster(4).run(main)
+[3.0, 0.0, 1.0, 2.0]
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.switch import GigabitSwitch
+from repro.perf import calibration as cal
+
+#: Per-rank cost of one barrier (flat-tree MPI over TCP), multiplied by
+#: log2(size); small against the calibrated message costs.
+BARRIER_BASE_S = 0.5e-3
+
+
+@dataclass
+class _Envelope:
+    payload: np.ndarray
+    arrival_s: float
+
+
+class _Mailboxes:
+    """Tag- and peer-addressed mailboxes shared by all ranks."""
+
+    def __init__(self) -> None:
+        self._boxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._cond = threading.Condition()
+
+    def put(self, src: int, dst: int, tag: int, env: _Envelope) -> None:
+        with self._cond:
+            self._boxes[(src, dst, tag)].append(env)
+            self._cond.notify_all()
+
+    def get(self, src: int, dst: int, tag: int, timeout: float) -> _Envelope:
+        key = (src, dst, tag)
+        with self._cond:
+            ok = self._cond.wait_for(lambda: self._boxes[key], timeout=timeout)
+            if not ok:
+                raise TimeoutError(
+                    f"rank {dst} timed out receiving from {src} (tag {tag})")
+            return self._boxes[key].popleft()
+
+
+class SimComm:
+    """Per-rank communicator handle (one per thread)."""
+
+    def __init__(self, cluster: "SimCluster", rank: int) -> None:
+        self._cluster = cluster
+        self.rank = rank
+        self.size = cluster.size
+        self.clock_s = 0.0
+
+    # -- local time -------------------------------------------------------
+    def compute(self, seconds: float) -> None:
+        """Advance this rank's simulated clock by modeled work."""
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        self.clock_s += seconds
+
+    # -- point to point -----------------------------------------------------
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Blocking buffer send; advances the sender past the transfer."""
+        arr = np.ascontiguousarray(array)
+        start, end = self._cluster.switch.reserve(dest, self.clock_s, arr.nbytes)
+        self.clock_s = end
+        self._cluster.mail.put(self.rank, dest, tag,
+                               _Envelope(arr.copy(), arrival_s=end))
+
+    def Recv(self, source: int, tag: int = 0) -> np.ndarray:
+        """Blocking receive; the receiver's clock advances to arrival."""
+        env = self._cluster.mail.get(source, self.rank, tag,
+                                     timeout=self._cluster.timeout_s)
+        self.clock_s = max(self.clock_s, env.arrival_s)
+        return env.payload
+
+    def Isend(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Non-blocking send: the payload leaves now, the sender only
+        pays the envelope overhead (the NIC DMAs in the background)."""
+        arr = np.ascontiguousarray(array)
+        start, end = self._cluster.switch.reserve(dest, self.clock_s, arr.nbytes)
+        self.clock_s += cal.NET_STEP_OVERHEAD_S
+        self._cluster.mail.put(self.rank, dest, tag,
+                               _Envelope(arr.copy(), arrival_s=end))
+
+    def sendrecv(self, array: np.ndarray, dest: int, source: int | None = None,
+                 tag: int = 0) -> np.ndarray:
+        """Simultaneous exchange (the Fig-7 pairwise primitive).
+
+        Full duplex: the send and the receive overlap, so the cost is a
+        single message time, not two.
+        """
+        if source is None:
+            source = dest
+        arr = np.ascontiguousarray(array)
+        start, end = self._cluster.switch.reserve(dest, self.clock_s, arr.nbytes)
+        self._cluster.mail.put(self.rank, dest, tag, _Envelope(arr.copy(), end))
+        env = self._cluster.mail.get(source, self.rank, tag,
+                                     timeout=self._cluster.timeout_s)
+        self.clock_s = max(end, env.arrival_s)
+        return env.payload
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks; clocks advance to the global maximum
+        plus the modeled barrier cost."""
+        cost = BARRIER_BASE_S * max(1, int(np.ceil(np.log2(max(2, self.size)))))
+        t, _ = self._cluster._collective_sync(self.clock_s)
+        self.clock_s = t + cost
+
+    def allreduce(self, value, op=np.add):
+        """Reduce a scalar/array across ranks; everyone gets the result."""
+        t, vals = self._cluster._collective_sync(self.clock_s,
+                                                 payload=(self.rank, value))
+        ordered = [v for _, v in sorted(vals, key=lambda p: p[0])]
+        out = ordered[0]
+        for v in ordered[1:]:
+            out = op(out, v)
+        self.clock_s = t + self._msg_cost_for(out) * np.ceil(np.log2(max(2, self.size)))
+        return out
+
+    def gather(self, value, root: int = 0):
+        """Gather per-rank values to ``root`` (None elsewhere)."""
+        t, vals = self._cluster._collective_sync(self.clock_s,
+                                                 payload=(self.rank, value))
+        self.clock_s = t + self._msg_cost_for(value)
+        if self.rank == root:
+            return [v for _, v in sorted(vals, key=lambda p: p[0])]
+        return None
+
+    def allgather(self, value):
+        """Gather per-rank values everywhere."""
+        t, vals = self._cluster._collective_sync(self.clock_s,
+                                                 payload=(self.rank, value))
+        self.clock_s = t + self._msg_cost_for(value) * np.ceil(np.log2(max(2, self.size)))
+        return [v for _, v in sorted(vals, key=lambda p: p[0])]
+
+    def bcast(self, value, root: int = 0):
+        """Broadcast ``value`` from ``root``."""
+        t, vals = self._cluster._collective_sync(self.clock_s,
+                                                 payload=(self.rank, value))
+        out = dict(vals)[root]
+        self.clock_s = t + self._msg_cost_for(out) * np.ceil(np.log2(max(2, self.size)))
+        return out
+
+    def _msg_cost_for(self, value) -> float:
+        nbytes = value.nbytes if hasattr(value, "nbytes") else 8
+        return self._cluster.switch.message_time(nbytes)
+
+
+class SimCluster:
+    """Run an SPMD function on ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (nodes).
+    switch:
+        Shared :class:`GigabitSwitch`; a fresh one by default.
+    timeout_s:
+        Wall-clock receive timeout — turns deadlocks into errors.
+    """
+
+    def __init__(self, size: int, switch: GigabitSwitch | None = None,
+                 timeout_s: float = 60.0) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.switch = switch if switch is not None else GigabitSwitch()
+        self.mail = _Mailboxes()
+        self.timeout_s = timeout_s
+        self._barrier = threading.Barrier(size)
+        self._sync_lock = threading.Lock()
+        self._sync_max = 0.0
+        self._payloads: list = []
+
+    def _collective_sync(self, clock_s: float, payload=None) -> tuple[float, list]:
+        """Internal rendezvous: accumulate clocks/payloads, wait for all
+        ranks, snapshot, then reset for the next collective.  Returns
+        ``(max_clock, payload_snapshot)``."""
+        with self._sync_lock:
+            self._sync_max = max(self._sync_max, clock_s)
+            if payload is not None:
+                self._payloads.append(payload)
+        self._barrier.wait()
+        t = self._sync_max
+        vals = list(self._payloads)
+        self._barrier.wait()
+        # Every thread resets (idempotent); the barriers around the reset
+        # guarantee no thread is still reading / already accumulating.
+        with self._sync_lock:
+            self._sync_max = 0.0
+            self._payloads = []
+        self._barrier.wait()
+        return t, vals
+
+    def run(self, main, *args) -> list:
+        """Execute ``main(comm, *args)`` on every rank; returns a list
+        of per-rank results (exceptions re-raised with rank context)."""
+        results: list = [None] * self.size
+        errors: list = [None] * self.size
+        comms = [SimComm(self, r) for r in range(self.size)]
+
+        def runner(r: int) -> None:
+            try:
+                results[r] = main(comms[r], *args)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors[r] = exc
+                # Unblock peers waiting on this rank.
+                self._barrier.abort()
+
+        threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+                   for r in range(self.size)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout_s * 2)
+        real = [(r, e) for r, e in enumerate(errors)
+                if e is not None and not isinstance(e, threading.BrokenBarrierError)]
+        broken = [(r, e) for r, e in enumerate(errors) if e is not None]
+        for r, err in real or broken:
+            raise RuntimeError(f"rank {r} failed: {err!r}") from err
+        self.clocks = [c.clock_s for c in comms]
+        return results

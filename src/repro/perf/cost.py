@@ -1,0 +1,53 @@
+"""Price/performance arithmetic of Sec 3.
+
+"by plugging 32 GPUs into this cluster, we increase its theoretical
+peak performance by 16 x 32 = 512 GFlops at a price of $399 x 32 =
+$12,768.  We therefore get in principle 41.1 Mflops peak/$."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GEFORCE_FX_5800_ULTRA, XEON_2_4, CPUSpec, GPUSpec
+
+
+@dataclass(frozen=True)
+class ClusterCost:
+    """Peak-performance and cost accounting for a GPU+CPU cluster."""
+
+    nodes: int
+    gpu: GPUSpec
+    cpu: CPUSpec
+    cpus_per_node: int = 2
+    cluster_price_usd: float = 136_000.0   # Sec 3, excluding Sepia/VolumePro
+
+    @property
+    def gpu_peak_gflops(self) -> float:
+        """Added fragment-stage peak across all GPUs (512 for the paper)."""
+        return self.gpu.fragment_gflops * self.nodes
+
+    @property
+    def cpu_peak_gflops(self) -> float:
+        """Host peak: ~10 GFlops per dual-Xeon node (Sec 3)."""
+        return self.cpu.peak_gflops * self.cpus_per_node * self.nodes
+
+    @property
+    def total_peak_gflops(self) -> float:
+        """(16 + 10) x nodes = 832 GFlops for the paper's 32 nodes."""
+        return self.gpu_peak_gflops + self.cpu_peak_gflops
+
+    @property
+    def gpu_price_usd(self) -> float:
+        """$399 x nodes = $12,768."""
+        return self.gpu.price_usd * self.nodes
+
+    @property
+    def gpu_mflops_per_dollar(self) -> float:
+        """Peak MFlops added per GPU dollar (41.1 for the paper)."""
+        return self.gpu_peak_gflops * 1e3 / self.gpu_price_usd
+
+
+def paper_cluster_cost() -> ClusterCost:
+    """The Stony Brook Visual Computing Cluster's accounting."""
+    return ClusterCost(nodes=32, gpu=GEFORCE_FX_5800_ULTRA, cpu=XEON_2_4)

@@ -1,0 +1,42 @@
+"""Throughput, speedup and efficiency metrics (Table 2).
+
+Table 2 of the paper reports, per node count: cells computed per
+second, speedup relative to one node, and parallel efficiency
+(speedup / nodes).  These helpers compute the same quantities from
+per-step times.
+"""
+
+from __future__ import annotations
+
+
+def cells_per_second(total_cells: int, step_seconds: float) -> float:
+    """Lattice site updates per second for one time step."""
+    if step_seconds <= 0:
+        raise ValueError("step time must be positive")
+    return total_cells / step_seconds
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """How many times faster than the baseline."""
+    if seconds <= 0 or baseline_seconds <= 0:
+        raise ValueError("times must be positive")
+    return baseline_seconds / seconds
+
+
+def weak_scaling_speedup(cells_per_s: float, single_node_cells_per_s: float) -> float:
+    """Table-2 style speedup: throughput relative to one node.
+
+    Table 2 computes speedup as (cells/s at n nodes) / (cells/s at one
+    node) because each node keeps a constant 80^3 sub-domain (weak
+    scaling); at perfect scaling this equals n.
+    """
+    if single_node_cells_per_s <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return cells_per_s / single_node_cells_per_s
+
+
+def efficiency(speedup_value: float, nodes: int) -> float:
+    """Parallel efficiency in [0, 1]: speedup / nodes."""
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    return speedup_value / nodes

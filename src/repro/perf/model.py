@@ -1,0 +1,155 @@
+"""Row generators for the paper's tables and figures.
+
+Every bench in ``benchmarks/`` prints rows produced here, so the table
+shapes live in one place.  The rows come from the cluster drivers in
+``timing_only`` mode (same code path as the numeric runs, minus the
+arithmetic), which keeps the benches fast at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM, GPUClusterLBM, StepTiming
+from repro.core.decomposition import arrange_nodes_2d
+from repro.perf.metrics import cells_per_second, efficiency, weak_scaling_speedup
+
+#: The node counts of Tables 1-2 / Figs 8-10.
+PAPER_NODE_COUNTS = (1, 2, 4, 8, 12, 16, 20, 24, 28, 30, 32)
+
+#: The paper's published Table 1, for residual reporting:
+#: n -> (cpu_total, gpu_compute, agp, net_total, gpu_total, speedup).
+PAPER_TABLE1 = {
+    1: (1420, 214, 0, 0, 214, 6.64),
+    2: (1424, 216, 13, 38, 229, 6.22),
+    4: (1430, 224, 42, 47, 266, 5.38),
+    8: (1429, 222, 50, 68, 272, 5.25),
+    12: (1431, 230, 50, 80, 280, 5.11),
+    16: (1433, 235, 50, 85, 285, 5.03),
+    20: (1436, 237, 50, 87, 287, 5.00),
+    24: (1437, 238, 50, 90, 288, 4.99),
+    28: (1439, 237, 50, 131, 298, 4.83),
+    30: (1440, 237, 50, 145, 312, 4.62),
+    32: (1440, 237, 49, 151, 317, 4.54),
+}
+
+#: The paper's published Table 2: n -> (Mcells/s, speedup, efficiency %).
+PAPER_TABLE2 = {
+    1: (2.3, None, None),
+    2: (4.3, 1.87, 93.5),
+    4: (7.3, 3.17, 79.3),
+    8: (14.4, 6.26, 78.3),
+    12: (20.9, 9.09, 75.8),
+    16: (27.4, 11.91, 74.4),
+    20: (34.0, 14.78, 73.9),
+    24: (40.7, 17.70, 73.8),
+    28: (45.9, 19.96, 71.3),
+    30: (47.0, 20.43, 68.1),
+    32: (49.2, 21.39, 66.8),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One weak-scaling data point (all times in ms)."""
+
+    nodes: int
+    cpu_total: float
+    gpu_compute: float
+    gpu_agp: float
+    net_total: float
+    net_nonoverlap: float
+    gpu_total: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_total / self.gpu_total
+
+
+def cluster_timings(nodes: int, sub_shape=(80, 80, 80), arrangement=None,
+                    **config_kwargs) -> tuple[StepTiming, StepTiming]:
+    """(GPU, CPU) per-step timings for one configuration."""
+    if arrangement is None:
+        arrangement = arrange_nodes_2d(nodes)
+    cfg = ClusterConfig(sub_shape=tuple(sub_shape), arrangement=arrangement,
+                        timing_only=True, periodic=(False, False, False),
+                        **config_kwargs)
+    gpu = GPUClusterLBM(cfg).step()
+    cpu = CPUClusterLBM(cfg).step()
+    return gpu, cpu
+
+
+def table1_row(nodes: int, sub_shape=(80, 80, 80), **config_kwargs) -> Table1Row:
+    """One simulated Table-1 row."""
+    gpu, cpu = cluster_timings(nodes, sub_shape, **config_kwargs)
+    return Table1Row(
+        nodes=nodes,
+        cpu_total=cpu.total_s * 1e3,
+        gpu_compute=gpu.compute_s * 1e3,
+        gpu_agp=gpu.agp_s * 1e3,
+        net_total=gpu.net_total_s * 1e3,
+        net_nonoverlap=gpu.net_nonoverlap_s * 1e3,
+        gpu_total=gpu.total_s * 1e3,
+    )
+
+
+def table1_rows(node_counts=PAPER_NODE_COUNTS, sub_shape=(80, 80, 80),
+                **config_kwargs) -> list[Table1Row]:
+    """The full Table-1 sweep."""
+    return [table1_row(n, sub_shape, **config_kwargs) for n in node_counts]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One throughput/efficiency data point."""
+
+    nodes: int
+    cells_per_s: float
+    speedup: float | None
+    efficiency: float | None
+
+
+def table2_rows(node_counts=PAPER_NODE_COUNTS, sub_shape=(80, 80, 80),
+                **config_kwargs) -> list[Table2Row]:
+    """The full Table-2 sweep (cells/s, weak-scaling speedup, efficiency)."""
+    cells_each = int(np.prod(sub_shape))
+    rows: list[Table2Row] = []
+    base_cps = None
+    for n in node_counts:
+        gpu, _ = cluster_timings(n, sub_shape, **config_kwargs)
+        cps = cells_per_second(n * cells_each, gpu.total_s)
+        if base_cps is None:
+            base_cps = cps
+            rows.append(Table2Row(n, cps, None, None))
+        else:
+            sp = weak_scaling_speedup(cps, base_cps)
+            rows.append(Table2Row(n, cps, sp, efficiency(sp, n)))
+    return rows
+
+
+def strong_scaling_rows(global_shape=(160, 160, 80),
+                        node_counts=(4, 8, 16, 32)) -> list[dict]:
+    """The Sec 4.4 fixed-problem-size experiment.
+
+    The lattice stays fixed; more nodes mean smaller sub-domains, a
+    lower computation/communication ratio, and a collapsing GPU/CPU
+    speedup (5.3 -> 2.4 from 4 to 16 nodes in the paper).
+    """
+    rows = []
+    for n in node_counts:
+        arrangement = arrange_nodes_2d(n)
+        sub = tuple(int(g // a) for g, a in zip(global_shape, arrangement))
+        for g, a in zip(global_shape, arrangement):
+            if g % a:
+                raise ValueError(f"{global_shape} not divisible by {arrangement}")
+        gpu, cpu = cluster_timings(n, sub, arrangement=arrangement)
+        rows.append({
+            "nodes": n,
+            "sub_shape": sub,
+            "gpu_total_ms": gpu.total_s * 1e3,
+            "cpu_total_ms": cpu.total_s * 1e3,
+            "speedup": cpu.total_s / gpu.total_s,
+        })
+    return rows

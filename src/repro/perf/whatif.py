@@ -1,0 +1,226 @@
+"""The Sec 4.4 "three enhancements" and other what-if studies.
+
+"Three enhancements can further improve this speedup factor ...
+(1) Using a faster network, such as Myrinet.  (2) Using the
+PCI-Express bus ...  (3) Using GPUs with larger texture memories ...
+so that each GPU can compute a larger sub-domain of the lattice and
+thereby increase the computation/communication ratio."
+
+Plus: the sub-domain shape study (cube vs slab — "the cube has the
+smallest ratio between boundary surface area and volume", Sec 4.3) and
+the MPI_Barrier trade-off ("synchronizing the nodes by calling
+MPI_barrier() at each scheduled step improves the network performance
+[below 16 nodes]; ... [above,] the overhead of the synchronization
+overwhelms the performance gained", Sec 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM, GPUClusterLBM
+from repro.core.decomposition import arrange_nodes_2d, surface_to_volume
+from repro.gpu.packing import PACKED_BYTES_PER_CELL
+from repro.gpu.specs import GEFORCE_FX_5800_ULTRA, PCIE_X16, BusSpec, GPUSpec
+from repro.net.switch import GigabitSwitch
+from repro.perf import calibration as cal
+
+#: Myrinet (2004): ~2 Gb/s links, microsecond latencies, OS-bypass.
+#: Modeled as 8x the effective per-flow throughput and 1/10 the fixed
+#: overheads of the TCP/GbE stack.
+MYRINET_EFFECTIVE_BYTES_PER_S = 8 * cal.NET_EFFECTIVE_BYTES_PER_S
+
+
+class MyrinetSwitch(GigabitSwitch):
+    """A low-latency SAN in place of the gigabit Ethernet switch."""
+
+    def __init__(self) -> None:
+        super().__init__(effective_bytes_per_s=MYRINET_EFFECTIVE_BYTES_PER_S)
+
+    def message_time(self, nbytes: int) -> float:
+        return cal.NET_STEP_OVERHEAD_S / 10.0 + nbytes / self.effective_bytes_per_s
+
+    def phase_time(self, rounds, nodes):  # noqa: D102 - see base
+        active = [r for r in rounds if r]
+        if not active:
+            return 0.0
+        t = cal.NET_PHASE_OVERHEAD_S / 10.0
+        for r in active:
+            t += self.round_time(r).seconds
+        t += cal.drift_penalty_s(nodes) / 10.0
+        return t
+
+
+def enhancement_speedups(nodes: int = 32, sub_shape=(80, 80, 80)) -> dict[str, float]:
+    """GPU/CPU speedup under each Sec-4.4 enhancement (and baseline)."""
+    out: dict[str, float] = {}
+
+    def run(label: str, **cfg_kwargs) -> None:
+        arrangement = cfg_kwargs.pop("arrangement", arrange_nodes_2d(nodes))
+        shape = cfg_kwargs.pop("sub_shape", sub_shape)
+        cfg = ClusterConfig(sub_shape=shape, arrangement=arrangement,
+                            timing_only=True, periodic=(False, False, False),
+                            **cfg_kwargs)
+        gpu = GPUClusterLBM(cfg).step()
+        cpu_cfg = ClusterConfig(sub_shape=shape, arrangement=arrangement,
+                                timing_only=True, periodic=(False, False, False))
+        cpu = CPUClusterLBM(cpu_cfg).step()
+        out[label] = cpu.total_s / gpu.total_s
+
+    run("baseline (GbE + AGP 8x + 128MB)")
+    run("(1) Myrinet network", switch=MyrinetSwitch())
+    run("(2) PCI-Express x16 bus", bus=PCIE_X16)
+    # (3) 256 MB GPUs: the largest cubic sub-domain that fits doubles
+    # the compute/communication ratio.  104^3 fits 2x the 5800's budget.
+    big = largest_cube_for_memory(2 * GEFORCE_FX_5800_ULTRA.usable_lattice_bytes)
+    big -= big % 2
+    run(f"(3) 256MB GPUs ({big}^3 sub-domains)", sub_shape=(big, big, big))
+    run("all three",
+        switch=MyrinetSwitch(), bus=PCIE_X16, sub_shape=(big, big, big))
+    return out
+
+
+def largest_cube_for_memory(usable_bytes: int) -> int:
+    """Largest cubic sub-domain fitting the packed layout (Sec 2)."""
+    from repro.gpu.packing import max_cubic_lattice
+    return max_cubic_lattice(usable_bytes)
+
+
+def subdomain_shape_study(cells: int = 80 ** 3, nodes: int = 8) -> list[dict]:
+    """Cube vs slab sub-domains at equal volume (Sec 4.3).
+
+    Equal cells per node, different block shapes, in a 3D node
+    arrangement (so every face is a communicated face, as the paper's
+    argument assumes): the cube minimises surface/volume and hence
+    communication bytes, so its step time is the smallest.
+    """
+    from repro.core.decomposition import arrange_nodes_3d
+
+    shapes = []
+    n = round(cells ** (1 / 3))
+    shapes.append((n, n, n))                        # cube
+    shapes.append((n * 2, n, n // 2))               # brick
+    shapes.append((n * 4, n, n // 4))               # slab-ish
+    shapes.append((n * 4, n * 2, n // 8))           # thin slab
+    rows = []
+    arrangement = arrange_nodes_3d(nodes)
+    for shape in shapes:
+        cfg = ClusterConfig(sub_shape=shape, arrangement=arrangement,
+                            timing_only=True, periodic=(False, False, False))
+        t = GPUClusterLBM(cfg).step()
+        rows.append({
+            "sub_shape": shape,
+            "surface_to_volume": surface_to_volume(shape),
+            "net_total_ms": t.net_total_s * 1e3,
+            "total_ms": t.total_s * 1e3,
+        })
+    return rows
+
+
+def multi_gpu_per_node(total_gpus: int = 32, sub_shape=(80, 80, 80),
+                       gpus_per_node=(1, 2, 4)) -> list[dict]:
+    """Sec 3's PCI-Express prediction, quantified.
+
+    "the PCI-Express will allow multiple GPUs to be plugged into one
+    PC.  The interconnection of these GPUs will greatly reduce the
+    network load."
+
+    With ``k`` GPUs per host, sub-domains that share a host exchange
+    their faces over the PCI-Express bus instead of the Ethernet
+    switch; only host-boundary faces touch the network.  The model
+    keeps the total GPU count (and lattice) fixed and varies k: the
+    network phase shrinks (fewer hosts, fewer and larger-grained
+    exchanges), while the intra-host transfers ride the symmetric
+    4 GB/s bus.
+    """
+    from repro.core.decomposition import BlockDecomposition
+    from repro.core.halo import HaloPlan
+    from repro.core.schedule import CommSchedule
+    from repro.net.switch import GigabitSwitch
+    from repro.perf.model import cluster_timings
+
+    rows = []
+    plan = HaloPlan(sub_shape)
+    sw = GigabitSwitch()
+    face_bytes = plan.face_bytes(0)
+    for k in gpus_per_node:
+        if total_gpus % k:
+            raise ValueError(f"{total_gpus} GPUs not divisible into {k}/node")
+        hosts = total_gpus // k
+        # GPUs tile x within a host; hosts form the paper's 2D grid.
+        host_arr = arrange_nodes_2d(hosts)
+        # Network schedule over the *host* grid: each host face carries
+        # one sub-domain face per perpendicular GPU (k along x for the
+        # y-direction boundaries, 1 for x boundaries).
+        host_shape = (sub_shape[0] * k * host_arr[0],
+                      sub_shape[1] * host_arr[1], sub_shape[2])
+        host_sub = (sub_shape[0] * k, sub_shape[1], sub_shape[2])
+        decomp = BlockDecomposition(host_shape, host_arr,
+                                    periodic=(False, False, False))
+        schedule = CommSchedule(decomp, HaloPlan(host_sub))
+        net = sw.phase_time(schedule.round_bytes(), hosts) if hosts > 1 else 0.0
+        # Intra-host exchanges over PCI-Express (k-1 internal faces,
+        # both directions, symmetric bus).
+        intra = 0.0
+        if k > 1:
+            per_face = (cal.UPLOAD_OVERHEAD_S
+                        + face_bytes / cal.effective_downstream_bytes_per_s(PCIE_X16)
+                        + face_bytes / cal.effective_upstream_bytes_per_s(PCIE_X16)
+                        + cal.READBACK_FLUSH_S / 4.0)
+            intra = 2.0 * per_face     # worst GPU: two internal faces
+        gpu, cpu = cluster_timings(total_gpus, sub_shape, bus=PCIE_X16)
+        window = gpu.overlap_window_s
+        nonoverlap = max(0.0, net - window)
+        total = gpu.compute_s + gpu.agp_s + intra + nonoverlap
+        rows.append({
+            "gpus_per_node": k,
+            "hosts": hosts,
+            "net_total_ms": net * 1e3,
+            "intra_node_ms": intra * 1e3,
+            "total_ms": total * 1e3,
+            "speedup_vs_cpu": cpu.total_s / total,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# MPI_Barrier trade-off (Sec 4.3)
+# ---------------------------------------------------------------------------
+#: Modeled per-step barrier cost: a TCP-tree barrier whose straggler
+#: tail grows superlinearly with participants on a non-dedicated OS.
+BARRIER_STEP_COEF_S = 0.09e-3
+BARRIER_STEP_EXPONENT = 1.5
+
+#: Modeled desynchronisation cost when steps free-run: drift between
+#: schedule steps lets a third sender interrupt a busy port; grows
+#: sublinearly (stalls partially overlap).
+DESYNC_COEF_S = 4.4e-3
+DESYNC_EXPONENT = 0.62
+
+
+def barrier_tradeoff(nodes: int, n_steps: int = 4) -> dict[str, float]:
+    """Per-phase extra cost (s) with and without per-step barriers.
+
+    Calibrated so the crossover sits at the paper's 16 nodes: below it
+    the barrier is cheaper than the desync it prevents, above it the
+    barrier overhead overwhelms the gain.
+    """
+    barrier = n_steps * BARRIER_STEP_COEF_S * nodes ** BARRIER_STEP_EXPONENT
+    desync = DESYNC_COEF_S * nodes ** DESYNC_EXPONENT
+    return {
+        "nodes": nodes,
+        "barrier_cost_s": barrier,
+        "desync_cost_s": desync,
+        "barrier_wins": barrier < desync,
+    }
+
+
+def barrier_crossover() -> int:
+    """Smallest node count at which barriers stop paying off."""
+    for n in range(2, 65):
+        if not barrier_tradeoff(n)["barrier_wins"]:
+            return n
+    return 65

@@ -1,0 +1,33 @@
+"""Urban airborne-dispersion application (Sec 5).
+
+The paper simulates contaminant transport over a detailed polygonal
+model of the Times Square area: ~1.66 km x 1.13 km, 91 blocks, roughly
+850 buildings, rotated to align with the LBM domain axes, voxelized
+onto a 480x400x80 lattice at 3.8 m spacing, driven by a northeasterly
+wind imposed on the right side of the domain.
+
+That proprietary city mesh is not available, so
+:mod:`repro.urban.city` generates a *statistically similar* synthetic
+Manhattan: a street grid forming the same number of blocks, lognormal
+building heights, the same rotation into the lattice frame.  The flow
+solver only ever sees the voxelized obstacle mask and boundary links,
+so the substitution exercises the identical code paths
+(:mod:`repro.urban.voxelize`), including the boundary-rectangle
+coverage of Sec 4.2.
+
+:mod:`repro.urban.dispersion` assembles the full scenario: city ->
+solid mask -> wind inlet (:mod:`repro.urban.wind`) -> LBM spin-up ->
+tracer release (Lowe-Succi transition probabilities), on either the
+single-domain solver or the GPU cluster driver.
+"""
+
+from repro.urban.city import Building, CityModel, times_square_like
+from repro.urban.voxelize import voxelize_city
+from repro.urban.wind import northeasterly, power_law_profile
+from repro.urban.dispersion import DispersionScenario
+
+__all__ = [
+    "Building", "CityModel", "times_square_like",
+    "voxelize_city", "northeasterly", "power_law_profile",
+    "DispersionScenario",
+]

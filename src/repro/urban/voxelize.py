@@ -1,0 +1,89 @@
+"""Voxelization of the city model onto the LBM lattice (Sec 5).
+
+The paper uses a 480x400x80 lattice at 3.8 m spacing; the rotated city
+"occupies a lattice area of 440 x 300 on the ground".  The voxelizer
+rasterises each rotated building footprint into the solid mask, adds
+the ground plane, and reports occupancy statistics.
+
+Rasterisation is vectorized: cell centres are inverse-rotated into
+city coordinates once, then each building is an axis-aligned box test
+against its lattice-frame bounding box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.urban.city import CityModel
+
+
+def voxelize_city(city: CityModel, shape: tuple[int, int, int],
+                  resolution_m: float, ground_layers: int = 1,
+                  margin_cells: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Rasterise ``city`` into a solid mask of ``shape``.
+
+    Parameters
+    ----------
+    city:
+        The city model (meters, with its own rotation).
+    shape:
+        Lattice shape (nx, ny, nz).
+    resolution_m:
+        Meters per lattice spacing (3.8 in the paper).
+    ground_layers:
+        Solid cells at the bottom of the domain (the ground).
+    margin_cells:
+        (x, y) offset of the city's rotated bounding box inside the
+        lattice, leaving free inflow/outflow room.
+
+    Returns
+    -------
+    numpy.ndarray
+        Bool mask (nx, ny, nz), True = solid.
+    """
+    nx, ny, nz = shape
+    solid = np.zeros(shape, dtype=bool)
+    solid[:, :, :ground_layers] = True
+
+    theta = np.deg2rad(city.rotation_deg)
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    wx, wy = city.extent_m
+    cx, cy = wx / 2.0, wy / 2.0
+
+    # Rotated city bounding half-extent, to centre it in the lattice.
+    half_w = (abs(cos_t) * wx + abs(sin_t) * wy) / 2.0
+    half_d = (abs(sin_t) * wx + abs(cos_t) * wy) / 2.0
+    off_x = margin_cells[0] + half_w / resolution_m
+    off_y = margin_cells[1] + half_d / resolution_m
+
+    # Lattice cell centres -> city coordinates (inverse rotation).
+    xs = (np.arange(nx) + 0.5 - off_x) * resolution_m
+    ys = (np.arange(ny) + 0.5 - off_y) * resolution_m
+    X, Y = np.meshgrid(xs, ys, indexing="ij")
+    # inverse rotate: city = R(-theta) @ lattice
+    CXp = cos_t * X + sin_t * Y + cx
+    CYp = -sin_t * X + cos_t * Y + cy
+
+    for b in city.buildings:
+        inside = ((CXp >= b.x0) & (CXp < b.x0 + b.w)
+                  & (CYp >= b.y0) & (CYp < b.y0 + b.d))
+        if not inside.any():
+            continue
+        top = ground_layers + int(round(b.height / resolution_m))
+        top = min(top, nz)
+        if top > ground_layers:
+            solid[inside, ground_layers:top] = True
+    return solid
+
+
+def occupancy(solid: np.ndarray, ground_layers: int = 1) -> float:
+    """Fraction of above-ground cells that are building-solid."""
+    above = solid[:, :, ground_layers:]
+    return float(above.mean())
+
+
+def footprint_cells(solid: np.ndarray, ground_layers: int = 1) -> int:
+    """Ground-level building footprint cell count."""
+    if solid.shape[2] <= ground_layers:
+        return 0
+    return int(solid[:, :, ground_layers].sum())

@@ -1,0 +1,23 @@
+"""Visualization of simulation results (Figs 12-13 analogues).
+
+The paper renders its results off-line: streamlines colored by the
+vertical velocity component (Fig 12) and volume-rendered contaminant
+density (Fig 13).  This package produces the same artifacts with pure
+numpy — streamline integration through the velocity field, and
+emission-absorption / maximum-intensity volume splatting written as
+portable PPM/PGM images (no plotting dependencies).
+"""
+
+from repro.viz.streamlines import trace_streamline, seed_streamlines
+from repro.viz.volume import (
+    max_intensity_projection,
+    emission_absorption,
+    write_pgm,
+    write_ppm,
+)
+
+__all__ = [
+    "trace_streamline", "seed_streamlines",
+    "max_intensity_projection", "emission_absorption",
+    "write_pgm", "write_ppm",
+]

@@ -1,0 +1,157 @@
+"""On-line visualization by image compositing — the Sec 5 future work.
+
+"A potential advantage of the GPU cluster is that the on-line
+visualization is feasible and efficient.  Since the simulation results
+already reside in the GPUs, each node could rapidly render its
+contents, and the images could then be transferred through a specially
+designed composing network to form the final image.  HP is already
+developing new technology for its Sepia PCI cards, that can read out
+data from the GPU through the DVI port and transfer them at a rate of
+450-500 MB/second in its composing network."
+
+Two halves, mirroring the repo's real-data/modeled-time split:
+
+* **real compositing math** — each node renders its sub-volume slab to
+  an (emission, transmittance) image pair; slabs combine front-to-back
+  with the associative *over* operator, so the distributed result is
+  *exactly* the single-volume rendering (tested);
+* **a Sepia network model** — binary-swap compositing over the
+  dedicated 450-500 MB/s ring, answering whether online visualization
+  keeps up with the 0.31 s/step simulation (it does, comfortably).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Sec 5: Sepia-2A composing network, "450-500 MB/second".
+SEPIA_BYTES_PER_S = 475e6
+#: DVI readout of a rendered frame (same channel).
+DVI_BYTES_PER_S = 475e6
+#: Per-stage fixed cost of the compositing pipeline (frame sync).
+SEPIA_STAGE_OVERHEAD_S = 0.4e-3
+
+
+def render_slab(density: np.ndarray, axis: int = 0, absorption: float = 0.1
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Render one sub-volume slab to an (emission, transmittance) pair.
+
+    Front-to-back emission-absorption along ``axis`` (front = low
+    index).  Returns per-pixel accumulated emission C and remaining
+    transmittance T; slabs compose with :func:`composite_pair`.
+    """
+    if density.ndim != 3:
+        raise ValueError("density must be 3D")
+    v = np.moveaxis(np.clip(density, 0.0, None), axis, 0)
+    C = np.zeros(v.shape[1:], dtype=np.float64)
+    T = np.ones(v.shape[1:], dtype=np.float64)
+    for slab in v:
+        alpha = 1.0 - np.exp(-absorption * slab)
+        C += T * alpha * slab
+        T *= (1.0 - alpha)
+    return C, T
+
+
+def composite_pair(front: tuple[np.ndarray, np.ndarray],
+                   back: tuple[np.ndarray, np.ndarray]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """The associative front-to-back *over* operator on (C, T) pairs."""
+    Cf, Tf = front
+    Cb, Tb = back
+    return Cf + Tf * Cb, Tf * Tb
+
+
+def composite_chain(pairs) -> tuple[np.ndarray, np.ndarray]:
+    """Compose slabs ordered front to back."""
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("nothing to composite")
+    out = pairs[0]
+    for p in pairs[1:]:
+        out = composite_pair(out, p)
+    return out
+
+
+def distributed_volume_render(density: np.ndarray, n_nodes: int,
+                              axis: int = 0, absorption: float = 0.1
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Split the volume into per-node slabs, render each independently,
+    and composite — the online-visualization data path."""
+    n = density.shape[axis]
+    if n % n_nodes:
+        raise ValueError(f"axis extent {n} not divisible by {n_nodes}")
+    w = n // n_nodes
+    pairs = []
+    for k in range(n_nodes):
+        idx = [slice(None)] * 3
+        idx[axis] = slice(k * w, (k + 1) * w)
+        pairs.append(render_slab(density[tuple(idx)], axis=axis,
+                                 absorption=absorption))
+    return composite_chain(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Sepia timing model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompositingTiming:
+    """Per-frame cost decomposition of the online pipeline."""
+
+    nodes: int
+    image_bytes: int
+    render_s: float
+    readout_s: float
+    composite_s: float
+
+    @property
+    def frame_s(self) -> float:
+        return self.render_s + self.readout_s + self.composite_s
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.frame_s
+
+
+def binary_swap_time(nodes: int, image_bytes: int) -> float:
+    """Binary-swap compositing: log2(n) stages, each exchanging half of
+    the previous image portion, then a final gather of 1/n images."""
+    if nodes < 2:
+        return 0.0
+    stages = int(np.ceil(np.log2(nodes)))
+    t = 0.0
+    portion = image_bytes / 2.0
+    for _ in range(stages):
+        t += SEPIA_STAGE_OVERHEAD_S + portion / SEPIA_BYTES_PER_S
+        portion /= 2.0
+    # Final gather of n tiles of size image/n to the display node.
+    t += SEPIA_STAGE_OVERHEAD_S + image_bytes / SEPIA_BYTES_PER_S
+    return t
+
+
+def online_visualization_timing(nodes: int = 30,
+                                image_shape: tuple[int, int] = (640, 480),
+                                samples_per_pixel: int = 80) -> CompositingTiming:
+    """Frame-time estimate for rendering + Sepia compositing.
+
+    Rendering is modeled as one fragment pass over the image with one
+    texture fetch per volume sample (the per-node slab depth); readout
+    via the DVI port; compositing via binary swap.
+    """
+    from repro.gpu.device import SimulatedGPU
+    from repro.gpu.fragment import FragmentProgram
+
+    image_bytes = image_shape[0] * image_shape[1] * 4 * 4  # RGBA float32
+    dev = SimulatedGPU(enforce_memory=False)
+    prog = FragmentProgram("volume-render", kernel=None,
+                           alu_ops=2 * samples_per_pixel,
+                           tex_fetches=samples_per_pixel)
+    render_s = dev.pass_time_s(prog, image_shape[0] * image_shape[1])
+    readout_s = image_bytes / DVI_BYTES_PER_S
+    composite_s = binary_swap_time(nodes, image_bytes)
+    return CompositingTiming(nodes=nodes, image_bytes=image_bytes,
+                             render_s=render_s, readout_s=readout_s,
+                             composite_s=composite_s)

@@ -1,0 +1,91 @@
+"""Tests for the per-slice boundary rectangle coverage (Sec 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.boundary_rects import (BoundaryRectangles, boundary_region,
+                                      cover_slice_with_rectangles)
+
+
+class TestSliceCover:
+    def test_single_rectangle(self):
+        m = np.zeros((8, 8), bool)
+        m[2:5, 3:6] = True
+        rects = cover_slice_with_rectangles(m)
+        assert len(rects) == 1
+        r = rects[0]
+        assert (r.y0, r.y1, r.x0, r.x1) == (2, 5, 3, 6)
+
+    def test_two_separate_boxes(self):
+        m = np.zeros((8, 8), bool)
+        m[0:2, 0:2] = True
+        m[5:7, 5:8] = True
+        rects = cover_slice_with_rectangles(m)
+        assert len(rects) == 2
+        assert sum(r.area for r in rects) == 4 + 6
+
+    def test_l_shape_cover_is_exact(self):
+        m = np.zeros((6, 6), bool)
+        m[1:5, 1:3] = True
+        m[1:3, 3:5] = True
+        rects = cover_slice_with_rectangles(m)
+        cover = np.zeros_like(m)
+        for r in rects:
+            assert not cover[r.y0:r.y1, r.x0:r.x1].any()  # disjoint
+            cover[r.y0:r.y1, r.x0:r.x1] = True
+        assert np.array_equal(cover, m)
+
+    def test_empty_mask(self):
+        assert cover_slice_with_rectangles(np.zeros((4, 4), bool)) == []
+
+    @given(hnp.arrays(bool, (12, 10)))
+    @settings(max_examples=60, deadline=None)
+    def test_cover_property(self, m):
+        """Exact disjoint cover for arbitrary masks."""
+        rects = cover_slice_with_rectangles(m)
+        cover = np.zeros_like(m)
+        for r in rects:
+            assert not cover[r.y0:r.y1, r.x0:r.x1].any()
+            cover[r.y0:r.y1, r.x0:r.x1] = True
+        assert np.array_equal(cover, m)
+
+    def test_1d_mask_rejected(self):
+        with pytest.raises(ValueError):
+            cover_slice_with_rectangles(np.zeros(5, bool))
+
+
+class TestBoundaryRegion:
+    def test_shell_around_box(self):
+        solid = np.zeros((8, 8, 8), bool)
+        solid[3:5, 3:5, 3:5] = True
+        region = boundary_region(solid)
+        assert not (region & solid).any()      # fluid only
+        assert region[2, 3, 3] and region[5, 4, 4]
+        assert not region[0, 0, 0]
+
+    def test_empty_solid(self):
+        assert not boundary_region(np.zeros((4, 4, 4), bool)).any()
+
+
+class TestBoundaryRectangles:
+    def test_memory_saving_for_sparse_city(self):
+        """The Sec 4.2 rationale: boundary textures are far smaller
+        than full-lattice storage for realistic geometry."""
+        from repro.urban import times_square_like, voxelize_city
+        solid = voxelize_city(times_square_like(), (64, 56, 12), 28.2)
+        br = BoundaryRectangles(boundary_region(solid))
+        assert br.covered_cells == br.boundary_cells     # exact
+        assert br.memory_fraction() < 0.35               # big saving
+
+    def test_covered_equals_boundary_cells(self):
+        solid = np.zeros((10, 10, 4), bool)
+        solid[4:6, 4:6, 1:3] = True
+        br = BoundaryRectangles(boundary_region(solid))
+        assert br.covered_cells == br.boundary_cells
+        assert br.n_rectangles > 0
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryRectangles(np.zeros((4, 4), bool))

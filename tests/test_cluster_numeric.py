@@ -1,0 +1,159 @@
+"""The decomposed-solver-equals-reference guarantees: the central
+correctness property of the paper's parallelization (Sec 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, CPUClusterLBM, GPUClusterLBM
+from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
+from repro.lbm.lattice import D3Q19
+from repro.lbm.solver import LBMSolver
+
+
+def _reference(shape, tau, rng, solid=None, steps=4, force=None,
+               periodic=True, boundaries=()):
+    ref = LBMSolver(shape, tau=tau, solid=solid, force=force,
+                    periodic=periodic, boundaries=list(boundaries))
+    u0 = (0.02 * rng.standard_normal((3,) + shape)).astype(np.float32)
+    if solid is not None:
+        u0[:, solid] = 0
+    ref.initialize(rho=np.ones(shape, np.float32), u=u0)
+    f0 = ref.f.copy()
+    ref.step(steps)
+    return ref, f0
+
+
+@pytest.mark.parametrize("arrangement,sub", [
+    ((2, 1, 1), (8, 8, 4)),     # 1D
+    ((2, 2, 1), (8, 6, 4)),     # 2D (the paper's Table-1 layout)
+    ((4, 2, 1), (4, 8, 4)),     # wider 2D
+    ((2, 2, 2), (6, 6, 4)),     # 3D
+])
+class TestGPUClusterEquivalence:
+    def test_matches_reference(self, rng, arrangement, sub):
+        shape = tuple(s * a for s, a in zip(sub, arrangement))
+        solid = np.zeros(shape, bool)
+        solid[shape[0] // 3:shape[0] // 3 + 3,
+              shape[1] // 2:shape[1] // 2 + 2, 1:3] = True
+        ref, f0 = _reference(shape, 0.8, rng, solid=solid)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.8,
+                            solid=solid)
+        cluster = GPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(4)
+        assert np.array_equal(cluster.gather_distributions(), ref.f)
+
+
+class TestCPUClusterEquivalence:
+    def test_matches_reference_2d(self, rng):
+        sub, arrangement = (8, 6, 4), (2, 2, 1)
+        shape = tuple(s * a for s, a in zip(sub, arrangement))
+        solid = np.zeros(shape, bool)
+        solid[3:6, 4:7, 1:3] = True
+        ref, f0 = _reference(shape, 0.7, rng, solid=solid, steps=5)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.7,
+                            solid=solid)
+        cluster = CPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(5)
+        assert np.array_equal(cluster.gather_distributions(), ref.f)
+
+    def test_gpu_and_cpu_clusters_agree(self, rng):
+        sub, arrangement = (6, 6, 4), (2, 2, 1)
+        shape = tuple(s * a for s, a in zip(sub, arrangement))
+        _, f0 = _reference(shape, 0.8, rng, steps=0)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.8)
+        g = GPUClusterLBM(cfg)
+        c = CPUClusterLBM(cfg)
+        g.load_global_distributions(f0)
+        c.load_global_distributions(f0)
+        g.step(4)
+        c.step(4)
+        assert np.array_equal(g.gather_distributions(),
+                              c.gather_distributions())
+
+
+class TestDiagonalRouting:
+    def test_corner_data_crosses_diagonally(self):
+        """A tagged distribution on a diagonal link placed at a
+        sub-domain corner must arrive in the diagonal neighbour after
+        one step — through the two-hop indirect route."""
+        sub, arrangement = (4, 4, 4), (2, 2, 1)
+        shape = (8, 8, 4)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.8)
+        cluster = GPUClusterLBM(cfg)
+        link = int(D3Q19.edge_links(0, 1, 1, 1)[0])   # c = (1, 1, 0)
+        f = np.zeros((19,) + shape, dtype=np.float32)
+        # Corner cell of node (0,0): global (3,3,2); equilibrium is not
+        # needed — pure streaming test, collide with tau makes it decay,
+        # so place a big marker and only check where mass went.
+        f[link, 3, 3, 2] = 1.0
+        cluster.load_global_distributions(f)
+        # Disable collision effects by checking against the reference.
+        ref = LBMSolver(shape, tau=0.8)
+        ref.f[...] = f
+        ref.step(1)
+        cluster.step(1)
+        out = cluster.gather_distributions()
+        assert np.array_equal(out, ref.f)
+        # The marker's mass moved into node (1,1)'s block at (4,4,2).
+        assert out[link, 4, 4, 2] != 0.0
+
+    def test_many_steps_periodic_wrap(self, rng):
+        """Long run: data crosses node boundaries many times and wraps
+        around the torus; must still match the reference exactly."""
+        sub, arrangement = (4, 4, 2), (2, 2, 2)
+        shape = (8, 8, 4)
+        ref, f0 = _reference(shape, 0.9, rng, steps=12)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.9)
+        cluster = GPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(12)
+        assert np.array_equal(cluster.gather_distributions(), ref.f)
+
+
+class TestBoundedDomain:
+    def test_inlet_outflow_cluster_matches_reference(self, rng):
+        """Non-periodic domain with the urban-style inlet/outflow."""
+        sub, arrangement = (6, 4, 4), (2, 2, 1)
+        shape = (12, 8, 4)
+        inlet = (0, "high", (-0.04, 0.0, 0.0), 1.0)
+        bcs = [EquilibriumVelocityInlet(D3Q19, *inlet),
+               OutflowBoundary(D3Q19, 0, "low")]
+        ref, f0 = _reference(shape, 0.7, rng, steps=6, periodic=False,
+                             boundaries=bcs)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.7,
+                            periodic=(False, False, False), inlet=inlet,
+                            outflow=(0, "low"))
+        cluster = GPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(6)
+        assert np.allclose(cluster.gather_distributions(), ref.f, atol=2e-7)
+
+    def test_macroscopic_gather(self, rng):
+        sub, arrangement = (6, 6, 4), (2, 1, 1)
+        shape = (12, 6, 4)
+        ref, f0 = _reference(shape, 0.8, rng, steps=3)
+        cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.8)
+        cluster = GPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(3)
+        rho_c, u_c = cluster.gather_macroscopic()
+        rho_r, u_r = ref.macroscopic()
+        assert np.allclose(rho_c, rho_r, rtol=1e-6)
+        assert np.allclose(u_c, u_r, atol=1e-6)
+
+
+class TestModes:
+    def test_timing_only_has_no_numeric_state(self):
+        cfg = ClusterConfig(sub_shape=(8, 8, 8), arrangement=(2, 1, 1),
+                            timing_only=True)
+        cluster = GPUClusterLBM(cfg)
+        cluster.step()
+        with pytest.raises(RuntimeError, match="timing_only"):
+            cluster.gather_distributions()
+
+    def test_cells_total(self):
+        cfg = ClusterConfig(sub_shape=(8, 8, 8), arrangement=(2, 2, 1),
+                            timing_only=True)
+        assert GPUClusterLBM(cfg).cells_total() == 4 * 512

@@ -1,0 +1,150 @@
+"""Timing reproduction tests: the shapes of Tables 1-2 and Figs 8-10."""
+
+import numpy as np
+import pytest
+
+from repro.perf.metrics import cells_per_second, efficiency, speedup, weak_scaling_speedup
+from repro.perf.model import (PAPER_NODE_COUNTS, PAPER_TABLE1, PAPER_TABLE2,
+                              cluster_timings, strong_scaling_rows,
+                              table1_row, table1_rows, table2_rows)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r.nodes: r for r in table1_rows()}
+
+
+@pytest.fixture(scope="module")
+def t2rows():
+    return {r.nodes: r for r in table2_rows()}
+
+
+class TestTable1Anchors:
+    def test_single_node_values(self, rows):
+        r = rows[1]
+        assert r.gpu_total == pytest.approx(214, rel=0.01)
+        assert r.cpu_total == pytest.approx(1420, rel=0.01)
+        assert r.speedup == pytest.approx(6.64, rel=0.01)
+
+    def test_totals_within_tolerance_of_paper(self, rows):
+        """Every simulated Table-1 total within 10% of the published
+        value (the known worst case is n=4, see EXPERIMENTS.md)."""
+        for n, (cpu, _, _, _, gpu_total, _) in PAPER_TABLE1.items():
+            r = rows[n]
+            assert r.gpu_total == pytest.approx(gpu_total, rel=0.10), n
+            assert r.cpu_total == pytest.approx(cpu, rel=0.02), n
+
+    def test_speedup_plateau_near_five(self, rows):
+        for n in (8, 12, 16, 20, 24):
+            assert 4.8 < rows[n].speedup < 5.9
+
+    def test_speedup_drops_past_28_nodes(self, rows):
+        """Fig 9's knee: network stops being hidden."""
+        assert rows[28].speedup < rows[24].speedup
+        assert rows[32].speedup < rows[28].speedup
+        assert rows[32].speedup == pytest.approx(4.54, rel=0.06)
+
+    def test_agp_plateau_near_50ms(self, rows):
+        for n in (12, 16, 20, 24, 28, 30, 32):
+            assert rows[n].gpu_agp == pytest.approx(50, rel=0.06)
+
+    def test_agp_small_for_two_nodes(self, rows):
+        assert rows[2].gpu_agp == pytest.approx(13, rel=0.15)
+
+    def test_network_fully_overlapped_below_28(self, rows):
+        """Fig 8: the non-overlapping remainder appears only at 28+."""
+        for n in (2, 4, 8, 12, 16, 20, 24):
+            assert rows[n].net_nonoverlap == 0.0
+        for n in (28, 30, 32):
+            assert rows[n].net_nonoverlap > 0.0
+
+    def test_nonoverlap_equals_excess_over_window(self, rows):
+        gpu, _ = cluster_timings(30)
+        assert gpu.net_nonoverlap_s == pytest.approx(
+            max(0.0, gpu.net_total_s - gpu.overlap_window_s))
+
+    def test_overlap_window_near_120ms(self):
+        """'collision operation on inner cells ... takes roughly 120 ms'."""
+        gpu, _ = cluster_timings(16)
+        assert gpu.overlap_window_s * 1e3 == pytest.approx(120, rel=0.02)
+
+    def test_network_monotone_with_nodes(self, rows):
+        nets = [rows[n].net_total for n in PAPER_NODE_COUNTS[1:]]
+        assert all(b >= a - 1e-9 for a, b in zip(nets, nets[1:]))
+
+
+class TestTable2:
+    def test_single_node_throughput(self, t2rows):
+        # Paper: 2.3M cells/s on one node (80^3 / 214 ms).
+        assert t2rows[1].cells_per_s / 1e6 == pytest.approx(2.39, rel=0.02)
+
+    def test_32_node_throughput_near_paper(self, t2rows):
+        assert t2rows[32].cells_per_s / 1e6 == pytest.approx(49.2, rel=0.06)
+
+    def test_efficiency_decreases(self, t2rows):
+        effs = [t2rows[n].efficiency for n in PAPER_NODE_COUNTS[1:]]
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+
+    def test_efficiency_endpoints(self, t2rows):
+        """Fig 10: ~94% at 2 nodes falling to ~67% at 32."""
+        assert t2rows[2].efficiency == pytest.approx(0.935, abs=0.045)
+        assert t2rows[32].efficiency == pytest.approx(0.668, abs=0.045)
+
+    def test_matches_published_within_tolerance(self, t2rows):
+        for n, (mcells, _, eff) in PAPER_TABLE2.items():
+            assert t2rows[n].cells_per_s / 1e6 == pytest.approx(
+                mcells, rel=0.15), n
+
+
+class TestStrongScaling:
+    def test_sec44_fixed_problem_size(self):
+        """Speedup 5.3 -> 2.4 from 4 to 16 nodes (paper), converging
+        toward CPU parity beyond."""
+        rows = {r["nodes"]: r for r in strong_scaling_rows()}
+        assert rows[4]["speedup"] == pytest.approx(5.3, rel=0.12)
+        assert rows[16]["speedup"] == pytest.approx(2.4, rel=0.15)
+        assert rows[32]["speedup"] < 1.5
+        assert rows[4]["speedup"] > rows[8]["speedup"] > rows[16]["speedup"]
+
+
+class TestMetrics:
+    def test_cells_per_second(self):
+        assert cells_per_second(1000, 0.5) == 2000
+
+    def test_speedup(self):
+        assert speedup(2.0, 0.5) == 4.0
+
+    def test_weak_scaling(self):
+        assert weak_scaling_speedup(20e6, 2e6) == 10.0
+
+    def test_efficiency(self):
+        assert efficiency(8.0, 10) == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("fn,args", [
+        (cells_per_second, (100, 0)),
+        (speedup, (0, 1)),
+        (efficiency, (1.0, 0)),
+        (weak_scaling_speedup, (1.0, 0)),
+    ])
+    def test_invalid_inputs_rejected(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)
+
+
+class TestNumericModeTimingConsistency:
+    def test_numeric_and_timing_modes_agree_on_compute(self):
+        """The numeric path's device clock must land near the closed
+        model for the same sub-domain (same calibration)."""
+        from repro.core import ClusterConfig, GPUClusterLBM
+        sub, arrangement = (12, 12, 12), (2, 1, 1)
+        num = GPUClusterLBM(ClusterConfig(sub_shape=sub,
+                                          arrangement=arrangement, tau=0.8))
+        t_num = num.step()
+        mod = GPUClusterLBM(ClusterConfig(sub_shape=sub,
+                                          arrangement=arrangement, tau=0.8,
+                                          timing_only=True))
+        t_mod = mod.step()
+        # No solid -> numeric path skips bounce passes; allow 25%.
+        assert t_num.compute_s == pytest.approx(t_mod.compute_s, rel=0.25)
+        assert t_num.agp_s == pytest.approx(t_mod.agp_s, rel=1e-6)
+        assert t_num.net_total_s == pytest.approx(t_mod.net_total_s, rel=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for BGK collision: conservation, relaxation, forcing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lbm.collision import BGKCollision, tau_to_viscosity, viscosity_to_tau
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.lattice import D3Q19
+from repro.lbm.macroscopic import density, momentum
+
+
+def _random_f(rng, shape=(4, 4, 4), amp=0.02):
+    base = D3Q19.w.reshape(19, 1, 1, 1)
+    noise = amp * rng.standard_normal((19,) + shape) * base
+    return (base + noise).astype(np.float64)
+
+
+class TestConservation:
+    def test_mass_conserved(self, rng):
+        f = _random_f(rng)
+        rho0 = density(f).copy()
+        BGKCollision(D3Q19, tau=0.7)(f)
+        assert np.allclose(density(f), rho0, rtol=1e-12)
+
+    def test_momentum_conserved(self, rng):
+        f = _random_f(rng)
+        j0 = momentum(D3Q19, f).copy()
+        BGKCollision(D3Q19, tau=0.7)(f)
+        assert np.allclose(momentum(D3Q19, f), j0, atol=1e-14)
+
+    @given(tau=st.floats(0.51, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_for_any_tau(self, tau):
+        rng = np.random.default_rng(0)
+        f = _random_f(rng)
+        rho0, j0 = density(f).copy(), momentum(D3Q19, f).copy()
+        BGKCollision(D3Q19, tau=tau)(f)
+        assert np.allclose(density(f), rho0, rtol=1e-11)
+        assert np.allclose(momentum(D3Q19, f), j0, atol=1e-12)
+
+
+class TestRelaxation:
+    def test_equilibrium_is_fixed_point(self, rng):
+        rho = rng.uniform(0.9, 1.1, (3, 3, 3))
+        u = rng.uniform(-0.05, 0.05, (3, 3, 3, 3)).transpose(3, 0, 1, 2)
+        f = equilibrium(D3Q19, rho, u)
+        before = f.copy()
+        BGKCollision(D3Q19, tau=0.8)(f)
+        assert np.allclose(f, before, atol=1e-13)
+
+    def test_tau_one_reaches_equilibrium_in_one_step(self, rng):
+        f = _random_f(rng)
+        BGKCollision(D3Q19, tau=1.0)(f)
+        rho = density(f)
+        u = momentum(D3Q19, f) / rho
+        feq = equilibrium(D3Q19, rho, u)
+        assert np.allclose(f, feq, atol=1e-12)
+
+    def test_nonequilibrium_decays_geometrically(self, rng):
+        tau = 2.0
+        f = _random_f(rng)
+        rho, j = density(f), momentum(D3Q19, f)
+        feq = equilibrium(D3Q19, rho, j / rho)
+        neq0 = f - feq
+        BGKCollision(D3Q19, tau=tau)(f)
+        neq1 = f - feq
+        assert np.allclose(neq1, (1 - 1 / tau) * neq0, atol=1e-13)
+
+    def test_mask_skips_cells(self, rng):
+        f = _random_f(rng)
+        frozen = f[:, 0, 0, 0].copy()
+        mask = np.ones(f.shape[1:], dtype=bool)
+        mask[0, 0, 0] = False
+        BGKCollision(D3Q19, tau=0.7)(f, mask=mask)
+        assert np.array_equal(f[:, 0, 0, 0], frozen)
+
+
+class TestForcing:
+    def test_force_shifts_momentum_by_f_per_step(self, rng):
+        f = _random_f(rng)
+        j0 = momentum(D3Q19, f)
+        F = np.array([1e-4, -2e-4, 5e-5])
+        BGKCollision(D3Q19, tau=0.7, force=F)(f)
+        dj = momentum(D3Q19, f) - j0
+        for a in range(3):
+            assert np.allclose(dj[a], F[a], atol=1e-12)
+
+    def test_force_conserves_mass(self, rng):
+        f = _random_f(rng)
+        rho0 = density(f).copy()
+        BGKCollision(D3Q19, tau=0.7, force=(1e-4, 0, 0))(f)
+        assert np.allclose(density(f), rho0, rtol=1e-12)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("tau", [0.5, 0.4, 0.0, -1.0])
+    def test_unstable_tau_rejected(self, tau):
+        with pytest.raises(ValueError, match="tau"):
+            BGKCollision(D3Q19, tau=tau)
+
+    def test_bad_force_shape_rejected(self):
+        with pytest.raises(ValueError, match="force"):
+            BGKCollision(D3Q19, tau=0.7, force=(1.0, 2.0))
+
+    def test_viscosity_roundtrip(self):
+        for nu in (0.01, 0.1, 1.0):
+            assert tau_to_viscosity(viscosity_to_tau(nu)) == pytest.approx(nu)
+
+    def test_viscosity_positive(self):
+        assert BGKCollision(D3Q19, tau=0.51).viscosity > 0

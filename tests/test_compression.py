@@ -1,0 +1,96 @@
+"""Tests for the Sec-4.3 halo-compression extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import (CompressionStats, HaloCompressor,
+                                    compression_whatif,
+                                    measure_flow_halo_ratio)
+
+
+class TestCodec:
+    def test_round_trip_plain(self, rng):
+        codec = HaloCompressor(mode="plain")
+        a = rng.random((19, 10, 8)).astype(np.float32)
+        out = codec.decompress("k", codec.compress("k", a), a.shape)
+        assert np.array_equal(out, a)
+
+    def test_round_trip_delta_sequence(self, rng):
+        """The delta codec must reconstruct a whole evolving sequence."""
+        codec = HaloCompressor(mode="delta")
+        a = rng.random((19, 6, 6)).astype(np.float32)
+        for step in range(6):
+            a = a + (0.001 * rng.standard_normal(a.shape)).astype(np.float32)
+            out = codec.decompress("face", codec.compress("face", a), a.shape)
+            assert np.array_equal(out, a), step
+
+    def test_none_mode_is_identity(self, rng):
+        codec = HaloCompressor(mode="none")
+        a = rng.random((5, 4)).astype(np.float32)
+        payload = codec.compress("k", a)
+        assert len(payload) == a.nbytes
+        assert np.array_equal(codec.decompress("k", payload, a.shape), a)
+        assert codec.cpu_seconds(1000) == 0.0
+
+    def test_independent_channels(self, rng):
+        codec = HaloCompressor(mode="delta")
+        a = rng.random((4, 4)).astype(np.float32)
+        b = rng.random((4, 4)).astype(np.float32)
+        pa = codec.compress("a", a)
+        pb = codec.compress("b", b)
+        assert np.array_equal(codec.decompress("a", pa, a.shape), a)
+        assert np.array_equal(codec.decompress("b", pb, b.shape), b)
+
+    def test_smooth_data_compresses_well(self):
+        codec = HaloCompressor(mode="plain")
+        a = np.full((19, 80, 80), 1 / 19, dtype=np.float32)
+        payload = codec.compress("k", a)
+        assert len(payload) < a.nbytes / 20
+
+    def test_random_data_compresses_poorly(self, rng):
+        codec = HaloCompressor(mode="plain")
+        a = rng.random((19, 40, 40)).astype(np.float32)
+        payload = codec.compress("k", a)
+        assert len(payload) > a.nbytes / 3     # float noise is incompressible
+
+    def test_stats_accumulate(self, rng):
+        codec = HaloCompressor(mode="plain")
+        a = rng.random((8, 8)).astype(np.float32)
+        codec.compress("k", a)
+        codec.compress("k", a)
+        assert codec.stats.messages == 2
+        assert codec.stats.raw_bytes == 2 * a.nbytes
+        assert 0 < codec.stats.ratio
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HaloCompressor(mode="lossy")
+
+    def test_cpu_cost_positive(self):
+        codec = HaloCompressor(mode="delta")
+        assert codec.cpu_seconds(128_000) > 0
+
+
+class TestMeasuredRatio:
+    def test_real_flow_halo_compresses(self):
+        """Genuine LBM border data (near-equilibrium flow) is highly
+        coherent: the measured ratio beats 2:1 easily."""
+        stats = measure_flow_halo_ratio(steps=4, sub=(8, 8, 6))
+        assert stats.messages > 0
+        assert stats.ratio < 0.5
+
+    def test_whatif_reports_both_sides(self):
+        w = compression_whatif(nodes=32, ratio=0.15)
+        assert w["net_compressed_ms"] < w["net_base_ms"]
+        assert w["codec_cpu_ms"] > 0
+        assert isinstance(w["worth_it"], (bool, np.bool_))
+
+    def test_compression_useless_when_network_already_hidden(self):
+        """Below the 28-node knee the network is fully overlapped, so
+        compression cannot improve the step time."""
+        w = compression_whatif(nodes=16, ratio=0.15)
+        assert w["total_compressed_ms"] == pytest.approx(w["total_base_ms"])
+
+    def test_compression_helps_at_32_nodes(self):
+        w = compression_whatif(nodes=32, ratio=0.15)
+        assert w["worth_it"]

@@ -1,0 +1,95 @@
+"""Tests for the BGK equilibrium distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lbm.equilibrium import equilibrium, equilibrium_site
+from repro.lbm.lattice import D2Q9, D3Q19
+
+
+def _rand_fields(rng, shape):
+    rho = rng.uniform(0.8, 1.2, shape)
+    u = rng.uniform(-0.08, 0.08, (3,) + shape)
+    return rho, u
+
+
+class TestMoments:
+    def test_density_moment(self, rng):
+        rho, u = _rand_fields(rng, (5, 4, 3))
+        feq = equilibrium(D3Q19, rho, u)
+        assert np.allclose(feq.sum(axis=0), rho, rtol=1e-12)
+
+    def test_momentum_moment(self, rng):
+        rho, u = _rand_fields(rng, (5, 4, 3))
+        feq = equilibrium(D3Q19, rho, u)
+        j = np.einsum("qa,q...->a...", D3Q19.c.astype(float), feq)
+        assert np.allclose(j, rho * u, rtol=1e-12)
+
+    def test_rest_state_equals_weights(self):
+        feq = equilibrium_site(D3Q19, 1.0, (0, 0, 0))
+        assert np.allclose(feq, D3Q19.w)
+
+    def test_stress_moment_at_rest(self):
+        """Second moment at rest must be the isotropic pressure cs^2 rho."""
+        feq = equilibrium_site(D3Q19, 1.0, (0, 0, 0))
+        c = D3Q19.c.astype(float)
+        p = np.einsum("q,qa,qb->ab", feq, c, c)
+        assert np.allclose(p, np.eye(3) / 3.0)
+
+    @given(ux=st.floats(-0.1, 0.1), uy=st.floats(-0.1, 0.1),
+           uz=st.floats(-0.1, 0.1),
+           rho=st.floats(0.5, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_moments_property(self, ux, uy, uz, rho):
+        feq = equilibrium_site(D3Q19, rho, (ux, uy, uz))
+        assert feq.sum() == pytest.approx(rho, rel=1e-10)
+        j = D3Q19.c.astype(float).T @ feq
+        assert np.allclose(j, rho * np.array([ux, uy, uz]), atol=1e-12)
+
+
+class TestSymmetries:
+    def test_velocity_reversal_swaps_opposites(self):
+        u = np.array([0.05, -0.02, 0.03])
+        f1 = equilibrium_site(D3Q19, 1.0, u)
+        f2 = equilibrium_site(D3Q19, 1.0, -u)
+        assert np.allclose(f1, f2[D3Q19.opp])
+
+    def test_axis_permutation_symmetry(self):
+        """Permuting velocity components permutes distributions
+        consistently with the link permutation."""
+        f_x = equilibrium_site(D3Q19, 1.0, (0.07, 0, 0))
+        f_y = equilibrium_site(D3Q19, 1.0, (0, 0.07, 0))
+        # Link pointing +x in f_x must equal link pointing +y in f_y.
+        ix = int(np.flatnonzero((D3Q19.c == [1, 0, 0]).all(axis=1))[0])
+        iy = int(np.flatnonzero((D3Q19.c == [0, 1, 0]).all(axis=1))[0])
+        assert f_x[ix] == pytest.approx(f_y[iy])
+
+    def test_positivity_for_moderate_velocity(self):
+        feq = equilibrium_site(D3Q19, 1.0, (0.1, 0.1, 0.1))
+        assert (feq > 0).all()
+
+
+class TestAPI:
+    def test_out_buffer_reused(self, rng):
+        rho, u = _rand_fields(rng, (4, 4, 4))
+        out = np.empty((19, 4, 4, 4))
+        res = equilibrium(D3Q19, rho, u, out=out)
+        assert res is out
+
+    def test_dtype_preserved(self, rng):
+        rho = np.ones((3, 3, 3), dtype=np.float32)
+        u = np.zeros((3, 3, 3, 3), dtype=np.float32).reshape(3, 3, 3, 3)
+        feq = equilibrium(D3Q19, rho, u)
+        assert feq.dtype == np.float32
+
+    def test_wrong_velocity_dim_rejected(self):
+        with pytest.raises(ValueError, match="leading dim"):
+            equilibrium(D3Q19, np.ones((3, 3, 3)), np.zeros((2, 3, 3, 3)))
+
+    def test_d2q9_supported(self, rng):
+        rho = rng.uniform(0.9, 1.1, (6, 5))
+        u = rng.uniform(-0.05, 0.05, (2, 6, 5))
+        feq = equilibrium(D2Q9, rho, u)
+        assert feq.shape == (9, 6, 5)
+        assert np.allclose(feq.sum(axis=0), rho)

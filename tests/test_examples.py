@@ -1,0 +1,63 @@
+"""Smoke tests: every example must run end to end (small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        res = _run("quickstart.py", "--shape", "16,12,8", "--steps", "8")
+        assert res.returncode == 0, res.stderr
+        assert "all three paths agree" in res.stdout
+
+    def test_urban_dispersion(self, tmp_path):
+        res = _run("urban_dispersion.py", "--shape", "48,40,10",
+                   "--spinup", "20", "--steps", "10", "--tracers", "300",
+                   "--outdir", str(tmp_path))
+        assert res.returncode == 0, res.stderr
+        assert (tmp_path / "urban_streamlines.ppm").exists()
+        assert (tmp_path / "urban_density.pgm").exists()
+        assert (tmp_path / "urban_footprint.pgm").exists()
+
+    def test_urban_dispersion_timing_mode(self):
+        res = _run("urban_dispersion.py", "--shape", "480,400,80",
+                   "--timing-only")
+        assert res.returncode == 0, res.stderr
+        assert "0.31" in res.stdout or "0.32" in res.stdout
+
+    def test_scaling_study(self):
+        res = _run("scaling_study.py", "--nodes", "1,2,8", "--quick")
+        assert res.returncode == 0, res.stderr
+        assert "Table 1" in res.stdout
+        assert "Table 2" in res.stdout
+        assert "Strong scaling" in res.stdout
+
+    def test_thermal_convection(self):
+        res = _run("thermal_convection.py", "--shape", "16,6,12",
+                   "--steps", "80")
+        assert res.returncode == 0, res.stderr
+        assert "convective heat flux" in res.stdout
+
+    def test_cluster_solvers(self):
+        res = _run("cluster_solvers.py", "--ranks", "2", "--n", "12")
+        assert res.returncode == 0, res.stderr
+        assert "CG:" in res.stdout
+        assert "indirection" in res.stdout.lower()
+
+    def test_lid_driven_cavity(self, tmp_path):
+        res = _run("lid_driven_cavity.py", "--n", "24", "--steps", "800",
+                   "--outdir", str(tmp_path))
+        assert res.returncode == 0, res.stderr
+        assert "vortex centre" in res.stdout
+        assert (tmp_path / "cavity_speed.pgm").exists()

@@ -1,0 +1,173 @@
+"""Tests for the fragment-program render engine."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.fragment import FragmentProgram, Rect, RenderContext
+from repro.gpu.texture import TextureMemory, TextureStack
+
+
+@pytest.fixture
+def device():
+    return SimulatedGPU(enforce_memory=False)
+
+
+def _stack(device, w=6, h=5, d=4, name="s"):
+    s = device.new_stack(w, h, d, name)
+    s.data[...] = np.arange(s.data.size, dtype=np.float32).reshape(s.data.shape)
+    return s
+
+
+class TestRect:
+    def test_properties(self):
+        r = Rect(1, 4, 2, 6)
+        assert r.height == 3 and r.width == 4 and r.fragments == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(2, 2, 0, 4)
+
+
+class TestFetch:
+    def test_zero_offset_identity(self, device):
+        s = _stack(device)
+        ctx = RenderContext({"s": s}, z=1, rect=Rect(0, 5, 0, 6), wrap=True)
+        assert np.array_equal(ctx.fetch("s"), s.data[1])
+
+    def test_wrap_offsets(self, device):
+        s = _stack(device)
+        rect = Rect(0, 5, 0, 6)
+        ctx = RenderContext({"s": s}, z=0, rect=rect, wrap=True)
+        got = ctx.fetch("s", dx=1, dy=0, dz=-1)
+        expect = np.roll(s.data[-1], shift=-1, axis=1)
+        assert np.array_equal(got, expect)
+
+    def test_padded_offsets(self, device):
+        s = _stack(device)
+        rect = Rect(1, 4, 1, 5)
+        ctx = RenderContext({"s": s}, z=2, rect=rect, wrap=False)
+        got = ctx.fetch("s", dx=-1, dy=1)
+        assert np.array_equal(got, s.data[2, 2:5, 0:4])
+
+    def test_padded_out_of_bounds_raises(self, device):
+        s = _stack(device)
+        ctx = RenderContext({"s": s}, z=0, rect=Rect(0, 5, 0, 6), wrap=False)
+        with pytest.raises(IndexError):
+            ctx.fetch("s", dx=1)
+        with pytest.raises(IndexError):
+            ctx.fetch("s", dz=-1)
+
+    def test_channel_selection(self, device):
+        s = _stack(device)
+        ctx = RenderContext({"s": s}, z=1, rect=Rect(0, 5, 0, 6), wrap=True)
+        got = ctx.fetch("s", channels=2)
+        assert got.shape == (5, 6)
+        assert np.array_equal(got, s.data[1, :, :, 2])
+
+    def test_fetch_count_increments(self, device):
+        s = _stack(device)
+        ctx = RenderContext({"s": s}, z=0, rect=Rect(0, 5, 0, 6), wrap=True)
+        ctx.fetch("s")
+        ctx.fetch("s", dx=1)
+        assert ctx.fetch_count == 2
+
+
+class TestRunPass:
+    def test_kernel_output_written(self, device):
+        s = device.new_stack(4, 4, 2, "t")
+        prog = FragmentProgram("fill", lambda ctx: np.full((4, 4, 4), 3.0,
+                                                           dtype=np.float32),
+                               alu_ops=1, tex_fetches=0)
+        device.run_pass(prog, s, {}, Rect(0, 4, 0, 4))
+        assert (s.data == 3.0).all()
+
+    def test_bad_output_shape_raises(self, device):
+        s = device.new_stack(4, 4, 1, "t")
+        prog = FragmentProgram("bad", lambda ctx: np.zeros((2, 2, 4)),
+                               alu_ops=1, tex_fetches=0)
+        with pytest.raises(ValueError, match="produced"):
+            device.run_pass(prog, s, {}, Rect(0, 4, 0, 4))
+
+    def test_no_read_own_writes_across_slices(self, device):
+        """Z-streaming hazard: a pass reading slice z-1 of its own
+        target must see pre-pass contents even after slice z-1 was
+        computed (commit-after-pass semantics)."""
+        s = device.new_stack(2, 2, 3, "t")
+        s.data[...] = 1.0
+
+        def kernel(ctx):
+            below = ctx.fetch("t", dz=-1)
+            return below + 1.0
+
+        prog = FragmentProgram("shift", kernel, alu_ops=1, tex_fetches=1)
+        device.run_pass(prog, s, {"t": s}, Rect(0, 2, 0, 2), wrap=True)
+        # Every slice read the OLD value (1.0) of its lower neighbour.
+        assert (s.data == 2.0).all()
+
+    def test_timing_charged(self, device):
+        s = device.new_stack(8, 8, 4, "t")
+        prog = FragmentProgram("work", lambda ctx: np.zeros((8, 8, 4),
+                                                            dtype=np.float32),
+                               alu_ops=10, tex_fetches=2)
+        t0 = device.clock_s
+        device.run_pass(prog, s, {}, Rect(0, 8, 0, 8))
+        dt = device.clock_s - t0
+        assert dt == pytest.approx(
+            8 * 8 * 4 * device.pass_time_s(prog, 1), rel=1e-9)
+        assert device.pass_seconds["work"] == pytest.approx(dt)
+
+    def test_charge_flag_skips_timing(self, device):
+        s = device.new_stack(4, 4, 1, "t")
+        prog = FragmentProgram("free", lambda ctx: np.zeros((4, 4, 4),
+                                                            dtype=np.float32),
+                               alu_ops=5, tex_fetches=0)
+        device.run_pass(prog, s, {}, Rect(0, 4, 0, 4), charge=False)
+        assert device.clock_s == 0.0
+
+
+class TestRunPassGroup:
+    def test_swap_is_atomic(self, device):
+        """Two passes that swap each other's stacks must both read the
+        pre-group snapshot."""
+        a = device.new_stack(2, 2, 1, "a")
+        b = device.new_stack(2, 2, 1, "b")
+        a.data[...] = 1.0
+        b.data[...] = 2.0
+
+        def read_b(ctx):
+            return ctx.fetch("b").copy()
+
+        def read_a(ctx):
+            return ctx.fetch("a").copy()
+
+        pa = FragmentProgram("pa", read_b, alu_ops=1, tex_fetches=1)
+        pb = FragmentProgram("pb", read_a, alu_ops=1, tex_fetches=1)
+        bindings = {"a": a, "b": b}
+        device.run_pass_group([(pa, a, bindings), (pb, b, bindings)],
+                              Rect(0, 2, 0, 2), wrap=True)
+        assert (a.data == 2.0).all()
+        assert (b.data == 1.0).all()
+
+
+class TestTransfers:
+    def test_readback_slower_than_upload_on_agp(self, device):
+        data = np.zeros(1 << 20, dtype=np.float32)
+        up = device.readback(data)
+        down = device.upload(data)
+        assert up > down   # the Sec-3 asymmetry
+
+    def test_bytes_accounted(self, device):
+        data = np.zeros(1000, dtype=np.float32)
+        device.readback(data)
+        device.upload(data)
+        assert device.bytes_up == 4000
+        assert device.bytes_down == 4000
+
+    def test_reset_clock(self, device):
+        device.charge("x", 1.0)
+        device.readback(np.zeros(10, dtype=np.float32))
+        device.reset_clock()
+        assert device.clock_s == 0.0
+        assert device.bytes_up == 0
+        assert not device.pass_seconds

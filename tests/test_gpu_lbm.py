@@ -1,0 +1,194 @@
+"""The texture-path LBM vs the plain-numpy reference — the core Sec 4.2
+correctness claim — plus its timing anchors."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.lbm_gpu import GPULBMSolver
+from repro.gpu.specs import GEFORCE_6800_ULTRA
+from repro.gpu.texture import OutOfTextureMemory
+from repro.lbm.solver import LBMSolver
+
+
+def _random_init(rng, shape, solid=None):
+    u0 = (0.03 * rng.standard_normal((3,) + shape)).astype(np.float32)
+    if solid is not None:
+        u0[:, solid] = 0
+    return np.ones(shape, np.float32), u0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("mode", ["wrap", "padded"])
+    def test_matches_reference_periodic(self, rng, mode, small_shape):
+        rho0, u0 = _random_init(rng, small_shape)
+        ref = LBMSolver(small_shape, tau=0.7)
+        ref.initialize(rho=rho0, u=u0)
+        gpu = GPULBMSolver(small_shape, tau=0.7, mode=mode)
+        gpu.load_distributions(ref.f.copy())
+        ref.step(5)
+        gpu.step(5)
+        assert np.array_equal(gpu.distributions(), ref.f)
+
+    @pytest.mark.parametrize("mode", ["wrap", "padded"])
+    def test_matches_reference_with_obstacle(self, rng, mode, small_shape,
+                                             small_solid):
+        rho0, u0 = _random_init(rng, small_shape, small_solid)
+        ref = LBMSolver(small_shape, tau=0.7, solid=small_solid)
+        ref.initialize(rho=rho0, u=u0)
+        gpu = GPULBMSolver(small_shape, tau=0.7, solid=small_solid, mode=mode)
+        gpu.load_distributions(ref.f.copy())
+        ref.step(6)
+        gpu.step(6)
+        assert np.array_equal(gpu.distributions(), ref.f)
+
+    def test_matches_reference_with_force(self, rng, small_shape):
+        force = (1e-5, -2e-5, 0.0)
+        rho0, u0 = _random_init(rng, small_shape)
+        ref = LBMSolver(small_shape, tau=0.8, force=force)
+        ref.initialize(rho=rho0, u=u0)
+        gpu = GPULBMSolver(small_shape, tau=0.8, force=force)
+        gpu.load_distributions(ref.f.copy())
+        ref.step(5)
+        gpu.step(5)
+        assert np.allclose(gpu.distributions(), ref.f, atol=1e-7)
+
+    def test_macro_pass_matches_reference_moments(self, rng, small_shape):
+        rho0, u0 = _random_init(rng, small_shape)
+        ref = LBMSolver(small_shape, tau=0.7)
+        ref.initialize(rho=rho0, u=u0)
+        gpu = GPULBMSolver(small_shape, tau=0.7)
+        gpu.load_distributions(ref.f.copy())
+        gpu.run_macro_pass()
+        rho_g, u_g = gpu.macroscopic()
+        rho_r, u_r = ref.macroscopic()
+        assert np.allclose(rho_g, rho_r, rtol=1e-6)
+        assert np.allclose(u_g, u_r, atol=1e-6)
+
+
+class TestGhostProtocol:
+    def test_border_layer_round_trip(self, rng):
+        shape = (6, 5, 4)
+        gpu = GPULBMSolver(shape, tau=0.7, mode="padded")
+        f = rng.random((19,) + shape).astype(np.float32)
+        gpu.load_distributions(f)
+        for axis in range(3):
+            for side in ("low", "high"):
+                layer = gpu.get_border_layer(axis, side)
+                expect_shape = {
+                    0: (19, 5 + 2, 4 + 2), 1: (19, 6 + 2, 4 + 2),
+                    2: (19, 6 + 2, 5 + 2)}[axis]
+                assert layer.shape == expect_shape
+
+    def test_set_ghost_then_stream_pulls_it(self, rng):
+        shape = (4, 4, 4)
+        gpu = GPULBMSolver(shape, tau=0.7, mode="padded")
+        gpu.load_distributions(np.zeros((19,) + shape, dtype=np.float32))
+        ghost = np.zeros((19, 6, 6), dtype=np.float32)
+        ghost[1, 2 + 1, 2 + 1] = 9.0   # +x link at (y=2, z=2), padded coords
+        gpu.set_ghost_layer(ghost, axis=0, side="low")
+        gpu.run_stream_passes()
+        f = gpu.distributions()
+        assert f[1, 0, 2, 2] == 9.0
+
+    def test_ghost_ops_require_padded(self):
+        gpu = GPULBMSolver((4, 4, 4), tau=0.7, mode="wrap")
+        with pytest.raises(RuntimeError):
+            gpu.get_border_layer(0, "low")
+
+    def test_ghost_shape_validated(self):
+        gpu = GPULBMSolver((4, 4, 4), tau=0.7, mode="padded")
+        with pytest.raises(ValueError):
+            gpu.set_ghost_layer(np.zeros((19, 3, 3), np.float32), 0, "low")
+
+
+class TestDeclaredCosts:
+    def test_kernels_fetch_exactly_what_they_declare(self, rng, small_shape,
+                                                     small_solid):
+        """Honesty check for the timing model: count actual fetches."""
+        from repro.gpu.fragment import RenderContext, Rect
+        gpu = GPULBMSolver(small_shape, tau=0.7, solid=small_solid)
+        rho0, u0 = _random_init(rng, small_shape, small_solid)
+        bindings = gpu.bindings()
+        rect = gpu._rect
+        for name in (["macro"] + [f"collide{s}" for s in range(5)]
+                     + [f"stream{s}" for s in range(5)]
+                     + [f"bounce{s}" for s in range(5)]):
+            prog = gpu._programs[name]
+            ctx = RenderContext(bindings, z=1, rect=rect, wrap=True)
+            prog.kernel(ctx)
+            assert ctx.fetch_count == prog.tex_fetches, name
+
+
+class TestTimingAnchors:
+    def test_80cube_step_is_214ms(self):
+        """The paper's Table-1 compute anchor, from the full pass suite
+        with boundary handling."""
+        dev = SimulatedGPU(enforce_memory=False)
+        solid = np.zeros((80, 80, 80), bool)
+        solid[10:14, 10:14, :6] = True
+        gpu = GPULBMSolver((80, 80, 80), tau=0.6, device=dev, solid=solid)
+        gpu.step(1)
+        assert dev.clock_s * 1e3 == pytest.approx(214.0, rel=0.01)
+
+    def test_memory_budget_enforced(self):
+        with pytest.raises(OutOfTextureMemory):
+            GPULBMSolver((96, 96, 96), tau=0.6)  # > 92^3 limit
+
+    def test_92cube_fits(self):
+        gpu = GPULBMSolver((92, 92, 92), tau=0.6, mode="wrap")
+        assert gpu.device.memory.free_bytes >= 0
+
+    def test_faster_card_faster_step(self):
+        d1 = SimulatedGPU(enforce_memory=False)
+        d2 = SimulatedGPU(spec=GEFORCE_6800_ULTRA, enforce_memory=False)
+        g1 = GPULBMSolver((16, 16, 16), tau=0.6, device=d1)
+        g2 = GPULBMSolver((16, 16, 16), tau=0.6, device=d2)
+        g1.step(1)
+        g2.step(1)
+        # Sec 4.4: the 6800 Ultra is "at least 2.5 times faster".
+        assert d1.clock_s / d2.clock_s == pytest.approx(2.5, rel=1e-6)
+
+
+class TestBoundaryLayers:
+    def test_inlet_outflow_drive_flow(self):
+        shape = (12, 6, 6)
+        gpu = GPULBMSolver(shape, tau=0.7, mode="padded",
+                           inlet=(0, "high", (-0.05, 0.0, 0.0), 1.0),
+                           outflow=(0, "low"))
+        gpu.step(60)
+        gpu.run_macro_pass()
+        _, u = gpu.macroscopic()
+        assert u[0].mean() < -0.005
+
+    def test_inlet_matches_reference_solver(self, rng):
+        """Same inlet/outflow on both paths on a bounded domain."""
+        from repro.lbm.boundaries import (EquilibriumVelocityInlet,
+                                          OutflowBoundary)
+        from repro.lbm.lattice import D3Q19
+        shape = (10, 6, 4)
+        inlet = (0, "high", (-0.04, 0.0, 0.0), 1.0)
+        ref = LBMSolver(shape, tau=0.7, periodic=False,
+                        boundaries=[EquilibriumVelocityInlet(D3Q19, *inlet),
+                                    OutflowBoundary(D3Q19, 0, "low")])
+        gpu = GPULBMSolver(shape, tau=0.7, mode="padded", inlet=inlet,
+                           outflow=(0, "low"))
+        gpu.load_distributions(ref.f.copy())
+        # Drive the padded ghosts the same way (zero-gradient).
+        for _ in range(5):
+            ref.step(1)
+        # The GPU padded path wraps ghosts periodically by default; for a
+        # bounded comparison, step the passes with zero-gradient ghosts.
+        for _ in range(5):
+            gpu.run_macro_pass()
+            gpu.run_collide_passes()
+            for axis in range(3):
+                for side in ("low", "high"):
+                    gpu.set_ghost_layer(gpu.get_border_layer(axis, side),
+                                        axis, side)
+            gpu.run_stream_passes()
+            if gpu.has_solid:
+                gpu.run_bounce_passes()
+            gpu._apply_inlet()
+            gpu._apply_outflow()
+        assert np.allclose(gpu.distributions(), ref.f, atol=1e-6)

@@ -1,0 +1,59 @@
+"""Tests for the D3Q19 halo plan: the 5 N^2 / N message accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.halo import HaloPlan
+from repro.lbm.lattice import D3Q19
+
+
+@pytest.fixture
+def plan():
+    return HaloPlan((80, 80, 80))
+
+
+class TestLinkSets:
+    def test_face_links_count(self, plan):
+        for axis in range(3):
+            for direction in (-1, 1):
+                assert len(plan.face_links(axis, direction)) == 5
+
+    def test_face_links_point_outward(self, plan):
+        links = plan.face_links(0, +1)
+        assert (D3Q19.c[links, 0] == 1).all()
+
+    def test_edge_link_is_single(self, plan):
+        assert len(plan.edge_links(0, 1, 1, -1)) == 1
+
+    def test_bad_direction(self, plan):
+        with pytest.raises(ValueError):
+            plan.face_links(0, 0)
+
+
+class TestByteAccounting:
+    def test_face_bytes_are_5N2(self, plan):
+        """The paper's 5 N^2 values (x4 bytes/float)."""
+        assert plan.face_bytes(0) == 5 * 80 * 80 * 4
+
+    def test_edge_bytes_are_N(self, plan):
+        assert plan.edge_bytes(0, 1) == 80 * 4
+
+    def test_anisotropic_subdomain(self):
+        p = HaloPlan((40, 80, 20))
+        assert p.face_cells(0) == 80 * 20
+        assert p.face_cells(1) == 40 * 20
+        assert p.edge_cells(0, 1) == 20
+
+    def test_face_message_with_piggyback(self, plan):
+        msg = plan.face_message(0, +1, piggyback_edges=2)
+        assert msg.nbytes == (5 * 80 * 80 + 2 * 80) * 4
+        assert len(msg.links) == 5
+
+    def test_indirect_overhead_is_c_over_5N(self, plan):
+        """Sec 4.3: 'increases the packet size ... only by c/(5N)'."""
+        for c in (1, 2, 4):
+            assert plan.indirect_overhead_fraction(0, c) == pytest.approx(
+                c / (5 * 80))
+
+    def test_indirect_overhead_is_small(self, plan):
+        assert plan.indirect_overhead_fraction(0, 4) < 0.011

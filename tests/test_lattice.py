@@ -1,0 +1,136 @@
+"""Tests for the D3Q19 / D2Q9 velocity sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lbm.lattice import D2Q9, D3Q19, Lattice
+
+
+class TestD3Q19Structure:
+    def test_counts(self):
+        assert D3Q19.Q == 19
+        assert D3Q19.D == 3
+
+    def test_one_rest_velocity(self):
+        rest = (np.abs(D3Q19.c).sum(axis=1) == 0).sum()
+        assert rest == 1
+        assert tuple(D3Q19.c[0]) == (0, 0, 0)
+
+    def test_six_axial_and_twelve_diagonal(self):
+        norms = np.abs(D3Q19.c).sum(axis=1)
+        assert (norms == 1).sum() == 6
+        assert (norms == 2).sum() == 12
+
+    def test_axial_links_come_first(self):
+        """The halo logic relies on axial links at indices 1..6."""
+        norms = np.abs(D3Q19.c).sum(axis=1)
+        assert (norms[1:7] == 1).all()
+        assert (norms[7:] == 2).all()
+
+    def test_weights(self):
+        w = D3Q19.w
+        assert w[0] == pytest.approx(1 / 3)
+        assert np.allclose(w[1:7], 1 / 18)
+        assert np.allclose(w[7:], 1 / 36)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_opposites_are_involution(self):
+        opp = D3Q19.opp
+        assert (opp[opp] == np.arange(19)).all()
+        for i in range(19):
+            assert (D3Q19.c[opp[i]] == -D3Q19.c[i]).all()
+
+    def test_second_moment_isotropy(self):
+        m2 = np.einsum("q,qa,qb->ab", D3Q19.w, D3Q19.c.astype(float),
+                       D3Q19.c.astype(float))
+        assert np.allclose(m2, np.eye(3) / 3.0)
+
+    def test_fourth_moment_isotropy(self):
+        """sum w c^4 must satisfy the Navier-Stokes isotropy relation:
+        <cccc> = cs^4 (d_ab d_cd + d_ac d_bd + d_ad d_bc)."""
+        c = D3Q19.c.astype(float)
+        m4 = np.einsum("q,qa,qb,qc,qd->abcd", D3Q19.w, c, c, c, c)
+        cs4 = D3Q19.cs2 ** 2
+        eye = np.eye(3)
+        expected = cs4 * (np.einsum("ab,cd->abcd", eye, eye)
+                          + np.einsum("ac,bd->abcd", eye, eye)
+                          + np.einsum("ad,bc->abcd", eye, eye))
+        assert np.allclose(m4, expected)
+
+
+class TestLinkSubsets:
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_five_links_per_face_direction(self, axis):
+        """The origin of the 5 N^2 face message (Sec 4.3)."""
+        assert len(D3Q19.links_with_positive(axis)) == 5
+        assert len(D3Q19.links_with_negative(axis)) == 5
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_positive_negative_are_opposites(self, axis):
+        pos = set(D3Q19.links_with_positive(axis))
+        neg = {int(D3Q19.opp[i]) for i in pos}
+        assert neg == set(D3Q19.links_with_negative(axis))
+
+    def test_one_link_per_signed_edge(self):
+        """The origin of the N-sized diagonal message (Sec 4.3)."""
+        for aa in range(3):
+            for ab in range(aa + 1, 3):
+                for da in (-1, 1):
+                    for db in (-1, 1):
+                        links = D3Q19.edge_links(aa, da, ab, db)
+                        assert len(links) == 1
+
+    def test_edge_links_cover_all_diagonals(self):
+        found = set()
+        for aa in range(3):
+            for ab in range(aa + 1, 3):
+                for da in (-1, 1):
+                    for db in (-1, 1):
+                        found.add(int(D3Q19.edge_links(aa, da, ab, db)[0]))
+        assert found == set(range(7, 19))
+
+    def test_face_union_is_axial_plus_edges(self):
+        pos = set(D3Q19.links_with_positive(0))
+        # +x face carries the +x axial link plus 4 diagonals.
+        norms = {int(np.abs(D3Q19.c[i]).sum()) for i in pos}
+        assert norms == {1, 2}
+
+
+class TestD2Q9:
+    def test_counts(self):
+        assert D2Q9.Q == 9
+        assert D2Q9.D == 2
+
+    def test_weights_sum(self):
+        assert D2Q9.w.sum() == pytest.approx(1.0)
+
+    def test_opposites(self):
+        assert (D2Q9.opp[D2Q9.opp] == np.arange(9)).all()
+
+    def test_three_links_per_face(self):
+        assert len(D2Q9.links_with_positive(0)) == 3
+        assert len(D2Q9.links_with_negative(1)) == 3
+
+
+class TestValidation:
+    def test_bad_weights_rejected(self):
+        c = D2Q9.c.copy()
+        w = D2Q9.w.copy()
+        w[0] += 0.1
+        with pytest.raises(ValueError, match="sum"):
+            Lattice("bad", c, w)
+
+    def test_asymmetric_set_rejected(self):
+        c = np.array([[0, 0], [1, 0]])
+        w = np.array([0.5, 0.5])
+        with pytest.raises(ValueError):
+            Lattice("bad", c, w)
+
+    @given(st.integers(min_value=1, max_value=18))
+    def test_dropping_any_moving_link_breaks_symmetry(self, drop):
+        keep = [i for i in range(19) if i != drop]
+        c = D3Q19.c[keep]
+        w = D3Q19.w[keep] / D3Q19.w[keep].sum()
+        with pytest.raises(ValueError):
+            Lattice("broken", c, w)

@@ -1,0 +1,103 @@
+"""Tests for the Smagorinsky LES collision."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.collision import BGKCollision
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.lattice import D3Q19
+from repro.lbm.les import SmagorinskyBGK
+from repro.lbm.macroscopic import density, momentum
+from repro.lbm.solver import LBMSolver
+
+
+def _sheared_f(rng, shape=(8, 8, 4), amp=0.08):
+    """A strongly sheared state (big non-equilibrium stress)."""
+    rho = np.ones(shape)
+    u = np.zeros((3,) + shape)
+    u[0] = amp * np.sin(2 * np.pi * np.arange(shape[1]) / shape[1])[None, :, None]
+    f = equilibrium(D3Q19, rho, u)
+    f += 0.02 * rng.standard_normal(f.shape) * D3Q19.w.reshape(-1, 1, 1, 1)
+    return f
+
+
+class TestReduction:
+    def test_zero_constant_equals_bgk(self, rng):
+        f1 = _sheared_f(rng)
+        f2 = f1.copy()
+        SmagorinskyBGK(D3Q19, tau0=0.7, c_smago=0.0)(f1)
+        BGKCollision(D3Q19, tau=0.7)(f2)
+        assert np.array_equal(f1, f2)
+
+    def test_equilibrium_state_unmodified_tau(self, rng):
+        """At equilibrium the non-equilibrium stress vanishes, so
+        tau_eff == tau0 everywhere."""
+        rho = np.ones((4, 4, 4))
+        u = 0.02 * rng.standard_normal((3, 4, 4, 4))
+        f = equilibrium(D3Q19, rho, u)
+        op = SmagorinskyBGK(D3Q19, tau0=0.8, c_smago=0.16)
+        tau_eff = op.effective_tau(f, f, rho)
+        assert np.allclose(tau_eff, 0.8, atol=1e-9)
+
+
+class TestEddyViscosity:
+    def test_positive_under_shear(self, rng):
+        f = _sheared_f(rng)
+        op = SmagorinskyBGK(D3Q19, tau0=0.55, c_smago=0.16)
+        nu_t = op.eddy_viscosity(f)
+        assert (nu_t >= -1e-12).all()
+        assert nu_t.max() > 0
+
+    def test_grows_with_constant(self, rng):
+        f = _sheared_f(rng)
+        small = SmagorinskyBGK(D3Q19, tau0=0.55, c_smago=0.1).eddy_viscosity(f)
+        large = SmagorinskyBGK(D3Q19, tau0=0.55, c_smago=0.2).eddy_viscosity(f)
+        assert large.max() > small.max()
+
+    def test_conservation(self, rng):
+        f = _sheared_f(rng)
+        rho0, j0 = density(f).copy(), momentum(D3Q19, f).copy()
+        SmagorinskyBGK(D3Q19, tau0=0.55, c_smago=0.16)(f)
+        assert np.allclose(density(f), rho0, rtol=1e-12)
+        assert np.allclose(momentum(D3Q19, f), j0, atol=1e-13)
+
+
+class TestStabilisation:
+    def test_les_stabilizes_underresolved_flow(self, rng):
+        """At tau near 0.5 with a strong shear + noise, plain BGK blows
+        up while the LES closure keeps the run finite — the whole point
+        of the model for the urban flow."""
+        shape = (16, 16, 4)
+
+        def run(collision):
+            s = LBMSolver(shape, tau=0.501, collision=collision,
+                          dtype=np.float64)
+            u0 = np.zeros((3,) + shape)
+            u0[0] = 0.15 * np.sin(
+                2 * np.pi * np.arange(16) / 16)[None, :, None]
+            u0 += 0.02 * rng.standard_normal((3,) + shape)
+            s.initialize(rho=np.ones(shape), u=u0)
+            s.step(300)
+            return s.f
+
+        from repro.lbm.collision import BGKCollision
+        f_bgk = run(BGKCollision(D3Q19, tau=0.501))
+        f_les = run(SmagorinskyBGK(D3Q19, tau0=0.501, c_smago=0.2))
+        bgk_blown = (~np.isfinite(f_bgk)).any() or np.abs(f_bgk).max() > 1e3
+        assert np.isfinite(f_les).all()
+        assert np.abs(f_les).max() < 10
+        assert bgk_blown            # BGK really was unstable here
+
+    def test_works_in_solver_with_obstacle(self, rng, small_shape, small_solid):
+        op = SmagorinskyBGK(D3Q19, tau0=0.6, c_smago=0.16,
+                            force=(1e-5, 0, 0))
+        s = LBMSolver(small_shape, tau=0.6, collision=op, solid=small_solid,
+                      dtype=np.float64)
+        s.step(50)
+        assert np.isfinite(s.f).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmagorinskyBGK(D3Q19, tau0=0.5)
+        with pytest.raises(ValueError):
+            SmagorinskyBGK(D3Q19, tau0=0.7, c_smago=-0.1)

@@ -1,0 +1,155 @@
+"""Tests for the MRT collision model (d'Humieres D3Q19 basis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lbm.collision import BGKCollision
+from repro.lbm.equilibrium import equilibrium
+from repro.lbm.lattice import D2Q9, D3Q19
+from repro.lbm.macroscopic import density, momentum
+from repro.lbm.mrt import (CONSERVED, MOMENT_NAMES, MRTCollision,
+                           default_rates, moment_equilibrium, mrt_matrix)
+
+
+class TestMomentMatrix:
+    def test_shape_and_rank(self):
+        M = mrt_matrix()
+        assert M.shape == (19, 19)
+        assert np.linalg.matrix_rank(M) == 19
+
+    def test_rows_orthogonal(self):
+        """The Gram-Schmidt basis rows are mutually orthogonal."""
+        M = mrt_matrix()
+        G = M @ M.T
+        off = G - np.diag(np.diag(G))
+        assert np.abs(off).max() < 1e-9
+
+    def test_density_row_is_ones(self):
+        assert np.allclose(mrt_matrix()[0], 1.0)
+
+    def test_momentum_rows_are_velocities(self):
+        M = mrt_matrix()
+        c = D3Q19.c.astype(float)
+        assert np.allclose(M[3], c[:, 0])
+        assert np.allclose(M[5], c[:, 1])
+        assert np.allclose(M[7], c[:, 2])
+
+    def test_moment_names_count(self):
+        assert len(MOMENT_NAMES) == 19
+
+    def test_d2q9_rejected(self):
+        with pytest.raises(ValueError):
+            mrt_matrix(D2Q9)
+
+
+class TestMomentEquilibrium:
+    @given(rho=st.floats(0.6, 1.5), ux=st.floats(-0.08, 0.08),
+           uy=st.floats(-0.08, 0.08), uz=st.floats(-0.08, 0.08))
+    @settings(max_examples=40, deadline=None)
+    def test_meq_equals_M_feq(self, rho, ux, uy, uz):
+        """The chosen constants make m_eq identical to the moments of
+        the BGK equilibrium — the key consistency property."""
+        u = np.array([ux, uy, uz]).reshape(3, 1)
+        r = np.array([rho])
+        feq = equilibrium(D3Q19, r, u)
+        meq = moment_equilibrium(D3Q19, r, r * u)
+        M = mrt_matrix()
+        assert np.allclose(M @ feq, meq, atol=1e-11)
+
+
+class TestMRTOperator:
+    def _random_f(self, amp=0.02):
+        rng = np.random.default_rng(3)
+        base = D3Q19.w.reshape(19, 1, 1, 1)
+        return (base * (1 + amp * rng.standard_normal((19, 4, 3, 2)))).astype(np.float64)
+
+    def test_reduces_to_bgk_with_uniform_rates(self):
+        tau = 0.77
+        s = np.full(19, 1.0 / tau)
+        s[list(CONSERVED)] = 0.0
+        fa = self._random_f()
+        fb = fa.copy()
+        MRTCollision(D3Q19, tau, rates=s)(fa)
+        BGKCollision(D3Q19, tau)(fb)
+        assert np.allclose(fa, fb, atol=1e-13)
+
+    def test_mass_momentum_conserved(self):
+        f = self._random_f()
+        rho0, j0 = density(f).copy(), momentum(D3Q19, f).copy()
+        MRTCollision(D3Q19, tau=0.7)(f)
+        assert np.allclose(density(f), rho0, rtol=1e-12)
+        assert np.allclose(momentum(D3Q19, f), j0, atol=1e-13)
+
+    def test_equilibrium_fixed_point(self):
+        rng = np.random.default_rng(1)
+        rho = rng.uniform(0.9, 1.1, (3, 3, 3))
+        u = rng.uniform(-0.04, 0.04, (3, 3, 3, 3)).transpose(3, 0, 1, 2)
+        f = equilibrium(D3Q19, rho, u)
+        before = f.copy()
+        MRTCollision(D3Q19, tau=0.9)(f)
+        assert np.allclose(f, before, atol=1e-12)
+
+    def test_mask(self):
+        f = self._random_f()
+        frozen = f[:, 0, 0, 0].copy()
+        mask = np.ones(f.shape[1:], dtype=bool)
+        mask[0, 0, 0] = False
+        MRTCollision(D3Q19, tau=0.7)(f, mask=mask)
+        assert np.array_equal(f[:, 0, 0, 0], frozen)
+
+    def test_energy_source_injects_energy_moment_only(self):
+        f = self._random_f()
+        M = mrt_matrix()
+        src_val = 1e-3
+
+        def src(grid):
+            return np.full(grid, src_val)
+
+        mrt = MRTCollision(D3Q19, tau=0.7, energy_source=src)
+        f2 = f.copy()
+        MRTCollision(D3Q19, tau=0.7)(f2)   # same rates, no source
+        mrt(f)
+        dm = M @ (f - f2).reshape(19, -1)
+        assert np.allclose(dm[1], src_val, atol=1e-12)   # e moment shifted
+        others = np.delete(np.arange(19), 1)
+        assert np.abs(dm[others]).max() < 1e-12
+
+    def test_default_rates_structure(self):
+        s = default_rates(0.8)
+        assert s[list(CONSERVED)].max() == 0.0
+        assert s[9] == pytest.approx(1.0 / 0.8)
+        assert s[13] == s[14] == s[15] == s[9]
+
+    def test_nonzero_conserved_rate_rejected(self):
+        s = default_rates(0.8)
+        s[0] = 0.5
+        with pytest.raises(ValueError, match="conserved"):
+            MRTCollision(D3Q19, tau=0.8, rates=s)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            MRTCollision(D3Q19, tau=0.5)
+
+    def test_viscosity(self):
+        assert MRTCollision(D3Q19, tau=0.8).viscosity == pytest.approx(0.1)
+
+    def test_stability_advantage_over_bgk(self):
+        """MRT's raison d'etre (Sec 4.1): at low viscosity it damps the
+        ghost modes BGK leaves underdamped.  Check the non-hydrodynamic
+        moments decay faster under MRT."""
+        tau = 0.51
+        f = self._random_f(amp=0.1)
+        fb = f.copy()
+        MRTCollision(D3Q19, tau=tau)(f)
+        BGKCollision(D3Q19, tau=tau)(fb)
+        M = mrt_matrix()
+        # Energy moments: BGK over-relaxes them at |1 - 1/tau| ~ 0.96,
+        # MRT pins them at the stable rates 1.19 / 1.4.
+        energy = [1, 2]
+        rho = density(f).reshape(-1)
+        j = momentum(D3Q19, f).reshape(3, -1)
+        meq = moment_equilibrium(D3Q19, rho, j)[energy]
+        m_mrt = (M @ f.reshape(19, -1))[energy] - meq
+        m_bgk = (M @ fb.reshape(19, -1))[energy] - meq
+        assert np.abs(m_mrt).max() < np.abs(m_bgk).max()

@@ -1,0 +1,131 @@
+"""Tests for calibration provenance, cost model, comparisons, what-ifs."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import (AGP_8X, GEFORCE_FX_5800_ULTRA, PCIE_X16,
+                             PENTIUM4_2_53, XEON_2_4)
+from repro.perf import calibration as cal
+from repro.perf.comparisons import GPU_CLUSTER_HEADLINE, SUPERCOMPUTER_RESULTS
+from repro.perf.cost import ClusterCost, paper_cluster_cost
+from repro.perf.whatif import (barrier_crossover, barrier_tradeoff,
+                               enhancement_speedups, subdomain_shape_study)
+
+
+class TestCalibration:
+    def test_internal_consistency(self):
+        cal.validate()
+
+    def test_compute_anchor(self):
+        total_ms = cal.lbm_step_compute_ns_per_cell() * 80 ** 3 * 1e-6
+        assert total_ms == pytest.approx(214, rel=0.01)
+
+    def test_cpu_anchor(self):
+        assert cal.CPU_NS_PER_CELL * 80 ** 3 * 1e-6 == pytest.approx(1420)
+
+    def test_bus_asymmetry(self):
+        """Sec 3: upstream an order of magnitude slower than downstream."""
+        assert AGP_8X.downstream_bytes_per_s / AGP_8X.upstream_bytes_per_s > 10
+        up = AGP_8X.upstream_time(1 << 20)
+        down = AGP_8X.downstream_time(1 << 20)
+        assert up > down
+
+    def test_pcie_symmetric(self):
+        assert PCIE_X16.upstream_bytes_per_s == PCIE_X16.downstream_bytes_per_s
+
+    def test_effective_rates_below_peak(self):
+        assert (cal.effective_upstream_bytes_per_s(AGP_8X)
+                < AGP_8X.upstream_bytes_per_s)
+        assert (cal.effective_downstream_bytes_per_s(AGP_8X)
+                < AGP_8X.downstream_bytes_per_s)
+
+    def test_single_gpu_8x_over_p4(self):
+        """Sec 4.2: FX 5900 Ultra ~8x a P4 2.53 GHz (no SSE)."""
+        gpu_ns = cal.lbm_step_compute_ns_per_cell()
+        assert PENTIUM4_2_53.lbm_ns_per_cell / gpu_ns == pytest.approx(8.0,
+                                                                       rel=0.01)
+
+    def test_geforce4_era_cpu_slower_than_xeon_model(self):
+        assert PENTIUM4_2_53.lbm_ns_per_cell > XEON_2_4.lbm_ns_per_cell
+
+
+class TestCost:
+    def test_paper_numbers(self):
+        """Sec 3: +512 GFlops for $12,768; 832 GFlops total."""
+        c = paper_cluster_cost()
+        assert c.gpu_peak_gflops == 512.0
+        assert c.gpu_price_usd == 12_768.0
+        assert c.total_peak_gflops == pytest.approx(832.0)
+        # 512000 MFlops / $12768 = 40.1 (the paper prints 41.1; its own
+        # arithmetic gives 40.1 — see EXPERIMENTS.md).
+        assert c.gpu_mflops_per_dollar == pytest.approx(40.1, abs=0.1)
+
+    def test_scales_with_nodes(self):
+        c16 = ClusterCost(nodes=16, gpu=GEFORCE_FX_5800_ULTRA, cpu=XEON_2_4)
+        assert c16.gpu_peak_gflops == 256.0
+
+
+class TestComparisons:
+    def test_headline(self):
+        assert GPU_CLUSTER_HEADLINE.mcells_per_s == 49.2
+        assert GPU_CLUSTER_HEADLINE.seconds_per_step == 0.317
+
+    def test_literature_points(self):
+        by_ref = {r.reference: r for r in SUPERCOMPUTER_RESULTS}
+        assert by_ref["Martys et al. [21]"].mcells_per_s == 0.8
+        assert by_ref["Massaioli & Amati [23]"].mcells_per_s == 108.1
+
+    def test_gpu_cluster_beats_2002_sp_but_not_2004_power4(self):
+        vals = sorted(r.mcells_per_s for r in SUPERCOMPUTER_RESULTS)
+        assert vals[-1] > GPU_CLUSTER_HEADLINE.mcells_per_s > vals[-2]
+
+
+class TestWhatIf:
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        return enhancement_speedups(nodes=32)
+
+    def test_every_enhancement_helps(self, speedups):
+        base = speedups["baseline (GbE + AGP 8x + 128MB)"]
+        for label, value in speedups.items():
+            if label != "baseline (GbE + AGP 8x + 128MB)":
+                assert value > base, label
+
+    def test_combined_best(self, speedups):
+        assert speedups["all three"] == max(speedups.values())
+
+    def test_combined_approaches_ideal(self, speedups):
+        """With all bottlenecks eased the speedup should head toward
+        the single-node 6.64 ceiling."""
+        assert speedups["all three"] > 5.8
+
+    def test_cube_minimizes_step_time(self):
+        rows = subdomain_shape_study()
+        cube = rows[0]
+        assert all(cube["total_ms"] <= r["total_ms"] for r in rows)
+        s2v = [r["surface_to_volume"] for r in rows]
+        net = [r["net_total_ms"] for r in rows]
+        assert np.argsort(s2v).tolist() == np.argsort(net).tolist()
+
+    def test_barrier_crossover_near_16(self):
+        """Sec 4.3: barrier helps below 16 nodes, hurts above."""
+        assert 16 < barrier_crossover() <= 20
+        assert barrier_tradeoff(8)["barrier_wins"]
+        assert not barrier_tradeoff(32)["barrier_wins"]
+
+
+class TestTimingDataclass:
+    def test_step_timing_totals(self):
+        from repro.core.cluster_lbm import StepTiming
+        t = StepTiming(nodes=4, compute_s=0.2, agp_s=0.05, net_total_s=0.15,
+                       overlap_window_s=0.12)
+        assert t.net_nonoverlap_s == pytest.approx(0.03)
+        assert t.total_s == pytest.approx(0.28)
+        ms = t.ms()
+        assert ms["total"] == pytest.approx(280.0)
+
+    def test_fully_overlapped(self):
+        from repro.core.cluster_lbm import StepTiming
+        t = StepTiming(nodes=2, compute_s=0.2, agp_s=0.01, net_total_s=0.05,
+                       overlap_window_s=0.12)
+        assert t.net_nonoverlap_s == 0.0

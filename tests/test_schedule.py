@@ -1,0 +1,136 @@
+"""Tests for the Fig-7 communication schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decomposition import BlockDecomposition
+from repro.core.halo import HaloPlan
+from repro.core.schedule import CommSchedule, naive_schedule
+
+
+def _setup(arrangement, periodic=(False, False, False), sub=(8, 8, 8)):
+    shape = tuple(s * a for s, a in zip(sub, arrangement))
+    d = BlockDecomposition(shape, arrangement, periodic=periodic)
+    return d, CommSchedule(d, HaloPlan(sub))
+
+
+class TestStructure:
+    def test_paper_4x4_has_4_steps(self):
+        """Fig 7: a 2D arrangement exchanges in exactly 4 steps."""
+        _, s = _setup((4, 4, 1))
+        assert s.n_steps == 4
+
+    def test_3d_has_6_steps(self):
+        _, s = _setup((4, 4, 3))
+        assert s.n_steps == 6
+
+    def test_two_plane_axis_needs_single_step(self):
+        # With only two z planes one matching covers the axis.
+        _, s = _setup((4, 4, 2))
+        assert s.n_steps == 5
+
+    def test_1d_has_2_steps(self):
+        _, s = _setup((4, 1, 1))
+        assert s.n_steps == 2
+
+    def test_single_node_has_no_steps(self):
+        _, s = _setup((1, 1, 1))
+        assert s.n_steps == 0
+
+    def test_fig7_16node_step_pattern(self):
+        """The exact Fig-7 pairs for 4x4: step 1 pairs columns (1,2),
+        step 2 pairs (0,1) and (2,3)."""
+        d, s = _setup((4, 4, 1))
+        step1 = s.steps[0]
+        cols = {(d.coords_of(p.lo)[0], d.coords_of(p.hi)[0])
+                for p in step1.pairs}
+        assert cols == {(1, 2)}
+        step2 = s.steps[1]
+        cols2 = {(d.coords_of(p.lo)[0], d.coords_of(p.hi)[0])
+                 for p in step2.pairs}
+        assert cols2 == {(0, 1), (2, 3)}
+
+
+class TestValidity:
+    @given(w=st.integers(1, 6), h=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_steps_are_matchings(self, w, h):
+        """No node talks to two partners in one step, ever."""
+        _, s = _setup((w, h, 1))
+        for step in s.steps:
+            nodes = [r for p in step.pairs for r in (p.lo, p.hi)]
+            assert len(nodes) == len(set(nodes))
+
+    @given(w=st.integers(2, 6), h=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_every_adjacent_pair_exactly_once(self, w, h):
+        d, s = _setup((w, h, 1))
+        seen = set()
+        for step in s.steps:
+            for p in step.pairs:
+                key = (min(p.lo, p.hi), max(p.lo, p.hi), p.axis)
+                assert key not in seen
+                seen.add(key)
+        expected = set()
+        for r in range(d.n_nodes):
+            for (axis, _), nb in d.face_neighbors(r).items():
+                expected.add((min(r, nb), max(r, nb), axis))
+        assert seen == expected
+
+    def test_periodic_wrap_pairs_included(self):
+        d, s = _setup((4, 1, 1), periodic=(True, True, True))
+        pairs = {(min(p.lo, p.hi), max(p.lo, p.hi)) for st_ in s.steps
+                 for p in st_.pairs}
+        assert (0, 3) in pairs
+
+    def test_odd_periodic_ring_needs_three_steps(self):
+        _, s = _setup((5, 1, 1), periodic=(True, False, False))
+        assert s.n_steps == 3
+        for step in s.steps:
+            nodes = [r for p in step.pairs for r in (p.lo, p.hi)]
+            assert len(nodes) == len(set(nodes))
+
+
+class TestBytes:
+    def test_pair_bytes_include_piggyback(self):
+        """In a full 2D arrangement each face message carries 2 edge
+        lines (the paper's c = 2)."""
+        _, s = _setup((4, 4, 1))
+        face = 5 * 8 * 8 * 4
+        edge = 8 * 4
+        assert s.steps[0].pairs[0].nbytes == face + 2 * edge
+
+    def test_round_bytes_shape(self):
+        _, s = _setup((4, 2, 1))
+        rb = s.round_bytes()
+        assert len(rb) == len(s.steps)
+        assert all(isinstance(b, int) for row in rb for b in row)
+
+    def test_total_pairs_2d(self):
+        d, s = _setup((4, 4, 1))
+        # 4x4 grid: 3*4 x-adjacencies + 3*4 y-adjacencies = 24.
+        assert s.total_pairs() == 24
+
+
+class TestNaive:
+    def test_every_node_fires_all_neighbors(self):
+        d, _ = _setup((4, 4, 1))
+        plan = HaloPlan((8, 8, 8))
+        sends = naive_schedule(d, plan)
+        interior = d.rank_of((1, 1, 0))
+        # 4 faces + 4 diagonals fired at once.
+        assert len(sends[interior]) == 8
+
+    def test_diagonal_messages_are_small(self):
+        d, _ = _setup((2, 2, 1))
+        plan = HaloPlan((8, 8, 8))
+        sends = naive_schedule(d, plan)
+        sizes = sorted(nb for msgs in sends.values() for _, nb in msgs)
+        assert sizes[0] == 8 * 4          # one edge line
+        assert sizes[-1] == 5 * 8 * 8 * 4  # one face
+
+    def test_direct_pattern_rejected_in_scheduler(self):
+        d, _ = _setup((2, 2, 1))
+        with pytest.raises(ValueError):
+            CommSchedule(d, HaloPlan((8, 8, 8)), indirect_diagonal=False)

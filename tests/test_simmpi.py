@@ -1,0 +1,183 @@
+"""Tests for the thread-per-rank SimMPI message layer."""
+
+import numpy as np
+import pytest
+
+from repro.net.simmpi import SimCluster
+from repro.net.switch import GigabitSwitch
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(5, dtype=np.float64), dest=1, tag=3)
+                return None
+            return comm.Recv(source=0, tag=3)
+
+        res = SimCluster(2).run(main)
+        assert np.array_equal(res[1], np.arange(5.0))
+
+    def test_send_copies_buffer(self):
+        """Mutating the send buffer after Send must not corrupt the
+        message (MPI buffer semantics)."""
+        def main(comm):
+            if comm.rank == 0:
+                data = np.ones(4)
+                comm.Send(data, dest=1)
+                data[:] = 99.0
+                return None
+            return comm.Recv(source=0)
+
+        res = SimCluster(2).run(main)
+        assert (res[1] == 1.0).all()
+
+    def test_ring_sendrecv(self):
+        def main(comm):
+            data = np.full(3, float(comm.rank))
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            got = comm.sendrecv(data, dest=right, source=left)
+            return float(got[0])
+
+        res = SimCluster(5).run(main)
+        assert res == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_tag_matching(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=7)
+                comm.Send(np.array([2.0]), dest=1, tag=8)
+                return None
+            b = comm.Recv(source=0, tag=8)
+            a = comm.Recv(source=0, tag=7)
+            return (float(a[0]), float(b[0]))
+
+        res = SimCluster(2).run(main)
+        assert res[1] == (1.0, 2.0)
+
+    def test_recv_advances_clock_to_arrival(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.compute(0.5)
+                comm.Send(np.zeros(1000), dest=1)
+                return comm.clock_s
+            got = comm.Recv(source=0)
+            return comm.clock_s
+
+        cl = SimCluster(2)
+        res = cl.run(main)
+        assert res[1] >= 0.5           # receiver waited for the sender
+        assert res[1] == pytest.approx(res[0])
+
+    def test_isend_cheaper_than_send_for_sender(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Isend(np.zeros(10 ** 6), dest=1)
+                return comm.clock_s
+            comm.Recv(source=0)
+            return comm.clock_s
+
+        res = SimCluster(2).run(main)
+        assert res[0] < res[1]
+
+    def test_deadlock_detected(self):
+        def main(comm):
+            # Everyone receives, nobody sends.
+            return comm.Recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(RuntimeError, match="rank"):
+            SimCluster(2, timeout_s=0.5).run(main)
+
+    def test_worker_exception_propagates(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            SimCluster(2, timeout_s=2.0).run(main)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        res = SimCluster(4).run(lambda comm: comm.allreduce(comm.rank + 1))
+        assert res == [10, 10, 10, 10]
+
+    def test_allreduce_arrays(self):
+        def main(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        res = SimCluster(3).run(main)
+        assert np.array_equal(res[0], np.full(3, 3.0))
+
+    def test_gather(self):
+        def main(comm):
+            return comm.gather(comm.rank * 2, root=1)
+
+        res = SimCluster(3).run(main)
+        assert res[0] is None
+        assert res[1] == [0, 2, 4]
+        assert res[2] is None
+
+    def test_allgather(self):
+        res = SimCluster(3).run(lambda c: c.allgather(c.rank))
+        assert res == [[0, 1, 2]] * 3
+
+    def test_bcast(self):
+        def main(comm):
+            val = f"hello-{comm.rank}" if comm.rank == 2 else None
+            return comm.bcast(val, root=2)
+
+        res = SimCluster(4).run(main)
+        assert res == ["hello-2"] * 4
+
+    def test_barrier_synchronizes_clocks(self):
+        def main(comm):
+            comm.compute(0.1 * comm.rank)
+            comm.barrier()
+            return comm.clock_s
+
+        res = SimCluster(4).run(main)
+        assert max(res) - min(res) < 1e-12
+        assert min(res) >= 0.3        # slowest rank's compute
+
+    def test_repeated_collectives(self):
+        def main(comm):
+            total = 0
+            for k in range(5):
+                total += comm.allreduce(comm.rank + k)
+            return total
+
+        res = SimCluster(3).run(main)
+        # sum over k of (0+1+2 + 3k) = 3+3k -> 15 + 30 = ... compute:
+        expect = sum(3 + 3 * k for k in range(5))
+        assert res == [expect] * 3
+
+
+class TestClockModel:
+    def test_compute_advances_clock(self):
+        res = SimCluster(1).run(lambda c: (c.compute(1.5), c.clock_s)[1])
+        assert res[0] == 1.5
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(RuntimeError, match="negative"):
+            SimCluster(1).run(lambda c: c.compute(-1))
+
+    def test_contention_emerges_from_shared_port(self):
+        """Two senders to one receiver: the switch serializes them —
+        Sec 4.3 finding 1 reproduced mechanistically."""
+        sw = GigabitSwitch()
+
+        def main(comm):
+            if comm.rank in (0, 1):
+                comm.Send(np.zeros(100_000), dest=2, tag=comm.rank)
+                return None
+            a = comm.Recv(source=0, tag=0)
+            b = comm.Recv(source=1, tag=1)
+            return comm.clock_s
+
+        cl = SimCluster(3, switch=sw)
+        res = cl.run(main)
+        assert sw.contention_events >= 1
+        assert res[2] > sw.message_time(400_000)   # paid the serialization

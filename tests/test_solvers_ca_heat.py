@@ -1,0 +1,123 @@
+"""Tests for the Sec-6 cellular automata and proxy-point heat solver."""
+
+import numpy as np
+import pytest
+
+from repro.net import SimCluster
+from repro.solvers.ca import (DistributedCA, greenberg_hastings_rule,
+                              life_rule, majority_rule, step_reference)
+from repro.solvers.heat import DistributedHeat2D
+from repro.solvers.heat import step_reference as heat_reference
+
+
+class TestRules:
+    def test_life_blinker_oscillates(self):
+        g = np.zeros((5, 5), np.int8)
+        g[2, 1:4] = 1
+        g1 = step_reference(g, life_rule)
+        g2 = step_reference(g1, life_rule)
+        assert np.array_equal(g1, g.T)      # blinker flips orientation
+        assert np.array_equal(g2, g)
+
+    def test_life_block_is_still(self):
+        g = np.zeros((6, 6), np.int8)
+        g[2:4, 2:4] = 1
+        assert np.array_equal(step_reference(g, life_rule), g)
+
+    def test_majority_fills_dense_region(self):
+        g = np.zeros((8, 8), np.int8)
+        g[2:7, 2:7] = 1
+        g[4, 4] = 0                         # a hole in a solid block
+        out = step_reference(g, majority_rule)
+        assert out[4, 4] == 1
+
+    def test_greenberg_hastings_cycles_states(self):
+        g = np.zeros((5, 5), np.int8)
+        g[2, 2] = 1
+        out = step_reference(g, greenberg_hastings_rule)
+        assert out[2, 2] == 2               # excited -> refractory
+        assert out[2, 1] == 1               # neighbour excited
+        out2 = step_reference(out, greenberg_hastings_rule)
+        assert out2[2, 2] == 0              # refractory -> quiescent
+
+
+class TestDistributedCA:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_matches_reference(self, rng, ranks, periodic):
+        g = (rng.random((12, 10)) < 0.35).astype(np.int8)
+        ref = g.copy()
+        for _ in range(6):
+            ref = step_reference(ref, life_rule, periodic=periodic)
+        out = DistributedCA(g, ranks, life_rule, periodic=periodic).run(6)
+        assert np.array_equal(out, ref)
+
+    def test_other_rules_distributed(self, rng):
+        g = (rng.random((8, 8)) < 0.5).astype(np.int8)
+        for rule in (majority_rule, greenberg_hastings_rule):
+            ref = g.copy()
+            for _ in range(4):
+                ref = step_reference(ref, rule, periodic=True)
+            out = DistributedCA(g, 2, rule).run(4)
+            assert np.array_equal(out, ref)
+
+    def test_glider_crosses_rank_boundary(self):
+        """A glider moving through the cut line must survive intact —
+        the sharpest halo-exchange test."""
+        g = np.zeros((16, 16), np.int8)
+        glider = np.array([[0, 1, 0], [0, 0, 1], [1, 1, 1]], dtype=np.int8)
+        g[5:8, 5:8] = glider
+        ref = g.copy()
+        for _ in range(16):
+            ref = step_reference(ref, life_rule, periodic=True)
+        out = DistributedCA(g, 4, life_rule).run(16)
+        assert np.array_equal(out, ref)
+        assert out.sum() == 5               # glider alive
+
+    def test_indivisible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedCA(np.zeros((10, 10), np.int8), 3)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedCA(np.zeros(10, np.int8), 2)
+
+
+class TestDistributedHeat:
+    def test_matches_reference(self, rng):
+        u0 = rng.random((16, 12))
+        ref = heat_reference(u0, 0.2, 10)
+        out = DistributedHeat2D(u0, (2, 2), kappa=0.2).run(10)
+        assert np.allclose(out, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("ranks", [(1, 1), (4, 1), (1, 3), (2, 3)])
+    def test_any_rank_grid(self, rng, ranks):
+        u0 = rng.random((12, 12))
+        ref = heat_reference(u0, 0.25, 5)
+        out = DistributedHeat2D(u0, ranks, kappa=0.25).run(5)
+        assert np.allclose(out, ref, atol=1e-12)
+
+    def test_heat_conserved_insulated(self, rng):
+        u0 = rng.random((8, 8))
+        out = DistributedHeat2D(u0, (2, 2), kappa=0.2).run(30)
+        assert out.sum() == pytest.approx(u0.sum(), rel=1e-12)
+
+    def test_converges_to_uniform(self):
+        u0 = np.zeros((8, 8))
+        u0[0, 0] = 64.0
+        out = DistributedHeat2D(u0, (2, 2), kappa=0.25).run(600)
+        assert np.allclose(out, 1.0, atol=0.05)
+
+    def test_unstable_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedHeat2D(np.zeros((4, 4)), (2, 2), kappa=0.3)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedHeat2D(np.zeros((10, 10)), (3, 2))
+
+    def test_clocks_advance(self, rng):
+        u0 = rng.random((8, 8))
+        cl = SimCluster(4)
+        DistributedHeat2D(u0, (2, 2), kappa=0.2).run(3, cluster=cl)
+        assert all(c > 0 for c in cl.clocks)

@@ -1,0 +1,123 @@
+"""Tests for the Fig-15 sparse decomposition and iterative solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.solvers.krylov import (conjugate_gradient, jacobi, poisson_2d,
+                                  red_black_gauss_seidel)
+from repro.solvers.sparse import DistributedCSR, partition_rows
+
+
+class TestPartition:
+    def test_even_split(self):
+        blocks = partition_rows(12, 4)
+        assert [len(b) for b in blocks] == [3, 3, 3, 3]
+
+    def test_uneven_split_covers_all(self):
+        blocks = partition_rows(10, 3)
+        assert sum(len(b) for b in blocks) == 10
+        ids = [i for b in blocks for i in b]
+        assert ids == list(range(10))
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_rows(3, 5)
+
+
+class TestDistributedMatvec:
+    def test_poisson_matvec_exact(self, rng):
+        A, _ = poisson_2d(8)
+        d = DistributedCSR(A, 4)
+        x = rng.random(64)
+        assert np.allclose(d.matvec(x), A @ x, atol=1e-13)
+
+    @given(seed=st.integers(0, 200), ranks=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_random_sparse_matvec_property(self, seed, ranks):
+        r = np.random.default_rng(seed)
+        n = 30
+        A = sparse.random(n, n, density=0.15, random_state=seed,
+                          format="csr")
+        d = DistributedCSR(A, ranks)
+        x = r.random(n)
+        assert np.allclose(d.matvec(x), A @ x, atol=1e-12)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedCSR(sparse.random(4, 5, density=0.5), 2)
+
+    def test_block_diagonal_needs_no_communication(self):
+        A = sparse.block_diag([np.ones((5, 5))] * 4, format="csr")
+        d = DistributedCSR(A, 4)
+        assert d.total_proxy_elements == 0
+        assert d.communication_ratio() == 0.0
+
+    def test_communication_ratio_shrinks_with_problem_size(self):
+        """Sec 6: the network/local ratio is O(1/N)."""
+        small = DistributedCSR(poisson_2d(8)[0], 2).communication_ratio()
+        large = DistributedCSR(poisson_2d(24)[0], 2).communication_ratio()
+        assert large < small
+
+
+class TestIterativeSolvers:
+    @pytest.fixture(scope="class")
+    def system(self):
+        A, color = poisson_2d(8)
+        rng = np.random.default_rng(9)
+        x = rng.random(64)
+        return A, color, x, A @ x
+
+    def test_cg_solves(self, system):
+        A, _, x_true, b = system
+        d = DistributedCSR(A, 4)
+        x, it = conjugate_gradient(d, b, tol=1e-10)
+        assert np.allclose(x, x_true, atol=1e-8)
+        assert it < 100
+
+    def test_cg_single_rank_matches_multirank(self, system):
+        A, _, _, b = system
+        x1, _ = conjugate_gradient(DistributedCSR(A, 1), b, tol=1e-10)
+        x4, _ = conjugate_gradient(DistributedCSR(A, 4), b, tol=1e-10)
+        assert np.allclose(x1, x4, atol=1e-8)
+
+    def test_cg_matches_scipy(self, system):
+        A, _, _, b = system
+        from scipy.sparse.linalg import spsolve
+        ref = spsolve(A.tocsc(), b)
+        x, _ = conjugate_gradient(DistributedCSR(A, 2), b, tol=1e-12)
+        assert np.allclose(x, ref, atol=1e-8)
+
+    def test_jacobi_solves(self, system):
+        A, _, x_true, b = system
+        d = DistributedCSR(A, 2)
+        x, it = jacobi(d, b, A.diagonal(), tol=1e-9, maxiter=4000)
+        assert np.allclose(x, x_true, atol=1e-6)
+
+    def test_jacobi_zero_diag_rejected(self, system):
+        A, _, _, b = system
+        d = DistributedCSR(A, 2)
+        with pytest.raises(ValueError):
+            jacobi(d, b, np.zeros(64))
+
+    def test_rbgs_solves(self, system):
+        A, color, x_true, b = system
+        x, it = red_black_gauss_seidel(A, b, color, n_ranks=2, tol=1e-9,
+                                       maxiter=3000)
+        assert np.allclose(x, x_true, atol=1e-6)
+
+    def test_rbgs_converges_faster_than_jacobi(self, system):
+        A, color, _, b = system
+        _, it_j = jacobi(DistributedCSR(A, 2), b, A.diagonal(), tol=1e-7,
+                         maxiter=5000)
+        _, it_gs = red_black_gauss_seidel(A, b, color, n_ranks=2, tol=1e-7,
+                                          maxiter=5000)
+        assert it_gs < it_j               # the classical 2x
+
+    def test_coloring_is_proper(self):
+        A, color = poisson_2d(6)
+        coo = (A - sparse.diags(A.diagonal())).tocoo()
+        for i, j in zip(coo.row, coo.col):
+            if coo.data[0] is not None and i != j:
+                assert color[i] != color[j]

@@ -1,0 +1,116 @@
+"""Tests for streaming (propagation) kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lbm.lattice import D3Q19
+from repro.lbm.streaming import (fill_ghosts_periodic, interior,
+                                 pad_with_ghosts, stream_periodic, stream_pull)
+
+
+def _delta_f(shape, link, pos):
+    f = np.zeros((19,) + shape, dtype=np.float32)
+    f[(link,) + pos] = 1.0
+    return f
+
+
+class TestPeriodicStreaming:
+    def test_single_particle_moves_by_link_velocity(self):
+        shape = (6, 5, 4)
+        for link in (1, 7, 18):
+            f = _delta_f(shape, link, (2, 2, 2))
+            out = stream_periodic(D3Q19, f)
+            c = D3Q19.c[link]
+            expect = (2 + c[0], 2 + c[1], 2 + c[2])
+            assert out[(link,) + expect] == 1.0
+            assert out.sum() == 1.0
+
+    def test_wraps_around(self):
+        shape = (4, 4, 4)
+        f = _delta_f(shape, 1, (3, 0, 0))   # +x link at x edge
+        out = stream_periodic(D3Q19, f)
+        assert out[1, 0, 0, 0] == 1.0
+
+    def test_rest_link_stays(self):
+        f = _delta_f((4, 4, 4), 0, (1, 2, 3))
+        out = stream_periodic(D3Q19, f)
+        assert out[0, 1, 2, 3] == 1.0
+
+    def test_mass_conserved(self, rng):
+        f = rng.random((19, 5, 4, 3)).astype(np.float32)
+        out = stream_periodic(D3Q19, f)
+        assert out.sum(dtype=np.float64) == pytest.approx(f.sum(dtype=np.float64))
+
+    def test_stream_then_reverse_is_identity(self, rng):
+        f = rng.random((19, 5, 4, 3)).astype(np.float32)
+        out = stream_periodic(D3Q19, f)
+        # Streaming the opposite links backward undoes the shift.
+        back = np.empty_like(out)
+        for i in range(19):
+            shift = tuple(-int(s) for s in D3Q19.c[i])
+            back[i] = np.roll(out[i], shift, axis=(0, 1, 2))
+        assert np.array_equal(back, f)
+
+
+class TestPullStreaming:
+    def test_matches_periodic_with_wrapped_ghosts(self, rng):
+        f = rng.random((19, 6, 5, 4)).astype(np.float32)
+        ref = stream_periodic(D3Q19, f)
+        fg = pad_with_ghosts(f)
+        fill_ghosts_periodic(fg)
+        out = stream_pull(D3Q19, fg)
+        inner = (slice(None),) + interior(3)
+        assert np.array_equal(out[inner], ref)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_property(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(rng.integers(3, 7, 3))
+        f = rng.random((19,) + shape).astype(np.float32)
+        fg = pad_with_ghosts(f)
+        fill_ghosts_periodic(fg)
+        out = stream_pull(D3Q19, fg)
+        inner = (slice(None),) + interior(3)
+        assert np.array_equal(out[inner], stream_periodic(D3Q19, f))
+
+    def test_ghost_values_stream_into_interior(self):
+        shape = (4, 4, 4)
+        fg = np.zeros((19,) + tuple(s + 2 for s in shape), dtype=np.float32)
+        # Put a value in the low-x ghost face on a +x link; it must
+        # arrive at the first interior layer.
+        fg[1, 0, 2, 2] = 7.0
+        out = stream_pull(D3Q19, fg)
+        assert out[1, 1, 2, 2] == 7.0
+
+    def test_corner_ghost_streams_diagonally(self):
+        shape = (4, 4, 4)
+        link = int(D3Q19.edge_links(0, 1, 1, 1)[0])  # c = (1, 1, 0)
+        fg = np.zeros((19,) + tuple(s + 2 for s in shape), dtype=np.float32)
+        fg[link, 0, 0, 3] = 5.0
+        out = stream_pull(D3Q19, fg)
+        assert out[link, 1, 1, 3] == 5.0
+
+
+class TestGhostHelpers:
+    def test_pad_shape(self):
+        f = np.ones((19, 3, 4, 5), dtype=np.float32)
+        fg = pad_with_ghosts(f)
+        assert fg.shape == (19, 5, 6, 7)
+        inner = (slice(None),) + interior(3)
+        assert np.array_equal(fg[inner], f)
+
+    def test_fill_ghosts_periodic_faces(self):
+        f = np.arange(2 * 3 * 3 * 3, dtype=np.float32).reshape(2, 3, 3, 3)
+        fg = pad_with_ghosts(f)
+        fill_ghosts_periodic(fg)
+        assert np.array_equal(fg[:, 0, 1:-1, 1:-1], f[:, -1])
+        assert np.array_equal(fg[:, -1, 1:-1, 1:-1], f[:, 0])
+
+    def test_fill_ghosts_periodic_corners(self):
+        f = np.arange(27, dtype=np.float32).reshape(1, 3, 3, 3)
+        fg = pad_with_ghosts(f)
+        fill_ghosts_periodic(fg)
+        assert fg[0, 0, 0, 0] == f[0, -1, -1, -1]
+        assert fg[0, -1, -1, -1] == f[0, 0, 0, 0]

@@ -1,0 +1,123 @@
+"""Tests for the hybrid thermal LBM (MRT + FD temperature, Sec 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.boundaries import box_walls
+from repro.lbm.thermal import HybridThermalLBM, _central_gradient, _laplacian
+
+
+class TestFDOperators:
+    def test_gradient_of_linear_field_is_exact(self):
+        x = np.arange(10, dtype=float)
+        T = np.broadcast_to(3.0 * x[:, None, None], (10, 4, 4)).copy()
+        g = _central_gradient(T, 0)
+        assert np.allclose(g, 3.0)
+
+    def test_gradient_other_axes_zero(self):
+        T = np.broadcast_to(np.arange(10.0)[:, None, None], (10, 4, 4)).copy()
+        assert np.allclose(_central_gradient(T, 1), 0.0)
+        assert np.allclose(_central_gradient(T, 2), 0.0)
+
+    def test_laplacian_of_quadratic(self):
+        x = np.arange(12, dtype=float)
+        T = np.broadcast_to((x ** 2)[:, None, None], (12, 4, 4)).copy()
+        lap = _laplacian(T)
+        assert np.allclose(lap[2:-2], 2.0)
+
+    def test_laplacian_conserves_heat_interior(self):
+        rng = np.random.default_rng(0)
+        T = rng.random((8, 8, 8))
+        # With insulating boundaries the Laplacian integrates to ~0.
+        assert abs(_laplacian(T).sum()) < 1e-9
+
+
+class TestHybridThermal:
+    def test_temperature_diffuses(self):
+        m = HybridThermalLBM((12, 4, 4), tau=0.8, kappa=0.1, g_beta=0.0)
+        T = np.zeros((12, 4, 4))
+        T[6] = 1.0
+        m.set_temperature(T)
+        m.step(30)
+        assert m.T.max() < 0.9          # peak spread out
+        assert m.T.sum() == pytest.approx(T.sum(), rel=1e-9)  # heat conserved
+
+    def test_buoyancy_impulse_is_upward(self):
+        """One step from rest: the Boussinesq force must push the warm
+        blob up (before box acoustics start sloshing)."""
+        shape = (8, 4, 16)
+        walls = box_walls(shape, axes=[2])
+        m = HybridThermalLBM(shape, tau=0.8, kappa=0.05, g_beta=1e-3,
+                             solid=walls)
+        T = np.zeros(shape)
+        T[3:5, :, 2:5] = 1.0            # warm blob near the floor
+        m.set_temperature(T)
+        m.step(1)
+        _, u, _ = m.macroscopic()
+        assert u[2][3:5, :, 2:5].mean() > 0
+
+    def test_cold_impulse_is_downward(self):
+        shape = (8, 4, 16)
+        walls = box_walls(shape, axes=[2])
+        m = HybridThermalLBM(shape, tau=0.8, kappa=0.05, g_beta=1e-3,
+                             solid=walls)
+        T = np.zeros(shape)
+        T[3:5, :, 10:13] = -1.0
+        m.set_temperature(T)
+        m.step(1)
+        _, u, _ = m.macroscopic()
+        assert u[2][3:5, :, 10:13].mean() < 0
+
+    def test_warm_plume_rises_over_time(self):
+        """The thermal centre of mass climbs as convection develops —
+        the long-run buoyancy check that survives box acoustics."""
+        shape = (8, 4, 20)
+        walls = box_walls(shape, axes=[2])
+        m = HybridThermalLBM(shape, tau=0.7, kappa=0.03, g_beta=4e-3,
+                             solid=walls)
+        T = np.zeros(shape)
+        T[3:5, :, 2:5] = 1.0
+        m.set_temperature(T)
+        z = np.arange(20)[None, None, :]
+
+        def com():
+            return float((m.T * z).sum() / m.T.sum())
+
+        z0 = com()
+        m.step(300)
+        assert com() > z0 + 0.5
+
+    def test_advection_carries_temperature(self):
+        """With a uniform background flow the temperature blob must
+        drift downstream."""
+        shape = (24, 4, 4)
+        m = HybridThermalLBM(shape, tau=0.8, kappa=0.02, g_beta=0.0)
+        m.flow.initialize(rho=1.0, u=(0.08, 0, 0))
+        T = np.zeros(shape)
+        T[4:7] = 1.0
+        m.set_temperature(T)
+        m.step(40)
+        x_com = (m.T * np.arange(24)[:, None, None]).sum() / m.T.sum()
+        assert x_com > 7.0              # started at ~5
+
+    def test_energy_coupling_runs_and_conserves_mass(self):
+        m = HybridThermalLBM((8, 4, 8), tau=0.8, kappa=0.05, g_beta=1e-4,
+                             energy_coupling=1e-3)
+        T = np.zeros((8, 4, 8))
+        T[:, :, :2] = 0.5
+        m.set_temperature(T)
+        rho0 = m.flow.total_mass()
+        m.step(30)
+        assert np.isfinite(m.T).all()
+        assert m.flow.total_mass() == pytest.approx(rho0, rel=1e-5)
+
+    def test_unstable_kappa_rejected(self):
+        with pytest.raises(ValueError, match="kappa"):
+            HybridThermalLBM((4, 4, 4), tau=0.8, kappa=0.2)
+        with pytest.raises(ValueError, match="kappa"):
+            HybridThermalLBM((4, 4, 4), tau=0.8, kappa=-0.1)
+
+    def test_uses_mrt_collision(self):
+        from repro.lbm.mrt import MRTCollision
+        m = HybridThermalLBM((4, 4, 4), tau=0.8, kappa=0.05)
+        assert isinstance(m.flow.collision, MRTCollision)

@@ -1,0 +1,86 @@
+"""Distributed HTLBM must match the single-domain hybrid thermal model."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import BlockDecomposition
+from repro.core.thermal_cluster import DistributedThermalLBM
+from repro.lbm.thermal import HybridThermalLBM
+
+
+def _setup(shape, rng, g_beta=1e-3, coupling=0.0, solid=None):
+    ref = HybridThermalLBM(shape, tau=0.8, kappa=0.05, g_beta=g_beta,
+                           energy_coupling=coupling, solid=solid)
+    T0 = rng.random(shape)
+    ref.set_temperature(T0)
+    u0 = (0.02 * rng.standard_normal((3,) + shape)).astype(np.float32)
+    if solid is not None:
+        u0[:, solid] = 0
+    ref.flow.initialize(rho=np.ones(shape, np.float32), u=u0)
+    return ref, T0, ref.flow.f.copy()
+
+
+@pytest.mark.parametrize("arrangement", [(2, 1, 1), (2, 2, 1), (1, 2, 2)])
+def test_distributed_matches_reference(rng, arrangement):
+    sub = (6, 6, 6)
+    shape = tuple(s * a for s, a in zip(sub, arrangement))
+    ref, T0, f0 = _setup(shape, rng)
+    decomp = BlockDecomposition(shape, arrangement)
+    dist = DistributedThermalLBM(decomp, tau=0.8, kappa=0.05, g_beta=1e-3)
+    dist.set_temperature(T0)
+    dist.load_flow(f0)
+    ref.step(5)
+    dist.step(5)
+    assert np.allclose(dist.gather_temperature(), ref.T, atol=1e-12)
+    assert np.array_equal(dist.gather_flow(), ref.flow.f)
+
+
+def test_distributed_with_energy_coupling_and_solid(rng):
+    sub, arrangement = (6, 6, 6), (2, 2, 1)
+    shape = (12, 12, 6)
+    solid = np.zeros(shape, bool)
+    solid[4:7, 4:7, 1:3] = True
+    ref, T0, f0 = _setup(shape, rng, coupling=1e-3, solid=solid)
+    decomp = BlockDecomposition(shape, arrangement)
+    dist = DistributedThermalLBM(decomp, tau=0.8, kappa=0.05, g_beta=1e-3,
+                                 energy_coupling=1e-3, solid=solid)
+    dist.set_temperature(T0)
+    dist.load_flow(f0)
+    ref.step(4)
+    dist.step(4)
+    assert np.allclose(dist.gather_temperature(), ref.T, atol=1e-12)
+    assert np.array_equal(dist.gather_flow(), ref.flow.f)
+
+
+def test_heat_conserved_distributed(rng):
+    """Insulating boundaries: total heat is invariant under the
+    distributed advection-diffusion (zero-velocity flow)."""
+    sub, arrangement = (6, 6, 6), (2, 1, 1)
+    shape = (12, 6, 6)
+    decomp = BlockDecomposition(shape, arrangement)
+    dist = DistributedThermalLBM(decomp, tau=0.8, kappa=0.1, g_beta=0.0)
+    T0 = rng.random(shape)
+    dist.set_temperature(T0)
+    dist.step(20)
+    assert dist.gather_temperature().sum() == pytest.approx(T0.sum(),
+                                                            rel=1e-10)
+
+
+def test_convection_develops_distributed():
+    """Hot floor drives upward motion across node boundaries."""
+    from repro.lbm.boundaries import box_walls
+    sub, arrangement = (8, 4, 10), (2, 1, 1)
+    shape = (16, 4, 10)
+    walls = box_walls(shape, axes=[2])
+    decomp = BlockDecomposition(shape, arrangement)
+    dist = DistributedThermalLBM(decomp, tau=0.8, kappa=0.04, g_beta=2e-3,
+                                 solid=walls)
+    T = np.zeros(shape)
+    T[6:10, :, 1:3] = 1.0     # warm blob straddling the node boundary
+    dist.set_temperature(T)
+    dist.step(1)
+    f = dist.gather_flow()
+    from repro.lbm.macroscopic import macroscopic
+    from repro.lbm.lattice import D3Q19
+    _, u = macroscopic(D3Q19, f)
+    assert u[2][6:10, :, 1:3].mean() > 0

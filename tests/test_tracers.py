@@ -1,0 +1,133 @@
+"""Tests for the Lowe-Succi tracer propagation (Sec 5)."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.equilibrium import equilibrium_site
+from repro.lbm.lattice import D3Q19
+from repro.lbm.solver import LBMSolver
+from repro.lbm.tracers import TracerCloud
+
+
+def _uniform_flow_f(shape, u):
+    feq = equilibrium_site(D3Q19, 1.0, u).astype(np.float32)
+    return np.broadcast_to(feq.reshape(19, 1, 1, 1), (19,) + shape).copy()
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, rng):
+        shape = (6, 6, 6)
+        f = _uniform_flow_f(shape, (0.05, 0.0, 0.0))
+        cloud = TracerCloud(D3Q19, [(3, 3, 3)], shape)
+        p = cloud.transition_probabilities(f)
+        assert p.sum(axis=0) == pytest.approx(1.0)
+
+    def test_rest_dominates_at_zero_velocity(self):
+        shape = (4, 4, 4)
+        f = _uniform_flow_f(shape, (0, 0, 0))
+        cloud = TracerCloud(D3Q19, [(2, 2, 2)], shape)
+        p = cloud.transition_probabilities(f)
+        assert p[0, 0] == pytest.approx(1 / 3, rel=1e-5)
+
+    def test_negative_distributions_clipped(self):
+        shape = (4, 4, 4)
+        f = _uniform_flow_f(shape, (0, 0, 0))
+        f[1] = -0.5
+        cloud = TracerCloud(D3Q19, [(2, 2, 2)], shape)
+        p = cloud.transition_probabilities(f)
+        assert (p >= 0).all()
+        assert p.sum(axis=0) == pytest.approx(1.0)
+
+
+class TestDrift:
+    def test_mean_drift_equals_flow_velocity(self):
+        """The ensemble-average hop equals u: that is what makes the
+        scheme a valid advection model."""
+        shape = (32, 32, 8)
+        u = (0.08, -0.04, 0.0)
+        f = _uniform_flow_f(shape, u)
+        n = 4000
+        cloud = TracerCloud(D3Q19, np.full((n, 3), (16, 16, 4)), shape,
+                            periodic=True, rng=1)
+        steps = 50
+        # Track unwrapped drift via per-step mean displacement.
+        drift = np.zeros(3)
+        for _ in range(steps):
+            before = cloud.positions.copy()
+            cloud.step(f)
+            d = cloud.positions - before
+            # unwrap periodic jumps
+            d = (d + np.array(shape) // 2) % np.array(shape) - np.array(shape) // 2
+            drift += d.mean(axis=0)
+        drift /= steps
+        assert drift[0] == pytest.approx(u[0], abs=0.01)
+        assert drift[1] == pytest.approx(u[1], abs=0.01)
+        assert abs(drift[2]) < 0.01
+
+    def test_dispersion_grows_diffusively(self):
+        """Tracer variance grows with time (molecular-like dispersion)."""
+        shape = (24, 24, 8)
+        f = _uniform_flow_f(shape, (0, 0, 0))
+        cloud = TracerCloud(D3Q19, np.full((2000, 3), (12, 12, 4)), shape,
+                            periodic=True, rng=2)
+        var = []
+        for _ in range(3):
+            for _ in range(10):
+                cloud.step(f)
+            var.append(cloud.positions[:, 0].astype(float).var())
+        assert var[0] < var[1] < var[2]
+
+
+class TestBookkeeping:
+    def test_count_conserved(self):
+        shape = (8, 8, 8)
+        f = _uniform_flow_f(shape, (0.05, 0, 0))
+        cloud = TracerCloud(D3Q19, np.full((100, 3), (4, 4, 4)), shape)
+        for _ in range(20):
+            cloud.step(f)
+        assert len(cloud) == 100
+
+    def test_positions_stay_in_bounds_clamped(self):
+        shape = (6, 6, 6)
+        f = _uniform_flow_f(shape, (0.1, 0, 0))
+        cloud = TracerCloud(D3Q19, np.full((50, 3), (5, 3, 3)), shape,
+                            periodic=False)
+        for _ in range(30):
+            cloud.step(f)
+        assert (cloud.positions >= 0).all()
+        assert (cloud.positions < np.array(shape)).all()
+
+    def test_concentration_histogram_sums_to_count(self):
+        shape = (6, 6, 6)
+        cloud = TracerCloud(D3Q19, np.full((77, 3), (3, 3, 3)), shape)
+        conc = cloud.concentration()
+        assert conc.sum() == 77
+        assert conc[3, 3, 3] == 77
+
+    def test_bad_positions_rejected(self):
+        with pytest.raises(ValueError):
+            TracerCloud(D3Q19, [(9, 0, 0)], (4, 4, 4))
+        with pytest.raises(ValueError):
+            TracerCloud(D3Q19, [(1, 1)], (4, 4, 4))
+
+
+class TestWithRealFlow:
+    def test_tracers_follow_channel_flow(self):
+        """Tracers released in a forced channel drift downstream."""
+        from repro.lbm.boundaries import box_walls
+        shape = (16, 10, 4)
+        solid = box_walls(shape, axes=[1])
+        s = LBMSolver(shape, tau=0.8, solid=solid, force=(5e-5, 0, 0),
+                      dtype=np.float64)
+        s.step(400)
+        cloud = TracerCloud(D3Q19, np.full((500, 3), (8, 5, 2)), shape,
+                            periodic=True, rng=3)
+        x0 = cloud.center_of_mass()[0]
+        drift = 0.0
+        for _ in range(30):
+            before = cloud.positions[:, 0].copy()
+            cloud.step(s.f.astype(np.float32))
+            d = cloud.positions[:, 0] - before
+            d = (d + 8) % 16 - 8
+            drift += d.mean()
+        assert drift > 0.1

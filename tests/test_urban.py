@@ -1,0 +1,159 @@
+"""Tests for the urban dispersion application (Sec 5)."""
+
+import numpy as np
+import pytest
+
+from repro.urban import (DispersionScenario, northeasterly,
+                         power_law_profile, times_square_like, voxelize_city)
+from repro.urban.city import Building
+from repro.urban.voxelize import footprint_cells, occupancy
+
+
+class TestCityGenerator:
+    def test_paper_statistics(self):
+        """Sec 5: 1.66 x 1.13 km, 91 blocks, ~850 buildings."""
+        c = times_square_like()
+        assert c.extent_m == (1660.0, 1130.0)
+        assert c.n_blocks == 91
+        assert 780 <= c.n_buildings <= 950
+
+    def test_deterministic_given_seed(self):
+        a = times_square_like(seed=7)
+        b = times_square_like(seed=7)
+        assert a.n_buildings == b.n_buildings
+        assert a.buildings[0] == b.buildings[0]
+
+    def test_different_seeds_differ(self):
+        a = times_square_like(seed=1)
+        b = times_square_like(seed=2)
+        assert any(x != y for x, y in zip(a.buildings, b.buildings))
+
+    def test_heights_plausible(self):
+        stats = times_square_like().height_stats()
+        assert 20 < stats["mean"] < 90
+        assert stats["max"] <= 280.0
+
+    def test_buildings_inside_blocks(self):
+        c = times_square_like()
+        for b in c.buildings[:50]:
+            assert any(x0 <= b.x0 and b.x0 + b.w <= x0 + w
+                       and y0 <= b.y0 and b.y0 + b.d <= y0 + d
+                       for (x0, y0, w, d) in c.blocks)
+
+    def test_too_wide_streets_rejected(self):
+        with pytest.raises(ValueError):
+            times_square_like(avenue_width_m=200.0)
+
+    def test_building_footprint(self):
+        b = Building(0, 0, 10, 20, 50)
+        assert b.footprint_m2 == 200
+
+
+class TestVoxelizer:
+    def test_ground_plane_solid(self):
+        c = times_square_like()
+        solid = voxelize_city(c, (40, 30, 8), 48.0)
+        assert solid[:, :, 0].all()
+
+    def test_taller_resolution_more_occupancy(self):
+        c = times_square_like()
+        low = voxelize_city(c, (40, 30, 6), 48.0)
+        high = voxelize_city(c, (40, 30, 12), 48.0)
+        # Same footprint; more z-cells covered in the taller domain.
+        assert high.sum() >= low.sum()
+
+    def test_footprint_scales_with_resolution(self):
+        c = times_square_like()
+        coarse = voxelize_city(c, (40, 30, 6), 48.0)
+        fine = voxelize_city(c, (80, 60, 6), 24.0)
+        # Footprint fraction is roughly resolution independent.
+        f_c = footprint_cells(coarse) / (40 * 30)
+        f_f = footprint_cells(fine) / (80 * 60)
+        assert f_f == pytest.approx(f_c, rel=0.3)
+
+    def test_rotation_changes_layout(self):
+        c0 = times_square_like(rotation_deg=0.0)
+        c1 = times_square_like(rotation_deg=29.0)
+        s0 = voxelize_city(c0, (48, 40, 6), 40.0)
+        s1 = voxelize_city(c1, (48, 40, 6), 40.0)
+        assert (s0 != s1).any()
+
+    def test_occupancy_reasonable(self):
+        c = times_square_like()
+        solid = voxelize_city(c, (64, 56, 12), 28.2)
+        assert 0.02 < occupancy(solid) < 0.5
+
+
+class TestWind:
+    def test_power_law_profile_monotone(self):
+        u = power_law_profile(16, 0.06)
+        assert u[0] == 0.0                 # in the ground
+        assert (np.diff(u[1:]) >= 0).all()
+        assert u.max() <= 0.3
+
+    def test_unstable_speed_rejected(self):
+        with pytest.raises(ValueError):
+            power_law_profile(16, 0.5)
+
+    def test_northeasterly_direction(self):
+        v = northeasterly(0.1, bearing_deg=45.0)
+        assert v[0] < 0 and v[1] < 0        # blows toward southwest
+        assert np.linalg.norm(v) == pytest.approx(0.1)
+
+    def test_bearing_90_is_pure_easterly(self):
+        v = northeasterly(0.1, bearing_deg=90.0)
+        assert v[0] == pytest.approx(-0.1)
+        assert abs(v[1]) < 1e-12
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return DispersionScenario(shape=(32, 28, 8), resolution_m=56.0,
+                                  wind_speed=0.06, tau=0.65)
+
+    def test_solid_cached(self, scenario):
+        assert scenario.solid is scenario.solid
+
+    def test_inlet_on_high_x(self, scenario):
+        axis, side, v, rho = scenario.inlet
+        assert axis == 0 and side == "high"
+        assert v[0] < 0                      # wind blows inward (-x)
+
+    def test_flow_develops_downwind(self, scenario):
+        s = scenario.make_single_solver()
+        s.step(60)
+        _, u = s.macroscopic()
+        assert u[0][~scenario.solid].mean() < -0.001
+
+    def test_tracers_disperse_and_drift(self, scenario):
+        s = scenario.make_single_solver()
+        s.step(60)
+        cloud = scenario.release_tracers(400)
+        var0 = cloud.positions.var(axis=0).sum()
+        for _ in range(25):
+            s.step(1)
+            cloud.step(s.f)
+        assert cloud.positions.var(axis=0).sum() > var0
+        assert len(cloud) == 400
+
+    def test_tracers_avoid_solid_release(self, scenario):
+        cloud = scenario.release_tracers(200)
+        p = cloud.positions
+        assert not scenario.solid[p[:, 0], p[:, 1], p[:, 2]].any()
+
+    def test_cluster_timing_mode_paper_headline(self):
+        """480x400x80 on 30 nodes: ~0.31 s/step (Sec 5)."""
+        sc = DispersionScenario(shape=(480, 400, 80))
+        t = sc.make_cluster((6, 5, 1), timing_only=True).step()
+        assert t.total_s == pytest.approx(0.31, rel=0.05)
+
+    def test_cluster_numeric_mode_small(self, rng):
+        """The scenario also runs on the numeric cluster path."""
+        sc = DispersionScenario(shape=(24, 16, 8), resolution_m=72.0,
+                                wind_speed=0.05, tau=0.7)
+        cluster = sc.make_cluster((2, 2, 1))
+        cluster.step(3)
+        rho, u = cluster.gather_macroscopic()
+        assert np.isfinite(rho).all()
+        assert np.isfinite(u).all()

@@ -1,0 +1,128 @@
+"""Configuration-validation and failure-injection tests: the library
+must fail loudly on inconsistent setups, not corrupt results."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_lbm import ClusterConfig, GPUClusterLBM
+
+
+class TestClusterConfigValidation:
+    def _base(self, **kw):
+        defaults = dict(sub_shape=(8, 8, 8), arrangement=(2, 1, 1))
+        defaults.update(kw)
+        return ClusterConfig(**defaults)
+
+    def test_valid_config_ok(self):
+        self._base()
+
+    def test_bad_sub_shape(self):
+        with pytest.raises(ValueError, match="sub_shape"):
+            self._base(sub_shape=(8, 8))
+        with pytest.raises(ValueError, match="sub_shape"):
+            self._base(sub_shape=(8, 1, 8))
+
+    def test_bad_arrangement(self):
+        with pytest.raises(ValueError, match="arrangement"):
+            self._base(arrangement=(0, 1, 1))
+
+    def test_bad_tau(self):
+        with pytest.raises(ValueError, match="tau"):
+            self._base(tau=0.5)
+
+    def test_inlet_on_periodic_axis_rejected(self):
+        with pytest.raises(ValueError, match="periodic"):
+            self._base(inlet=(0, "high", (-0.05, 0, 0), 1.0))
+
+    def test_inlet_ok_on_non_periodic_axis(self):
+        self._base(inlet=(0, "high", (-0.05, 0, 0), 1.0),
+                   periodic=(False, True, True))
+
+    def test_outflow_axis_range(self):
+        with pytest.raises(ValueError, match="axis"):
+            self._base(outflow=(5, "low"), periodic=(False, False, False))
+
+    def test_solid_shape_must_match_global(self):
+        with pytest.raises(ValueError, match="solid"):
+            self._base(solid=np.zeros((8, 8, 8), bool))  # global is 16x8x8
+
+    def test_indivisible_scenario_cluster_rejected(self):
+        from repro.urban import DispersionScenario
+        sc = DispersionScenario(shape=(30, 20, 8), resolution_m=60.0)
+        with pytest.raises(ValueError):
+            sc.make_cluster((4, 1, 1), timing_only=True)
+
+
+class TestSolverFailureModes:
+    def test_gpu_solver_rejects_bad_mode(self):
+        from repro.gpu.lbm_gpu import GPULBMSolver
+        with pytest.raises(ValueError, match="mode"):
+            GPULBMSolver((8, 8, 8), tau=0.7, mode="magic")
+
+    def test_gpu_solver_rejects_2d_shape(self):
+        from repro.gpu.lbm_gpu import GPULBMSolver
+        with pytest.raises(ValueError, match="3D"):
+            GPULBMSolver((8, 8), tau=0.7)
+
+    def test_gpu_solver_rejects_bad_distribution_shape(self):
+        from repro.gpu.lbm_gpu import GPULBMSolver
+        s = GPULBMSolver((6, 6, 6), tau=0.7)
+        with pytest.raises(ValueError, match="shape"):
+            s.load_distributions(np.zeros((19, 5, 5, 5), np.float32))
+
+    def test_load_global_distributions_shape_checked(self):
+        cfg = ClusterConfig(sub_shape=(6, 6, 6), arrangement=(2, 1, 1))
+        cluster = GPUClusterLBM(cfg)
+        with pytest.raises(ValueError):
+            cluster.load_global_distributions(
+                np.zeros((19, 6, 6, 6), np.float32))
+
+    def test_nan_input_propagates_visibly(self):
+        """Garbage in must be *detectably* garbage out (NaN), never a
+        silent wrong answer."""
+        from repro.lbm.solver import LBMSolver
+        s = LBMSolver((6, 6, 6), tau=0.8)
+        s.f[0, 2, 2, 2] = np.nan
+        s.step(2)
+        assert np.isnan(s.f).any()
+
+    def test_tracer_rng_reproducible(self):
+        from repro.lbm.lattice import D3Q19
+        from repro.lbm.tracers import TracerCloud
+        from repro.lbm.equilibrium import equilibrium_site
+        shape = (8, 8, 8)
+        feq = equilibrium_site(D3Q19, 1.0, (0.05, 0, 0)).astype(np.float32)
+        f = np.broadcast_to(feq.reshape(19, 1, 1, 1), (19,) + shape).copy()
+        a = TracerCloud(D3Q19, np.full((50, 3), 4), shape, rng=42)
+        b = TracerCloud(D3Q19, np.full((50, 3), 4), shape, rng=42)
+        for _ in range(10):
+            a.step(f)
+            b.step(f)
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestDeterminism:
+    def test_cluster_run_is_deterministic(self, rng):
+        cfg = ClusterConfig(sub_shape=(6, 6, 4), arrangement=(2, 2, 1),
+                            tau=0.8)
+        f0 = None
+        outs = []
+        for _ in range(2):
+            c = GPUClusterLBM(cfg)
+            if f0 is None:
+                from repro.lbm.solver import LBMSolver
+                ref = LBMSolver((12, 12, 4), tau=0.8)
+                u0 = (0.02 * rng.standard_normal((3, 12, 12, 4))).astype(np.float32)
+                ref.initialize(rho=np.ones((12, 12, 4), np.float32), u=u0)
+                f0 = ref.f.copy()
+            c.load_global_distributions(f0)
+            t = c.step(3)
+            outs.append((c.gather_distributions(), t.total_s))
+        assert np.array_equal(outs[0][0], outs[1][0])
+        assert outs[0][1] == outs[1][1]
+
+    def test_timing_model_deterministic(self):
+        from repro.perf.model import table1_row
+        a = table1_row(32)
+        b = table1_row(32)
+        assert a == b

@@ -1,0 +1,118 @@
+"""Tests for streamlines and volume rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (emission_absorption, max_intensity_projection,
+                       seed_streamlines, trace_streamline, write_pgm,
+                       write_ppm)
+from repro.viz.volume import colorize_vertical
+
+
+def _uniform_field(shape, v):
+    u = np.zeros((3,) + shape)
+    for a in range(3):
+        u[a] = v[a]
+    return u
+
+
+class TestStreamlines:
+    def test_follows_uniform_flow(self):
+        u = _uniform_field((20, 10, 10), (1.0, 0.0, 0.0))
+        pts, vert = trace_streamline(u, (2.0, 5.0, 5.0), n_steps=10, h=1.0)
+        assert len(pts) == 10
+        assert (np.diff(pts[:, 0]) > 0.9).all()
+        assert np.allclose(pts[:, 1], 5.0, atol=1e-9)
+        assert (vert == 0).all()
+
+    def test_vertical_fraction(self):
+        u = _uniform_field((10, 10, 10), (1.0, 0.0, 1.0))
+        _, vert = trace_streamline(u, (2.0, 5.0, 2.0), n_steps=5)
+        assert np.allclose(vert, 1 / np.sqrt(2), atol=1e-9)
+
+    def test_stops_at_domain_exit(self):
+        u = _uniform_field((8, 8, 8), (1.0, 0.0, 0.0))
+        pts, _ = trace_streamline(u, (6.0, 4.0, 4.0), n_steps=100, h=1.0)
+        assert len(pts) < 100
+        assert (pts[:, 0] <= 7.0).all()
+
+    def test_stops_in_solid(self):
+        u = _uniform_field((12, 8, 8), (1.0, 0.0, 0.0))
+        solid = np.zeros((12, 8, 8), bool)
+        solid[6:, :, :] = True
+        pts, _ = trace_streamline(u, (1.0, 4.0, 4.0), n_steps=100, h=1.0,
+                                  solid=solid)
+        assert pts[:, 0].max() < 6.5
+
+    def test_stops_at_stagnation(self):
+        u = _uniform_field((8, 8, 8), (0.0, 0.0, 0.0))
+        pts, _ = trace_streamline(u, (4.0, 4.0, 4.0), n_steps=50)
+        assert len(pts) == 0
+
+    def test_seed_streamlines_yields_lines(self):
+        u = _uniform_field((16, 12, 8), (-1.0, 0.0, 0.0))
+        lines = seed_streamlines(u, n=10, n_steps=40)
+        assert len(lines) == 10
+        for pts, vert in lines:
+            assert len(pts) == len(vert) > 3
+
+
+class TestVolume:
+    def test_mip(self):
+        vol = np.zeros((4, 5, 6))
+        vol[2, 3, 4] = 7.0
+        img = max_intensity_projection(vol, axis=2)
+        assert img.shape == (4, 5)
+        assert img[2, 3] == 7.0
+
+    def test_emission_absorption_positive_and_bounded(self, rng):
+        vol = rng.random((6, 6, 6))
+        img = emission_absorption(vol, axis=2)
+        assert img.shape == (6, 6)
+        assert (img >= 0).all()
+        assert np.isfinite(img).all()
+
+    def test_opaque_foreground_hides_background(self):
+        vol = np.zeros((1, 1, 4))
+        vol[0, 0, 0] = 100.0     # dense slab in front
+        vol[0, 0, 3] = 100.0
+        front_only = vol.copy()
+        front_only[0, 0, 3] = 0.0
+        a = emission_absorption(vol, axis=2, absorption=5.0)
+        b = emission_absorption(front_only, axis=2, absorption=5.0)
+        assert a[0, 0] == pytest.approx(b[0, 0], rel=1e-3)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            max_intensity_projection(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            emission_absorption(np.zeros((4, 4)))
+
+    def test_colorize_vertical_endpoints(self):
+        assert colorize_vertical(0.0) == (0.0, 0.0, 1.0)   # blue
+        assert colorize_vertical(1.0) == (1.0, 1.0, 1.0)   # white
+
+
+class TestImageIO:
+    def test_pgm_header_and_size(self, tmp_path, rng):
+        img = rng.random((10, 14))
+        p = tmp_path / "x.pgm"
+        write_pgm(str(p), img)
+        data = p.read_bytes()
+        assert data.startswith(b"P5\n14 10\n255\n")
+        assert len(data) == len(b"P5\n14 10\n255\n") + 140
+
+    def test_ppm_header_and_size(self, tmp_path, rng):
+        img = rng.random((6, 8, 3))
+        p = tmp_path / "x.ppm"
+        write_ppm(str(p), img)
+        data = p.read_bytes()
+        assert data.startswith(b"P6\n8 6\n255\n")
+        assert len(data) == len(b"P6\n8 6\n255\n") + 6 * 8 * 3
+
+    def test_constant_image_ok(self, tmp_path):
+        write_pgm(str(tmp_path / "c.pgm"), np.ones((4, 4)))
+
+    def test_ppm_shape_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "bad.ppm"), np.zeros((4, 4)))

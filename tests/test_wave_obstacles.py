@@ -1,0 +1,117 @@
+"""Tests for the distributed wave equation and obstacle helpers."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.obstacles import (backward_facing_step, cut_links_for_sphere,
+                                 cylinder, sphere)
+from repro.lbm.solver import LBMSolver
+from repro.solvers.wave import (DistributedWave2D, step_reference,
+                                wave_energy)
+
+
+def _gaussian(n):
+    x = np.arange(n)
+    g = np.exp(-((x - n / 2) ** 2) / 8.0)
+    return np.outer(g, g)
+
+
+class TestWaveReference:
+    def test_energy_conserved(self):
+        u0 = _gaussian(24)
+        up, u = step_reference(u0, u0, 0.25, steps=1)
+        e0 = wave_energy(up, u, 0.25)
+        for _ in range(5):
+            up, u = step_reference(up, u, 0.25, steps=20)
+            assert wave_energy(up, u, 0.25) == pytest.approx(e0, rel=1e-6)
+
+    def test_pulse_propagates_outward(self):
+        u0 = _gaussian(32)
+        _, u = step_reference(u0, u0, 0.25, steps=20)
+        # Centre amplitude drops as the ring expands.
+        assert abs(u[16, 16]) < u0[16, 16]
+        assert np.abs(u).max() > 0.01
+
+    def test_standing_mode_frequency(self):
+        """The (1,1) eigenmode of the fixed square oscillates at
+        omega = C * pi * sqrt(2)/n: check the half-period sign flip."""
+        n = 16
+        courant = 0.5
+        x = (np.arange(n) + 1) / (n + 1)
+        mode = np.sin(np.pi * x)[:, None] * np.sin(np.pi * x)[None, :]
+        # period T = 2 pi / (omega), omega = C*pi*sqrt(2)/(n+1) per step
+        omega = courant * np.pi * np.sqrt(2.0) / (n + 1)
+        half_period = int(round(np.pi / omega))
+        up, u = step_reference(mode, mode, courant ** 2, steps=half_period)
+        corr = float((u * mode).sum() / (mode * mode).sum())
+        assert corr == pytest.approx(-1.0, abs=0.08)
+
+
+class TestDistributedWave:
+    @pytest.mark.parametrize("ranks", [(1, 1), (2, 2), (4, 1), (2, 3)])
+    def test_matches_reference(self, ranks):
+        u0 = _gaussian(24)
+        ref_up, ref_u = step_reference(u0, u0, 0.25, steps=12)
+        out = DistributedWave2D(u0, ranks, courant=0.5).run(12)
+        assert np.allclose(out, ref_u, atol=1e-12)
+
+    def test_unstable_courant_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedWave2D(np.zeros((8, 8)), (2, 2), courant=0.9)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedWave2D(np.zeros((9, 8)), (2, 2))
+
+
+class TestObstacles:
+    def test_sphere_volume(self):
+        s = sphere((20, 20, 20), (10, 10, 10), 6.0)
+        vol = s.sum()
+        expect = 4.0 / 3.0 * np.pi * 6 ** 3
+        assert vol == pytest.approx(expect, rel=0.1)
+
+    def test_cylinder_invariant_along_axis(self):
+        c = cylinder((12, 12, 8), (6, 6), 3.0, axis=2)
+        for z in range(1, 8):
+            assert np.array_equal(c[:, :, z], c[:, :, 0])
+
+    def test_step_geometry(self):
+        s = backward_facing_step((20, 6, 10), step_height=4, step_length=8)
+        assert s[:8, :, :4].all()
+        assert not s[8:, :, :].any()
+        assert not s[:, :, 4:].any()
+
+    def test_cut_links_fractions_valid(self):
+        links = cut_links_for_sphere((12, 12, 12), (6, 6, 6), 3.5)
+        assert len(links) > 0
+        for cell, i, q in links:
+            assert 0.05 <= q <= 1.0
+            assert 1 <= i <= 18
+
+    def test_cut_links_only_at_surface(self):
+        shape = (12, 12, 12)
+        solid = sphere(shape, (6, 6, 6), 3.5)
+        links = cut_links_for_sphere(shape, (6, 6, 6), 3.5)
+        for cell, i, q in links:
+            assert not solid[cell]          # fluid side
+        # every listed link's neighbour is solid
+        from repro.lbm.lattice import D3Q19
+        for cell, i, q in links[:50]:
+            nb = tuple(np.array(cell) + D3Q19.c[i])
+            assert solid[nb]
+
+    def test_sphere_flow_with_curved_boundary_stable(self):
+        from repro.lbm.boundaries import BouzidiCurvedBoundary
+        shape = (16, 12, 12)
+        solid = sphere(shape, (8, 6, 6), 3.0)
+        links = cut_links_for_sphere(shape, (8, 6, 6), 3.0)
+        bc = BouzidiCurvedBoundary(
+            __import__("repro.lbm.lattice", fromlist=["D3Q19"]).D3Q19,
+            links, shape)
+        s = LBMSolver(shape, tau=0.8, solid=solid, force=(2e-5, 0, 0),
+                      boundaries=[bc], dtype=np.float64)
+        s.step(80)
+        assert np.isfinite(s.f).all()
+        _, u = s.macroscopic()
+        assert u[0][~solid].mean() > 0   # flow past the sphere develops

@@ -1,0 +1,158 @@
+"""Tests for the Zou-He D2Q9 boundary conditions and the 2D benchmark
+flows they enable (lid-driven cavity, pressure-driven channel)."""
+
+import numpy as np
+import pytest
+
+from repro.lbm.boundaries import box_walls
+from repro.lbm.collision import tau_to_viscosity
+from repro.lbm.lattice import D2Q9
+from repro.lbm.solver import LBMSolver
+from repro.lbm.zou_he import ZouHePressure2D, ZouHeVelocity2D
+
+
+def _cavity(n=24, lid_u=0.08, tau=0.7, steps=1200):
+    """Lid-driven cavity: solid side/bottom walls, Zou-He moving lid."""
+    shape = (n, n)
+    solid = np.zeros(shape, bool)
+    solid[0, :] = solid[-1, :] = True
+    solid[:, 0] = True
+    lid = ZouHeVelocity2D(axis=1, side="high", velocity=(lid_u, 0.0),
+                          exclude=solid[:, -1])
+    s = LBMSolver(shape, tau=tau, lattice=D2Q9, solid=solid,
+                  boundaries=[lid], periodic=False, dtype=np.float64)
+    s.step(steps)
+    return s
+
+
+class TestZouHeVelocity:
+    def test_imposes_velocity_exactly(self):
+        s = LBMSolver((8, 8), tau=0.8, lattice=D2Q9, periodic=False,
+                      boundaries=[ZouHeVelocity2D(1, "high", (0.05, -0.01))],
+                      dtype=np.float64)
+        s.step(3)
+        rho, u = s.macroscopic()
+        assert np.allclose(u[0, 1:-1, -1], 0.05, atol=1e-12)
+        assert np.allclose(u[1, 1:-1, -1], -0.01, atol=1e-12)
+
+    def test_mass_flux_consistent_with_density(self):
+        """Zou-He's density closure: rho on the layer stays finite and
+        near the bulk value."""
+        s = LBMSolver((8, 8), tau=0.8, lattice=D2Q9, periodic=False,
+                      boundaries=[ZouHeVelocity2D(1, "high", (0.05, 0.0))],
+                      dtype=np.float64)
+        s.step(50)
+        rho = s.density()
+        assert np.all(np.abs(rho[1:-1, -1] - 1.0) < 0.05)
+
+    @pytest.mark.parametrize("axis,side", [(0, "low"), (0, "high"),
+                                           (1, "low"), (1, "high")])
+    def test_all_faces_supported(self, axis, side):
+        v = [0.0, 0.0]
+        v[1 - axis] = 0.03   # tangential drive
+        s = LBMSolver((10, 10), tau=0.8, lattice=D2Q9, periodic=False,
+                      boundaries=[ZouHeVelocity2D(axis, side, v)],
+                      dtype=np.float64)
+        s.step(5)
+        _, u = s.macroscopic()
+        idx = [slice(1, -1)] * 2
+        idx[axis] = 0 if side == "low" else -1
+        assert np.allclose(u[1 - axis][tuple(idx)], 0.03, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZouHeVelocity2D(2, "low", (0, 0))
+        with pytest.raises(ValueError):
+            ZouHeVelocity2D(0, "mid", (0, 0))
+        with pytest.raises(ValueError):
+            ZouHeVelocity2D(0, "low", (0, 0, 0))
+
+
+class TestLidDrivenCavity:
+    @pytest.fixture(scope="class")
+    def cavity(self):
+        return _cavity()
+
+    def test_lid_velocity_held(self, cavity):
+        _, u = cavity.macroscopic()
+        assert np.allclose(u[0, 1:-1, -1], 0.08, atol=1e-10)
+
+    def test_pressure_bc_respects_exclude(self):
+        from repro.lbm.zou_he import ZouHePressure2D
+        excl = np.zeros(8, bool)
+        excl[0] = True
+        s = LBMSolver((10, 8), tau=0.8, lattice=D2Q9, periodic=False,
+                      boundaries=[ZouHePressure2D(0, "low", 1.05,
+                                                  exclude=excl)],
+                      dtype=np.float64)
+        s.step(2)
+        rho = s.density()
+        assert np.allclose(rho[0, 1:], 1.05, atol=1e-12)
+        assert not np.isclose(rho[0, 0], 1.05)
+
+    def test_primary_vortex_forms(self, cavity):
+        """The hallmark of the cavity: circulation — flow to the right
+        under the lid, back to the left near the bottom."""
+        _, u = cavity.macroscopic()
+        n = cavity.shape[0]
+        assert u[0, n // 2, n - 3] > 0          # near-lid flow with the lid
+        assert u[0, n // 2, n // 4] < 0          # return flow below
+
+    def test_vortex_center_above_middle(self, cavity):
+        """At this Reynolds number the primary vortex centre (the
+        streamfunction extremum) sits in the upper half — the classic
+        cavity result."""
+        _, u = cavity.macroscopic()
+        # psi(x, y) = integral of u_x over y; the primary vortex is its
+        # interior extremum.
+        psi = np.cumsum(u[0], axis=1)
+        psi[cavity.solid] = 0.0
+        interior = psi[2:-2, 2:-2]
+        idx = np.unravel_index(np.argmax(np.abs(interior)), interior.shape)
+        cy = idx[1] + 2
+        assert cy > cavity.shape[1] // 2
+
+    def test_steady_state_reached(self, cavity):
+        _, u0 = cavity.macroscopic()
+        cavity.step(100)
+        _, u1 = cavity.macroscopic()
+        assert np.abs(u1 - u0).max() < 1e-4
+
+
+class TestZouHePressure:
+    def test_imposes_density_exactly(self):
+        s = LBMSolver((10, 6), tau=0.8, lattice=D2Q9, periodic=False,
+                      boundaries=[ZouHePressure2D(0, "low", 1.02),
+                                  ZouHePressure2D(0, "high", 0.98)],
+                      dtype=np.float64)
+        s.step(5)
+        rho = s.density()
+        assert np.allclose(rho[0, 1:-1], 1.02, atol=1e-12)
+        assert np.allclose(rho[-1, 1:-1], 0.98, atol=1e-12)
+
+    def test_pressure_gradient_drives_poiseuille(self):
+        """Pressure-driven channel: parabolic profile between walls,
+        flow from high to low pressure."""
+        nx, ny = 32, 18
+        solid = box_walls((nx, ny), axes=[1])
+        tau = 0.9
+        drho = 0.02
+        s = LBMSolver((nx, ny), tau=tau, lattice=D2Q9, solid=solid,
+                      periodic=False, dtype=np.float64,
+                      boundaries=[ZouHePressure2D(0, "low", 1.0 + drho / 2),
+                                  ZouHePressure2D(0, "high", 1.0 - drho / 2)])
+        s.step(4000)
+        _, u = s.macroscopic()
+        prof = u[0, nx // 2, 1:-1]
+        assert prof.min() > 0                       # everything downstream
+        # Parabolic: centreline max, near-symmetric, matches the exact
+        # solution u = G H^2/(8 nu) * (1 - (2y/H - 1)^2) within a few %.
+        assert prof.argmax() in (len(prof) // 2 - 1, len(prof) // 2,
+                                 len(prof) // 2 + 1 - len(prof) % 2)
+        assert np.allclose(prof, prof[::-1], rtol=0.05)
+        nu = tau_to_viscosity(tau)
+        G = (drho / 3.0) / (nx - 1)                  # dp/dx, p = rho cs^2
+        H = ny - 2
+        y = np.arange(H) + 0.5
+        exact = G / (2 * nu) * y * (H - y)
+        assert np.abs(prof - exact).max() / exact.max() < 0.05
