@@ -1,0 +1,156 @@
+"""Fused vs phase-split hot-path benchmark, with a machine-readable log.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_fused.py --benchmark-only`` — the usual
+  pytest-benchmark run, printing fused/unfused Mcells/s side by side.
+* ``python benchmarks/bench_fused.py [--out BENCH_kernels.json]`` — a
+  self-contained timing run that writes ``BENCH_kernels.json`` so the
+  kernel-throughput trajectory stays machine-readable across PRs
+  (consumed by ``benchmarks/check_regression.py``).
+
+The headline metric mirrors ``bench_kernels.py::test_reference_full_step``:
+throughput of one full reference-solver step at 48^3 in Mcells/s, for
+both the fused single-pass pipeline and the ``fused=False`` phase-split
+escape hatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # allow `python benchmarks/bench_fused.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SHAPE = (48, 48, 48)
+
+
+def _make_solver(fused: bool, shape=SHAPE, solid: bool = False):
+    from repro.lbm import LBMSolver
+    mask = None
+    if solid:
+        mask = np.zeros(shape, bool)
+        mask[shape[0] // 3:shape[0] // 3 + 4,
+             shape[1] // 3:shape[1] // 3 + 4, :] = True
+    return LBMSolver(shape, tau=0.7, solid=mask, fused=fused)
+
+
+def _throughput_mcells(solver, steps: int, repeats: int) -> float:
+    """Best-of-``repeats`` Mcells/s over ``steps``-step batches."""
+    solver.step(2)  # warm up: allocate workspace, settle caches
+    cells = float(np.prod(solver.shape))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        solver.step(steps)
+        best = min(best, (time.perf_counter() - t0) / steps)
+    return cells / best / 1e6
+
+
+def run_benchmarks(shape=SHAPE, steps: int = 8, repeats: int = 3) -> dict:
+    """Measure the fused and unfused step pipelines; returns a JSON dict."""
+    results: dict[str, dict] = {}
+    for name, fused, solid in [
+        ("reference_full_step_unfused", False, False),
+        ("reference_full_step_fused", True, False),
+        ("reference_full_step_fused_solid", True, True),
+    ]:
+        solver = _make_solver(fused, shape=shape, solid=solid)
+        mc = _throughput_mcells(solver, steps, repeats)
+        results[name] = {"mcells_per_s": round(mc, 3)}
+    results["fused_speedup"] = {
+        "ratio": round(results["reference_full_step_fused"]["mcells_per_s"]
+                       / results["reference_full_step_unfused"]["mcells_per_s"], 3)
+    }
+    # Cluster step (2x2x1 numeric mode) so the distributed hot path is
+    # tracked too, serial vs threaded driver.
+    from repro.core import ClusterConfig, GPUClusterLBM
+    for name, workers in [("cluster_numeric_step_serial", 1),
+                          ("cluster_numeric_step_threaded", 4)]:
+        cfg = ClusterConfig(sub_shape=(16, 16, 16), arrangement=(2, 2, 1),
+                            tau=0.7, max_workers=workers)
+        cluster = GPUClusterLBM(cfg)
+        cluster.step(1)  # warm up exchange buffers
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cluster.step(2)
+            best = min(best, (time.perf_counter() - t0) / 2)
+        cluster.shutdown()
+        results[name] = {
+            "mcells_per_s": round(cluster.cells_total() / best / 1e6, 3)}
+    return {
+        "schema": "bench-kernels/1",
+        "shape": list(shape),
+        "steps": steps,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def write_results(data: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernels.json"),
+                    help="output JSON path (default: repo-root BENCH_kernels.json)")
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+    data = run_benchmarks(steps=args.steps, repeats=args.repeats)
+    path = write_results(data, args.out)
+    print(f"wrote {path}")
+    for name, entry in sorted(data["results"].items()):
+        val = entry.get("mcells_per_s", entry.get("ratio"))
+        print(f"  {name:36s} {val}")
+    return 0
+
+
+# -- pytest-benchmark entry points -------------------------------------
+
+
+def test_reference_full_step_unfused(benchmark):
+    solver = _make_solver(fused=False)
+    benchmark(lambda: solver.step(1))
+    benchmark.extra_info["Mcells/s"] = round(
+        np.prod(SHAPE) / benchmark.stats["mean"] / 1e6, 1)
+
+
+def test_reference_full_step_fused(benchmark):
+    solver = _make_solver(fused=True)
+    benchmark(lambda: solver.step(1))
+    benchmark.extra_info["Mcells/s"] = round(
+        np.prod(SHAPE) / benchmark.stats["mean"] / 1e6, 1)
+
+
+def test_fused_step_with_obstacle(benchmark):
+    solver = _make_solver(fused=True, solid=True)
+    benchmark(lambda: solver.step(1))
+
+
+def test_cluster_threaded_step(benchmark):
+    from repro.core import ClusterConfig, GPUClusterLBM
+    cfg = ClusterConfig(sub_shape=(16, 16, 16), arrangement=(2, 2, 1),
+                        tau=0.7, max_workers=4)
+    cluster = GPUClusterLBM(cfg)
+    benchmark(lambda: cluster.step(1))
+    cluster.shutdown()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Kernel-throughput regression guard.
+
+Runs a fresh :mod:`bench_fused` measurement and compares every
+``mcells_per_s`` entry against the committed ``BENCH_kernels.json``
+baseline.  Exits non-zero if any kernel regressed by more than the
+threshold (default 25%), so the guard is a single command::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Options::
+
+    --baseline PATH   baseline JSON (default: repo-root BENCH_kernels.json)
+    --threshold F     allowed fractional drop, e.g. 0.25 (default)
+    --update          rewrite the baseline with the fresh numbers and exit 0
+
+The baseline is machine-specific: refresh it with ``--update`` when the
+benchmark host changes, and commit the result so the perf trajectory
+stays reviewable PR over PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # allow `python benchmarks/check_regression.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_fused import run_benchmarks, write_results  # noqa: E402
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+    base_results = baseline.get("results", {})
+    fresh_results = fresh.get("results", {})
+    for name, base_entry in sorted(base_results.items()):
+        base_v = base_entry.get("mcells_per_s")
+        if base_v is None:
+            continue  # ratios and other non-throughput entries
+        fresh_entry = fresh_results.get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        fresh_v = fresh_entry["mcells_per_s"]
+        drop = (base_v - fresh_v) / base_v if base_v > 0 else 0.0
+        status = "FAIL" if drop > threshold else "ok"
+        print(f"  {name:36s} base {base_v:9.3f}  fresh {fresh_v:9.3f} "
+              f"Mcells/s  ({-drop:+.1%})  {status}")
+        if drop > threshold:
+            failures.append(
+                f"{name}: {base_v:.3f} -> {fresh_v:.3f} Mcells/s "
+                f"({drop:.1%} drop > {threshold:.0%} threshold)")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_kernels.json"))
+    ap.add_argument("--threshold", type=float, default=0.25)
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline instead of comparing")
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+
+    print("measuring fresh kernel throughput ...")
+    fresh = run_benchmarks(steps=args.steps, repeats=args.repeats)
+
+    baseline_path = Path(args.baseline)
+    if args.update or not baseline_path.exists():
+        write_results(fresh, baseline_path)
+        print(f"baseline written to {baseline_path}")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    print(f"comparing against {baseline_path} "
+          f"(threshold {args.threshold:.0%}):")
+    failures = compare(baseline, fresh, args.threshold)
+    if failures:
+        print("\nREGRESSIONS DETECTED:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print("no kernel regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ real; gather/compare against the single-domain reference solver) and
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.core.halo import HaloPlan
 from repro.core.schedule import CommSchedule
 from repro.gpu.specs import AGP_8X, GEFORCE_FX_5800_ULTRA, XEON_2_4, BusSpec, CPUSpec, GPUSpec
 from repro.net.switch import GigabitSwitch
+from repro.perf.counters import KernelCounters
 
 
 @dataclass(frozen=True)
@@ -90,6 +92,14 @@ class ClusterConfig:
     inlet / outflow / force:
         Global boundary conditions, applied on the nodes that own the
         corresponding global boundary.
+    max_workers:
+        Thread-pool width for stepping the nodes.  With the default 1
+        the driver advances nodes serially from the coordinator loop;
+        with > 1 the ``collide_phase``/``finish_step`` of all nodes run
+        concurrently (numpy releases the GIL in the big kernels, like
+        the paper's per-node processes run concurrently on the real
+        cluster).  Results are identical either way — nodes only touch
+        their own sub-domain between exchanges.
     """
 
     sub_shape: tuple[int, int, int]
@@ -106,8 +116,11 @@ class ClusterConfig:
     cpu_spec: CPUSpec = XEON_2_4
     use_sse: bool = False
     switch: GigabitSwitch | None = None
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
+        if int(self.max_workers) < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if len(self.sub_shape) != 3 or any(s < 2 for s in self.sub_shape):
             raise ValueError(f"sub_shape must be 3D with extents >= 2, "
                              f"got {self.sub_shape}")
@@ -154,6 +167,37 @@ class _ClusterLBMBase:
                       for rank in range(self.decomp.n_nodes)]
         self.time_step = 0
         self.last_timing: StepTiming | None = None
+        self.counters = KernelCounters()
+        self._executor: ThreadPoolExecutor | None = None
+        self._border_bufs: list[dict[int, dict[int, np.ndarray]]] | None = None
+
+    # -- threaded node stepping -------------------------------------------
+    def _run_on_nodes(self, method: str) -> None:
+        """Invoke ``method`` on every node, threaded when configured.
+
+        Nodes only touch their own sub-domain state between exchanges,
+        so the per-node phases are embarrassingly parallel; numpy
+        releases the GIL inside the large kernels, letting the pool
+        overlap them like the per-node processes of the real cluster.
+        """
+        if self.config.max_workers > 1 and len(self.nodes) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.config.max_workers, len(self.nodes)),
+                    thread_name_prefix="lbm-node")
+            futures = [self._executor.submit(getattr(node, method))
+                       for node in self.nodes]
+            for fut in futures:
+                fut.result()
+        else:
+            for node in self.nodes:
+                getattr(node, method)()
+
+    def shutdown(self) -> None:
+        """Release the node thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # -- node construction -------------------------------------------------
     def _node_boundary_config(self, rank: int) -> dict:
@@ -187,8 +231,24 @@ class _ClusterLBMBase:
         messages.
         """
         cfg = self.config
+        if self._border_bufs is None:
+            # Preallocate the per-(rank, axis, direction) border layers
+            # once; each exchange refills them in place instead of
+            # rebuilding a dict of fresh copies every axis phase.
+            sub = cfg.sub_shape
+            self._border_bufs = []
+            for _ in self.nodes:
+                per_axis = {}
+                for axis in range(3):
+                    face = (19,) + tuple(s + 2 for a, s in enumerate(sub)
+                                         if a != axis)
+                    per_axis[axis] = {-1: np.empty(face, dtype=np.float32),
+                                      1: np.empty(face, dtype=np.float32)}
+                self._border_bufs.append(per_axis)
+            self.counters.alloc("exchange.border_bufs", 6 * len(self.nodes))
         for axis in range(3):
-            borders = {rank: node.read_borders(axis)
+            borders = {rank: node.read_borders(axis,
+                                               out=self._border_bufs[rank][axis])
                        for rank, node in enumerate(self.nodes)}
             for rank, node in enumerate(self.nodes):
                 for direction in (-1, 1):
@@ -206,20 +266,22 @@ class _ClusterLBMBase:
     def step(self, n: int = 1) -> StepTiming:
         """Advance ``n`` time steps; returns the last step's timing."""
         timing = self.last_timing
+        rec = self.counters
         for _ in range(n):
             for node in self.nodes:
                 node.begin_step()
-            for node in self.nodes:
-                node.collide_phase()
+            with rec.phase("cluster.collide"):
+                self._run_on_nodes("collide_phase")
             if not self.config.timing_only:
-                self._exchange()
+                with rec.phase("cluster.exchange"):
+                    self._exchange()
             for node in self.nodes:
                 node.charge_transfers()
             net_total = (self.switch.phase_time(self.schedule.round_bytes(),
                                                 self.decomp.n_nodes)
                          if self.decomp.n_nodes > 1 else 0.0)
-            for node in self.nodes:
-                node.finish_step()
+            with rec.phase("cluster.finish"):
+                self._run_on_nodes("finish_step")
             timing = StepTiming(
                 nodes=self.decomp.n_nodes,
                 compute_s=max(nd.compute_s for nd in self.nodes),

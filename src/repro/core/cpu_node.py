@@ -98,13 +98,26 @@ class CPUNode:
             return 0 if ghost else 1
         return self.sub_shape[axis] + 1 if ghost else self.sub_shape[axis]
 
-    def read_borders(self, axis: int) -> dict[int, np.ndarray]:
-        out = {}
+    def read_borders(self, axis: int,
+                     out: dict[int, np.ndarray] | None = None) -> dict[int, np.ndarray]:
+        """Copy both border faces along ``axis``.
+
+        With ``out`` (a ``{-1: buf, 1: buf}`` pair of preallocated face
+        arrays) the layers are copied in place, so the per-step halo
+        exchange allocates nothing.
+        """
+        res: dict[int, np.ndarray] = {} if out is None else out
         for direction in (-1, 1):
             side = "low" if direction == -1 else "high"
             idx = self._layer_index(axis, side, ghost=False)
-            out[direction] = np.take(self.solver.fg, idx, axis=1 + axis).copy()
-        return out
+            sl = [slice(None)] * 4
+            sl[1 + axis] = idx
+            layer = self.solver.fg[tuple(sl)]
+            if out is None:
+                res[direction] = layer.copy()
+            else:
+                np.copyto(res[direction], layer)
+        return res
 
     def write_ghost(self, axis: int, direction: int, data: np.ndarray) -> None:
         side = "low" if direction == -1 else "high"

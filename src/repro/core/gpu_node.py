@@ -147,13 +147,19 @@ class GPUNode:
         inner_frac = self.inner_cells() / self.cells
         self.overlap_window_s = collide_s * inner_frac
 
-    def read_borders(self, axis: int) -> dict[int, np.ndarray]:
-        """Read both border faces along ``axis`` (numeric mode)."""
-        out = {}
+    def read_borders(self, axis: int,
+                     out: dict[int, np.ndarray] | None = None) -> dict[int, np.ndarray]:
+        """Read both border faces along ``axis`` (numeric mode).
+
+        With ``out`` (``{-1: buf, 1: buf}`` preallocated face arrays)
+        the texture layers are gathered straight into the buffers.
+        """
+        res: dict[int, np.ndarray] = {} if out is None else out
         for direction in (-1, 1):
             side = "low" if direction == -1 else "high"
-            out[direction] = self.solver.get_border_layer(axis, side)
-        return out
+            res[direction] = self.solver.get_border_layer(
+                axis, side, out=None if out is None else out[direction])
+        return res
 
     def write_ghost(self, axis: int, direction: int, data: np.ndarray) -> None:
         """Install a received ghost face (numeric mode)."""

@@ -278,26 +278,34 @@ class GPULBMSolver:
             else:
                 data[idx_along, :, :, ch] = f_ghost[i].transpose(1, 0)
 
-    def get_border_layer(self, axis: int, side: str) -> np.ndarray:
+    def get_border_layer(self, axis: int, side: str,
+                         out: np.ndarray | None = None) -> np.ndarray:
         """Read the interior border face (19, full padded cross-section).
 
         Returns the post-collision distributions of the outermost
         interior layer, padded cross-section orientation matching
         :meth:`set_ghost_layer` so a neighbour can consume it directly.
+        With ``out`` the face is gathered into the provided buffer
+        (allocation-free exchange path).
         """
         self._check_padded()
+        nx, ny, nz = self.shape
+        full = {0: (ny + 2, nz + 2), 1: (nx + 2, nz + 2), 2: (nx + 2, ny + 2)}[axis]
+        if out is None:
+            out = np.empty((19,) + full, dtype=self.f_stacks[0].data.dtype)
+        elif out.shape != (19,) + full:
+            raise ValueError(f"border face shape {out.shape} != {(19,) + full}")
         idx_along = 1 if side == "low" else self.shape[axis]
-        out = []
         for i in range(19):
             s, ch = link_location(i)
             data = self.f_stacks[s].data
             if axis == 0:
-                out.append(data[:, :, idx_along, ch].transpose(1, 0))
+                out[i] = data[:, :, idx_along, ch].transpose(1, 0)
             elif axis == 1:
-                out.append(data[:, idx_along, :, ch].transpose(1, 0))
+                out[i] = data[:, idx_along, :, ch].transpose(1, 0)
             else:
-                out.append(data[idx_along, :, :, ch].transpose(1, 0))
-        return np.stack(out, axis=0)
+                out[i] = data[idx_along, :, :, ch].transpose(1, 0)
+        return out
 
     # -- boundary-layer passes --------------------------------------------
     def _apply_inlet(self) -> None:

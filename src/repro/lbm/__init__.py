@@ -17,8 +17,9 @@ from repro.lbm.lattice import D2Q9, D3Q19, Lattice
 from repro.lbm.equilibrium import equilibrium
 from repro.lbm.macroscopic import macroscopic, density, momentum
 from repro.lbm.collision import BGKCollision, viscosity_to_tau, tau_to_viscosity
+from repro.lbm.fused import FusedStepKernel
 from repro.lbm.mrt import MRTCollision, mrt_matrix
-from repro.lbm.streaming import stream_periodic, stream_pull
+from repro.lbm.streaming import pull_slice_table, stream_periodic, stream_pull
 from repro.lbm.boundaries import (
     BounceBackNodes,
     BouzidiCurvedBoundary,
@@ -47,6 +48,8 @@ __all__ = [
     "tau_to_viscosity",
     "stream_periodic",
     "stream_pull",
+    "pull_slice_table",
+    "FusedStepKernel",
     "BounceBackNodes",
     "BouzidiCurvedBoundary",
     "EquilibriumVelocityInlet",

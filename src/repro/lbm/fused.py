@@ -1,0 +1,235 @@
+"""Fused collide–stream hot path over preallocated workspace buffers.
+
+The paper's core engineering message (Secs 4.2–4.3) is that LBM
+throughput comes from *fusing* the per-step passes and keeping all
+state resident: distributions packed into textures, rendering passes
+merged, communication overlapped with the inner-cell work.  The
+reference numpy solver historically did the opposite — fresh
+``rho``/``u``/``feq`` temporaries per step, three full-field
+fancy-indexed copies in the masked collision, and 19 slice tuples
+rebuilt per streaming call.
+
+:class:`FusedStepKernel` performs macroscopic → equilibrium → BGK
+relax → pull-stream in a single sweep per direction over preallocated
+scratch buffers.  Per time step it allocates nothing (after warm-up)
+and touches each distribution array once, instead of once for
+collision and once for streaming.
+
+Bit-exactness contract
+----------------------
+The fused pipeline is **bit-identical** to the phase-split pipeline
+(``collide`` → ``fill_ghosts`` → ``stream`` → ``post_stream``).  The
+distributed cluster drivers interleave the halo exchange between the
+phase-split collide and stream, and the equality tests in
+``tests/test_cluster_numeric.py`` compare them against
+``LBMSolver.step()`` with ``np.array_equal`` — so every floating-point
+operation here replicates the reference op sequence exactly:
+
+* moments use the same ``sum``/``einsum`` reductions as
+  :func:`repro.lbm.macroscopic.macroscopic` (identical per-site
+  accumulation order);
+* the equilibrium expression applies the binary operations of
+  :func:`repro.lbm.equilibrium.equilibrium` in the same order (only
+  commuted where IEEE-754 guarantees identical rounding);
+* the relaxation computes ``f + omega * (feq - f)`` exactly as the
+  unfused ``f += omega * (feq - f)``;
+* ghost sites are *relaxed locally* instead of copied post-collision:
+  a ghost cell holds a bit-exact copy of its source interior cell, and
+  BGK relaxation is pointwise-deterministic, so relaxing the copy
+  yields the same bits as copying the relaxed value;
+* solid sites keep their pre-collision distributions by restoring them
+  from the old array after the full-field relax (the restore is an
+  exact copy, unlike folding the identity through the relaxation).
+
+Eligibility: BGK collision only (MRT and the Smagorinsky operator keep
+the phase-split path) and no boundary handler that overrides
+``pre_stream`` (the Bouzidi snapshot needs the intermediate
+post-collision field, which fusion never materialises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.lattice import Lattice
+from repro.lbm.streaming import interior, pull_slice_table
+
+
+class FusedStepKernel:
+    """Single-pass collide+stream kernel bound to one ``LBMSolver``.
+
+    The kernel owns a per-solver workspace (``rho``, ``j``, ``u`` and
+    per-direction scratch planes, all on the *padded* grid) plus the
+    precomputed pull-streaming slice table, so stepping performs no
+    array allocation.
+
+    Parameters
+    ----------
+    solver:
+        The owning :class:`~repro.lbm.solver.LBMSolver`.  Must use a
+        plain :class:`~repro.lbm.collision.BGKCollision` operator; see
+        :meth:`eligible`.
+    """
+
+    def __init__(self, solver) -> None:
+        from repro.lbm.collision import BGKCollision
+        if type(solver.collision) is not BGKCollision:
+            raise TypeError("FusedStepKernel requires a plain BGKCollision")
+        lat: Lattice = solver.lattice
+        dtype = solver.dtype
+        pshape = solver.fg.shape[1:]
+        self.solver = solver
+        self.lattice = lat
+        self.omega = dtype.type(solver.collision.omega)
+        # dtype'd lattice constants (same casts as the unfused kernels).
+        self._c = lat.c.astype(dtype)
+        self._w = lat.w.astype(dtype)
+        self._one = dtype.type(1.0)
+        self._inv_cs2 = dtype.type(1.0 / lat.cs2)
+        self._half_inv_cs4 = dtype.type(0.5 / lat.cs2 ** 2)
+        self._half_inv_cs2 = dtype.type(0.5 / lat.cs2)
+        # Preallocated workspace, all on the padded grid.
+        self.rho = np.empty(pshape, dtype)
+        self.j = np.empty((lat.D,) + pshape, dtype)
+        self.u = np.empty((lat.D,) + pshape, dtype)
+        self.usq = np.empty(pshape, dtype)
+        self._cu = np.empty(pshape, dtype)
+        self._expr = np.empty(pshape, dtype)
+        self._wr = np.empty(pshape, dtype)
+        self._bool = np.empty(pshape, bool)
+        # Precomputed streaming slices and solid image on the padded grid.
+        self._dst = interior(lat.D)
+        self._src = pull_slice_table(lat, pshape)
+        self.solid_padded = (self._build_solid_padded(solver, pshape)
+                             if solver.solid.any() else None)
+        if solver.counters is not None:
+            n_bufs = 8 + (1 if self.solid_padded is not None else 0)
+            solver.counters.alloc("fused.workspace", n_bufs)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def eligible(solver) -> bool:
+        """True if ``solver`` can run the fused pipeline.
+
+        Requires a plain BGK collision operator and boundary handlers
+        without a ``pre_stream`` override (those need the intermediate
+        post-collision field that fusion skips).
+        """
+        from repro.lbm.boundaries import Boundary
+        from repro.lbm.collision import BGKCollision
+        if type(solver.collision) is not BGKCollision:
+            return False
+        return all(type(b).pre_stream is Boundary.pre_stream
+                   for b in solver.boundaries)
+
+    @staticmethod
+    def _build_solid_padded(solver, pshape) -> np.ndarray:
+        """Solid mask on the padded grid, ghost shell included.
+
+        Ghost cells are marked solid exactly when their source interior
+        cell is solid, mirroring the solver's ghost fill (periodic wrap
+        or zero-gradient edge copy, same axis order), so the restore
+        step keeps pre-collision values on every solid *image* too.
+        """
+        D = len(pshape)
+        sp = np.zeros(pshape, dtype=bool)
+        sp[tuple(slice(1, -1) for _ in range(D))] = solver.solid
+        for ax in range(D):
+            n = sp.shape[ax]
+            lo = [slice(None)] * D
+            src = [slice(None)] * D
+            if solver.periodic:
+                lo[ax], src[ax] = 0, n - 2
+                sp[tuple(lo)] = sp[tuple(src)]
+                lo[ax], src[ax] = n - 1, 1
+                sp[tuple(lo)] = sp[tuple(src)]
+            else:
+                lo[ax], src[ax] = 0, 1
+                sp[tuple(lo)] = sp[tuple(src)]
+                lo[ax], src[ax] = n - 1, n - 2
+                sp[tuple(lo)] = sp[tuple(src)]
+        return sp
+
+    # ------------------------------------------------------------------
+    def _moments(self) -> None:
+        """Density and velocity on the padded grid, allocation-free.
+
+        Replicates :func:`~repro.lbm.macroscopic.macroscopic` bit-for-
+        bit: same axis-0 reduction for ``rho``, same einsum for the
+        momentum, same guarded division semantics for ``u``.
+        """
+        fg = self.solver.fg
+        fg.sum(axis=0, out=self.rho)
+        np.einsum("qa,q...->a...", self._c, fg, out=self.j)
+        np.greater(self.rho, 0, out=self._bool)
+        if self._bool.all():
+            np.divide(self.j, self.rho, out=self.u)
+        else:
+            # safe = where(rho > 0, rho, 1); u = j / safe; u[rho <= 0] = 0
+            np.copyto(self._wr, self.rho)
+            np.logical_not(self._bool, out=self._bool)
+            self._wr[self._bool] = self._one
+            np.divide(self.j, self._wr, out=self.u)
+            np.less_equal(self.rho, 0, out=self._bool)
+            self.u[:, self._bool] = 0
+        np.einsum("a...,a...->...", self.u, self.u, out=self.usq)
+        self.usq *= self._half_inv_cs2   # the - 1.5 u.u term, shared by all i
+
+    def relax_stream(self) -> None:
+        """One fused pass: equilibrium, BGK relax, pull-stream, swap.
+
+        ``fill_ghosts`` must already have run (ghosts are relaxed in
+        place of receiving post-collision copies).  Direction by
+        direction the relaxed padded plane is materialised once in a
+        scratch buffer and immediately streamed into the interior of
+        the back buffer, so each ``f_i`` is touched exactly once.
+        """
+        s = self.solver
+        self._moments()
+        fg, out = s.fg, s._fg_next
+        collision = s.collision
+        add = (collision._force_add(fg.dtype)
+               if collision.force is not None else None)
+        cu, expr, wr = self._cu, self._expr, self._wr
+        rho, usq = self.rho, self.usq
+        for i in range(self.lattice.Q):
+            # feq_i = (w_i rho) * (1 + 3 cu + (4.5 cu) cu - 1.5 usq),
+            # evaluated in the reference op order of equilibrium().
+            np.einsum("a,a...->...", self._c[i], self.u, out=cu)
+            np.multiply(cu, self._half_inv_cs4, out=expr)
+            expr *= cu
+            cu *= self._inv_cs2
+            cu += self._one
+            expr += cu
+            expr -= usq
+            np.multiply(rho, self._w[i], out=wr)
+            np.multiply(wr, expr, out=expr)
+            # f + omega * (feq - f), the exact unfused relaxation.
+            fgi = fg[i]
+            np.subtract(expr, fgi, out=expr)
+            expr *= self.omega
+            expr += fgi
+            if add is not None:
+                expr += add[i]
+            if self.solid_padded is not None:
+                # Solid sites (and their ghost images) keep their
+                # pre-collision distributions for bounce-back.
+                np.copyto(expr, fgi, where=self.solid_padded)
+            out[(i,) + self._dst] = expr[self._src[i]]
+        s.fg, s._fg_next = out, fg
+
+    def step_once(self) -> None:
+        """Advance the bound solver one time step through the fused path."""
+        s = self.solver
+        rec = s.counters
+        if rec is not None and rec.enabled:
+            with rec.phase("fused.ghosts"):
+                s.fill_ghosts()
+            with rec.phase("fused.relax_stream"):
+                self.relax_stream()
+            with rec.phase("fused.post_stream"):
+                s.post_stream()
+        else:
+            s.fill_ghosts()
+            self.relax_stream()
+            s.post_stream()

@@ -18,10 +18,13 @@ import numpy as np
 from repro.lbm.boundaries import Boundary, BounceBackNodes
 from repro.lbm.collision import BGKCollision
 from repro.lbm.equilibrium import equilibrium, equilibrium_site
+from repro.lbm.fused import FusedStepKernel
 from repro.lbm.lattice import D3Q19, Lattice
 from repro.lbm.macroscopic import macroscopic
 from repro.lbm.mrt import MRTCollision
-from repro.lbm.streaming import fill_ghosts_periodic, interior, stream_pull
+from repro.lbm.streaming import (fill_ghosts_periodic, interior,
+                                 pull_slice_table, stream_pull)
+from repro.perf.counters import KernelCounters
 
 
 class LBMSolver:
@@ -53,11 +56,19 @@ class LBMSolver:
     dtype:
         ``numpy.float32`` by default, matching the GPU's single
         precision.
+    fused:
+        If True (default) ``step`` runs the single-pass fused
+        collide–stream kernel (:class:`~repro.lbm.fused.FusedStepKernel`)
+        whenever the configuration is eligible (BGK collision, no
+        ``pre_stream`` boundary snapshots); ineligible configurations
+        and ``fused=False`` take the phase-split path.  Both paths are
+        bit-identical.
     """
 
     def __init__(self, shape, tau: float, lattice: Lattice = D3Q19,
                  collision: str | object = "bgk", solid=None, boundaries=(),
-                 force=None, periodic: bool = True, dtype=np.float32) -> None:
+                 force=None, periodic: bool = True, dtype=np.float32,
+                 fused: bool = True) -> None:
         self.lattice = lattice
         self.shape = tuple(int(s) for s in shape)
         if len(self.shape) != lattice.D:
@@ -86,6 +97,12 @@ class LBMSolver:
         padded = (lattice.Q,) + tuple(s + 2 for s in self.shape)
         self.fg = np.zeros(padded, dtype=self.dtype)
         self._fg_next = np.zeros(padded, dtype=self.dtype)
+        self._pull_slices = pull_slice_table(lattice, padded[1:])
+        self.fused = bool(fused)
+        self._fused_kernel: FusedStepKernel | None = None
+        self.counters = KernelCounters()
+        if isinstance(self.collision, BGKCollision):
+            self.collision.counters = self.counters
         self.time_step = 0
         self.initialize()
 
@@ -133,7 +150,8 @@ class LBMSolver:
 
     def stream(self) -> None:
         """Pull-stream into the double buffer and swap."""
-        stream_pull(self.lattice, self.fg, out=self._fg_next)
+        stream_pull(self.lattice, self.fg, out=self._fg_next,
+                    slices=self._pull_slices)
         self.fg, self._fg_next = self._fg_next, self.fg
 
     def post_stream(self) -> None:
@@ -144,15 +162,49 @@ class LBMSolver:
             b.apply(self.fg)
 
     # ------------------------------------------------------------------
-    def step(self, n: int = 1) -> None:
-        """Advance ``n`` LBM time steps."""
-        for _ in range(n):
+    def _fused_kernel_for_step(self) -> FusedStepKernel | None:
+        """The fused kernel, or None if the phase-split path must run.
+
+        Eligibility is re-checked every step because boundary handlers
+        may be appended after construction; the kernel itself is built
+        once and reused (its workspace is the whole point).
+        """
+        if not self.fused or not FusedStepKernel.eligible(self):
+            return None
+        if self._fused_kernel is None:
+            self._fused_kernel = FusedStepKernel(self)
+        return self._fused_kernel
+
+    def _step_phase_split(self) -> None:
+        """One step through the classic collide/ghosts/stream phases."""
+        rec = self.counters
+        if rec is not None and rec.enabled:
+            with rec.phase("collide"):
+                self.collide()
+                for b in self.boundaries:
+                    b.pre_stream(self.fg)
+            with rec.phase("ghosts"):
+                self.fill_ghosts()
+            with rec.phase("stream"):
+                self.stream()
+            with rec.phase("post_stream"):
+                self.post_stream()
+        else:
             self.collide()
             for b in self.boundaries:
                 b.pre_stream(self.fg)
             self.fill_ghosts()
             self.stream()
             self.post_stream()
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` LBM time steps."""
+        for _ in range(n):
+            kern = self._fused_kernel_for_step()
+            if kern is not None:
+                kern.step_once()
+            else:
+                self._step_phase_split()
             self.time_step += 1
 
     # -- observables ----------------------------------------------------

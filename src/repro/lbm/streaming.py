@@ -31,10 +31,10 @@ def stream_periodic(lattice: Lattice, f: np.ndarray, out: np.ndarray | None = No
     """
     if out is None:
         out = np.empty_like(f)
-    axes = tuple(range(1, f.ndim))
+    axes = tuple(range(f.ndim - 1))
     for i in range(lattice.Q):
         shift = tuple(int(s) for s in lattice.c[i])
-        out[i] = np.roll(f[i], shift=shift, axis=tuple(range(f[i].ndim)))
+        out[i] = np.roll(f[i], shift=shift, axis=axes)
     return out
 
 
@@ -43,7 +43,24 @@ def interior(ndim: int) -> tuple[slice, ...]:
     return tuple(slice(1, -1) for _ in range(ndim))
 
 
-def stream_pull(lattice: Lattice, fg: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def pull_slice_table(lattice: Lattice,
+                     padded_shape: tuple[int, ...]) -> list[tuple[slice, ...]]:
+    """Per-direction source slices for pull-streaming a padded array.
+
+    ``table[i]`` selects the cells of a ghost-padded grid (shape
+    ``padded_shape``, no leading Q axis) that stream along link ``i``
+    into the interior: ``out[i][interior] = f[i][table[i]]``.  Building
+    this once per solver removes the per-step tuple construction from
+    the hot loop (used by :func:`stream_pull` callers and the fused
+    kernel in :mod:`repro.lbm.fused`).
+    """
+    return [tuple(slice(1 - int(ci), n - 1 - int(ci))
+                  for n, ci in zip(padded_shape, lattice.c[i]))
+            for i in range(lattice.Q)]
+
+
+def stream_pull(lattice: Lattice, fg: np.ndarray, out: np.ndarray | None = None,
+                slices: list[tuple[slice, ...]] | None = None) -> np.ndarray:
     """Pull-stream a ghost-padded distribution array.
 
     Parameters
@@ -55,6 +72,9 @@ def stream_pull(lattice: Lattice, fg: np.ndarray, out: np.ndarray | None = None)
     out:
         Optional ghost-padded output array.  Ghost layers of ``out`` are
         left untouched (they are overwritten by the next exchange).
+    slices:
+        Optional precomputed :func:`pull_slice_table` for ``fg``'s padded
+        shape; avoids rebuilding the per-direction slice tuples per call.
 
     Returns
     -------
@@ -64,10 +84,11 @@ def stream_pull(lattice: Lattice, fg: np.ndarray, out: np.ndarray | None = None)
     D = lattice.D
     if out is None:
         out = np.empty_like(fg)
-    n = fg.shape[1:]
+    if slices is None:
+        slices = pull_slice_table(lattice, fg.shape[1:])
+    dst = interior(D)
     for i in range(lattice.Q):
-        src = tuple(slice(1 - int(ci), n[a] - 1 - int(ci)) for a, ci in enumerate(lattice.c[i]))
-        out[(i,) + interior(D)] = fg[(i,) + src]
+        out[(i,) + dst] = fg[(i,) + slices[i]]
     return out
 
 

@@ -15,10 +15,15 @@ of *time decompositions* measured on 2004 hardware.  This package holds
 * :mod:`repro.perf.cost` — the price/performance arithmetic of Sec 3;
 * :mod:`repro.perf.whatif` — the Sec 4.4 "three enhancements"
   (Myrinet, PCI-Express, 256 MB GPUs) and the barrier-synchronisation
-  trade-off.
+  trade-off;
+* :mod:`repro.perf.counters` — per-phase wall-time and allocation
+  counters for this reproduction's own numeric hot paths (wired into
+  the reference solver and both cluster drivers).
 """
 
 from repro.perf import calibration
+from repro.perf.counters import KernelCounters, PhaseStat
 from repro.perf.metrics import cells_per_second, efficiency, speedup
 
-__all__ = ["calibration", "cells_per_second", "efficiency", "speedup"]
+__all__ = ["calibration", "cells_per_second", "efficiency", "speedup",
+           "KernelCounters", "PhaseStat"]

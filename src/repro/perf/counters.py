@@ -1,0 +1,120 @@
+"""Lightweight per-phase kernel counters for the numeric hot paths.
+
+The paper's evaluation lives and dies by per-step time decompositions
+(Table 1).  This module gives the *reproduction's own substrate* the
+same observability: every solver phase (collision, streaming, halo
+exchange, ...) is timed with :func:`time.perf_counter`, and kernels
+report the temporary-array allocations they knowingly perform, so the
+fused/preallocated paths can prove they are allocation-free after
+warm-up.
+
+The counters are deliberately cheap: one ``perf_counter`` pair per
+phase per step, dict upserts only, and a single ``enabled`` flag that
+short-circuits everything when profiling is not wanted.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated statistics for one named phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    allocs: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall time per call (0 if never called)."""
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class KernelCounters:
+    """Per-phase wall-time and allocation counters.
+
+    Attributes
+    ----------
+    enabled:
+        When False every record call is a no-op, so instrumented code
+        can stay instrumented with negligible overhead.
+    stats:
+        Mapping of phase name to :class:`PhaseStat`.
+    """
+
+    __slots__ = ("enabled", "stats")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.stats: dict[str, PhaseStat] = {}
+
+    # -- recording ------------------------------------------------------
+    def add(self, name: str, seconds: float, allocs: int = 0) -> None:
+        """Record one timed call of ``name`` (plus optional allocations)."""
+        if not self.enabled:
+            return
+        st = self.stats.get(name)
+        if st is None:
+            st = self.stats[name] = PhaseStat()
+        st.calls += 1
+        st.seconds += seconds
+        st.allocs += allocs
+
+    def alloc(self, name: str, n: int = 1) -> None:
+        """Record ``n`` temporary/buffer allocations attributed to ``name``."""
+        if not self.enabled:
+            return
+        st = self.stats.get(name)
+        if st is None:
+            st = self.stats[name] = PhaseStat()
+        st.allocs += n
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one phase (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    # -- inspection -----------------------------------------------------
+    def reset(self) -> None:
+        """Drop all accumulated statistics."""
+        self.stats.clear()
+
+    def total_seconds(self) -> float:
+        """Sum of recorded wall time over all phases."""
+        return sum(st.seconds for st in self.stats.values())
+
+    def total_allocs(self) -> int:
+        """Sum of recorded allocations over all phases."""
+        return sum(st.allocs for st in self.stats.values())
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Plain-dict view (JSON-friendly) of all phase statistics."""
+        return {
+            name: {
+                "calls": st.calls,
+                "seconds": st.seconds,
+                "mean_ms": st.mean_s * 1e3,
+                "allocs": st.allocs,
+            }
+            for name, st in sorted(self.stats.items())
+        }
+
+    def report(self) -> str:
+        """Formatted table, one line per phase."""
+        lines = [f"{'phase':<24} {'calls':>8} {'total ms':>10} "
+                 f"{'mean ms':>10} {'allocs':>8}"]
+        for name, st in sorted(self.stats.items()):
+            lines.append(f"{name:<24} {st.calls:>8d} {st.seconds * 1e3:>10.3f} "
+                         f"{st.mean_s * 1e3:>10.4f} {st.allocs:>8d}")
+        return "\n".join(lines)

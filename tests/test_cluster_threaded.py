@@ -1,0 +1,121 @@
+"""Threaded cluster stepping and allocation-free halo exchange.
+
+The driver may advance its nodes from a thread pool
+(``ClusterConfig.max_workers > 1``); since nodes only touch their own
+sub-domain between exchanges, the gathered result and the StepTiming
+decomposition must be identical to the serial driver, bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, CPUClusterLBM, GPUClusterLBM
+from repro.lbm.solver import LBMSolver
+
+SUB, ARR = (8, 6, 4), (2, 2, 1)
+SHAPE = tuple(s * a for s, a in zip(SUB, ARR))
+
+
+def _initial_state(rng, solid=None):
+    ref = LBMSolver(SHAPE, tau=0.7, solid=solid)
+    u0 = (0.02 * rng.standard_normal((3,) + SHAPE)).astype(np.float32)
+    if solid is not None:
+        u0[:, solid] = 0
+    ref.initialize(rho=np.ones(SHAPE, np.float32), u=u0)
+    return ref.f.copy()
+
+
+def _run(cls, f0, steps=4, solid=None, **cfg_kw):
+    cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                        solid=solid, **cfg_kw)
+    cluster = cls(cfg)
+    cluster.load_global_distributions(f0)
+    timing = cluster.step(steps)
+    f = cluster.gather_distributions()
+    cluster.shutdown()
+    return f, timing
+
+
+@pytest.mark.parametrize("cls", [CPUClusterLBM, GPUClusterLBM])
+class TestThreadedEqualsSerial:
+    def test_gather_bit_identical(self, rng, cls):
+        solid = np.zeros(SHAPE, bool)
+        solid[3:6, 4:7, 1:3] = True
+        f0 = _initial_state(rng, solid=solid)
+        f_serial, t_serial = _run(cls, f0, solid=solid, max_workers=1)
+        f_thread, t_thread = _run(cls, f0, solid=solid, max_workers=4)
+        assert np.array_equal(f_serial, f_thread)
+
+    def test_step_timing_decomposition_identical(self, rng, cls):
+        f0 = _initial_state(rng)
+        _, t_serial = _run(cls, f0, max_workers=1)
+        _, t_thread = _run(cls, f0, max_workers=4)
+        assert t_serial.nodes == t_thread.nodes
+        assert t_serial.compute_s == t_thread.compute_s
+        assert t_serial.agp_s == t_thread.agp_s
+        assert t_serial.net_total_s == t_thread.net_total_s
+        assert t_serial.overlap_window_s == t_thread.overlap_window_s
+        assert t_serial.ms() == t_thread.ms()
+
+
+class TestThreadedMatchesReference:
+    def test_threaded_cpu_cluster_matches_reference(self, rng):
+        ref = LBMSolver(SHAPE, tau=0.7)
+        u0 = (0.02 * rng.standard_normal((3,) + SHAPE)).astype(np.float32)
+        ref.initialize(rho=np.ones(SHAPE, np.float32), u=u0)
+        f0 = ref.f.copy()
+        ref.step(5)
+        f, _ = _run(CPUClusterLBM, f0, steps=5, max_workers=3)
+        assert np.array_equal(f, ref.f)
+
+
+class TestExchangeBuffers:
+    def test_border_buffers_allocated_once(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7)
+        cluster = CPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(1)
+        bufs = cluster._border_bufs
+        assert bufs is not None
+        buf_ids = {id(bufs[r][a][d]) for r in range(len(bufs))
+                   for a in range(3) for d in (-1, 1)}
+        cluster.step(3)
+        assert cluster._border_bufs is bufs
+        after = {id(bufs[r][a][d]) for r in range(len(bufs))
+                 for a in range(3) for d in (-1, 1)}
+        assert after == buf_ids
+        # alloc counter recorded the one-time buffer build
+        assert (cluster.counters.stats["exchange.border_bufs"].allocs
+                == 6 * len(cluster.nodes))
+        cluster.shutdown()
+
+    def test_cluster_counters_record_phases(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7)
+        cluster = GPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(2)
+        stats = cluster.counters.stats
+        assert stats["cluster.collide"].calls == 2
+        assert stats["cluster.exchange"].calls == 2
+        assert stats["cluster.finish"].calls == 2
+        cluster.shutdown()
+
+
+class TestConfigValidation:
+    def test_max_workers_validated(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ClusterConfig(sub_shape=(8, 8, 8), arrangement=(1, 1, 1),
+                          max_workers=0)
+
+    def test_shutdown_idempotent(self):
+        cfg = ClusterConfig(sub_shape=(4, 4, 4), arrangement=(2, 1, 1),
+                            tau=0.7, max_workers=2)
+        cluster = CPUClusterLBM(cfg)
+        cluster.step(1)
+        cluster.shutdown()
+        cluster.shutdown()
+        # stepping again lazily rebuilds the pool
+        cluster.step(1)
+        cluster.shutdown()

@@ -1,0 +1,186 @@
+"""Fused vs phase-split step equivalence.
+
+The fused collide-stream kernel must be *bit-identical* to the
+phase-split pipeline: the distributed cluster drivers step their nodes
+through the split phases with the halo exchange in between, and the
+cluster equality tests compare them against ``LBMSolver.step()`` with
+``np.array_equal``.  These tests pin that contract directly, across
+solids, body forces, inlet/outflow boundaries and both lattices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lbm import FusedStepKernel, LBMSolver
+from repro.lbm.boundaries import (BouzidiCurvedBoundary,
+                                  EquilibriumVelocityInlet, OutflowBoundary,
+                                  box_walls)
+from repro.lbm.lattice import D2Q9, D3Q19
+
+SHAPE = (12, 10, 8)
+
+
+def _pair(rng, steps=20, **kw):
+    """Step a fused and an unfused solver from the same initial state."""
+    fused = LBMSolver(fused=True, **kw)
+    split = LBMSolver(fused=False, **kw)
+    u0 = (0.03 * rng.standard_normal((fused.lattice.D,) + fused.shape)
+          ).astype(np.float32)
+    u0[:, fused.solid] = 0
+    for s in (fused, split):
+        s.initialize(rho=np.ones(s.shape, np.float32), u=u0.copy())
+    fused.step(steps)
+    split.step(steps)
+    return fused, split
+
+
+class TestFusedEquivalence:
+    def test_periodic_plain(self, rng):
+        fused, split = _pair(rng, shape=SHAPE, tau=0.7)
+        assert fused._fused_kernel is not None
+        assert split._fused_kernel is None
+        assert np.array_equal(fused.f, split.f)
+
+    def test_periodic_with_solid(self, rng, small_solid):
+        fused, split = _pair(rng, shape=(10, 8, 6), tau=0.8, solid=small_solid)
+        assert np.array_equal(fused.f, split.f)
+
+    def test_periodic_with_force(self, rng):
+        fused, split = _pair(rng, shape=SHAPE, tau=0.7, force=(1e-5, 0, 0))
+        assert np.array_equal(fused.f, split.f)
+
+    def test_solid_and_force(self, rng, small_solid):
+        fused, split = _pair(rng, shape=(10, 8, 6), tau=0.7,
+                             solid=small_solid, force=(1e-5, 0, 0))
+        assert np.array_equal(fused.f, split.f)
+
+    def test_inlet_outflow_nonperiodic(self, rng):
+        def bcs():
+            return [EquilibriumVelocityInlet(D3Q19, 0, "low", (0.05, 0, 0)),
+                    OutflowBoundary(D3Q19, 0, "high")]
+        fused, split = _pair(rng, shape=SHAPE, tau=0.7, periodic=False,
+                             boundaries=bcs())
+        assert fused._fused_kernel is not None
+        assert np.array_equal(fused.f, split.f)
+
+    def test_inlet_outflow_with_obstacle(self, rng):
+        solid = np.zeros(SHAPE, bool)
+        solid[4:7, 3:6, 2:5] = True
+        def bcs():
+            return [EquilibriumVelocityInlet(D3Q19, 0, "low", (0.05, 0, 0)),
+                    OutflowBoundary(D3Q19, 0, "high")]
+        fused, split = _pair(rng, shape=SHAPE, tau=0.7, periodic=False,
+                             boundaries=bcs(), solid=solid)
+        assert np.array_equal(fused.f, split.f)
+
+    def test_walled_channel_nonperiodic(self, rng):
+        fused, split = _pair(rng, shape=SHAPE, tau=0.6, periodic=False,
+                             solid=box_walls(SHAPE, [1, 2]))
+        assert np.array_equal(fused.f, split.f)
+
+    def test_d2q9(self, rng):
+        fused, split = _pair(rng, shape=(16, 12), tau=0.7, lattice=D2Q9)
+        assert np.array_equal(fused.f, split.f)
+
+    def test_tolerance_documented_bound(self, rng):
+        """The acceptance bound (rtol 1e-5) holds trivially given bit
+        equality; keep it pinned in case the kernel ever loosens."""
+        fused, split = _pair(rng, shape=SHAPE, tau=0.7, force=(1e-5, 0, 0))
+        np.testing.assert_allclose(fused.f, split.f, rtol=1e-5, atol=0)
+
+
+class TestFusedMachinery:
+    def test_escape_hatch_disables_kernel(self, rng):
+        s = LBMSolver(SHAPE, tau=0.7, fused=False)
+        s.step(3)
+        assert s._fused_kernel is None
+
+    def test_mrt_falls_back_to_phase_split(self):
+        s = LBMSolver((8, 8, 8), tau=0.7, collision="mrt")
+        s.step(2)
+        assert s._fused_kernel is None
+
+    def test_pre_stream_boundary_falls_back(self):
+        """Bouzidi snapshots post-collision state, which fusion never
+        materialises -- the solver must detect this and fall back."""
+        bb = BouzidiCurvedBoundary(D3Q19, [((2, 2, 2), 1, 0.5)], (8, 8, 8))
+        s = LBMSolver((8, 8, 8), tau=0.7, boundaries=[bb])
+        assert s.fused
+        s.step(2)
+        assert s._fused_kernel is None
+
+    def test_boundary_added_after_construction_falls_back(self):
+        s = LBMSolver((8, 8, 8), tau=0.7)
+        s.step(1)
+        assert s._fused_kernel is not None
+        s.boundaries.append(
+            BouzidiCurvedBoundary(D3Q19, [((2, 2, 2), 1, 0.5)], (8, 8, 8)))
+        assert s._fused_kernel_for_step() is None
+
+    def test_workspace_reused_across_steps(self):
+        s = LBMSolver(SHAPE, tau=0.7)
+        s.step(1)
+        kern = s._fused_kernel
+        rho_buf, u_buf = kern.rho, kern.u
+        s.step(5)
+        assert s._fused_kernel is kern
+        assert kern.rho is rho_buf and kern.u is u_buf
+        # allocation counters: workspace allocated exactly once
+        assert s.counters.stats["fused.workspace"].allocs == 8
+
+    def test_counters_record_phases(self):
+        s = LBMSolver(SHAPE, tau=0.7)
+        s.step(4)
+        stats = s.counters.stats
+        assert stats["fused.relax_stream"].calls == 4
+        assert stats["fused.ghosts"].calls == 4
+        assert s.counters.total_seconds() > 0
+        report = s.counters.report()
+        assert "fused.relax_stream" in report
+
+    def test_counters_disabled_short_circuits(self):
+        s = LBMSolver(SHAPE, tau=0.7)
+        s.counters.enabled = False
+        s.step(2)
+        assert "fused.relax_stream" not in s.counters.stats
+
+    def test_mass_conserved_fused(self, rng):
+        s = LBMSolver(SHAPE, tau=0.7)
+        u0 = (0.03 * rng.standard_normal((3,) + SHAPE)).astype(np.float32)
+        s.initialize(rho=np.ones(SHAPE, np.float32), u=u0)
+        m0 = s.total_mass()
+        s.step(10)
+        assert s.total_mass() == pytest.approx(m0, rel=1e-5)
+
+    def test_kernel_rejects_non_bgk(self):
+        s = LBMSolver((8, 8, 8), tau=0.7, collision="mrt")
+        with pytest.raises(TypeError):
+            FusedStepKernel(s)
+
+
+class TestCollisionSatellites:
+    def test_all_fluid_mask_equals_none(self, rng):
+        """The all-fluid mask path must skip fancy indexing yet match
+        the unmasked update exactly."""
+        from repro.lbm import BGKCollision
+        f = (D3Q19.w.reshape(19, 1, 1, 1)
+             * (1 + 0.01 * rng.standard_normal((19, 6, 5, 4)))).astype(np.float32)
+        op_a = BGKCollision(D3Q19, tau=0.7)
+        op_b = BGKCollision(D3Q19, tau=0.7)
+        fa, fb = f.copy(), f.copy()
+        op_a(fa, mask=np.ones((6, 5, 4), bool))
+        op_b(fb, mask=None)
+        assert np.array_equal(fa, fb)
+
+    def test_force_add_vector_cached(self):
+        from repro.lbm import BGKCollision
+        op = BGKCollision(D3Q19, tau=0.7, force=(1e-5, 0, 2e-5))
+        a = op._force_add(np.dtype(np.float32))
+        b = op._force_add(np.dtype(np.float32))
+        assert a is b
+        c64 = op._force_add(np.dtype(np.float64))
+        assert c64.dtype == np.float64
+        # expected values: w_i * 3 (c_i . F)
+        expect = (D3Q19.c.astype(np.float64) @ np.array([1e-5, 0, 2e-5])
+                  ) * 3.0 * D3Q19.w
+        np.testing.assert_allclose(c64, expect, rtol=1e-12)
