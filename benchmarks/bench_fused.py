@@ -77,16 +77,19 @@ def run_benchmarks(shape=SHAPE, steps: int = 8, repeats: int = 3) -> dict:
                           ("cluster_numeric_step_threaded", 4)]:
         cfg = ClusterConfig(sub_shape=(16, 16, 16), arrangement=(2, 2, 1),
                             tau=0.7, max_workers=workers)
-        cluster = GPUClusterLBM(cfg)
-        cluster.step(1)  # warm up exchange buffers
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            cluster.step(2)
-            best = min(best, (time.perf_counter() - t0) / 2)
-        cluster.shutdown()
-        results[name] = {
-            "mcells_per_s": round(cluster.cells_total() / best / 1e6, 3)}
+        with GPUClusterLBM(cfg) as cluster:
+            cluster.step(1)  # warm up exchange buffers
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                cluster.step(2)
+                best = min(best, (time.perf_counter() - t0) / 2)
+            results[name] = {
+                "mcells_per_s": round(cluster.cells_total() / best / 1e6, 3)}
+    # Sequential vs executed-overlap protocol (bench_overlap) rides in
+    # the same json so check_regression guards it too.
+    from bench_overlap import run_overlap_benchmarks
+    results.update(run_overlap_benchmarks(repeats=repeats))
     return {
         "schema": "bench-kernels/1",
         "shape": list(shape),
@@ -147,9 +150,8 @@ def test_cluster_threaded_step(benchmark):
     from repro.core import ClusterConfig, GPUClusterLBM
     cfg = ClusterConfig(sub_shape=(16, 16, 16), arrangement=(2, 2, 1),
                         tau=0.7, max_workers=4)
-    cluster = GPUClusterLBM(cfg)
-    benchmark(lambda: cluster.step(1))
-    cluster.shutdown()
+    with GPUClusterLBM(cfg) as cluster:
+        benchmark(lambda: cluster.step(1))
 
 
 if __name__ == "__main__":

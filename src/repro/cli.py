@@ -9,6 +9,7 @@
     python -m repro whatif            # Sec 4.4 enhancements
     python -m repro cost              # Sec 3 accounting
     python -m repro dispersion        # Sec 5 headline (0.31 s/step)
+    python -m repro verify            # tier-1 tests + kernel regression guard
 
 All output comes from the same row generators the benchmark harness
 uses (`repro.perf.model`), so the CLI and `pytest benchmarks/` always
@@ -110,6 +111,36 @@ def _cmd_dispersion(args) -> None:
         print(f"  {k:>14}: {v:7.1f} ms")
 
 
+def _cmd_verify(args) -> int:
+    """The repo's single verification gate: tier-1 pytest, then the
+    kernel-throughput regression guard (skippable for quick loops)."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(root / "src") + os.pathsep
+                         + env["PYTHONPATH"]) if env.get("PYTHONPATH") \
+        else str(root / "src")
+    stages: list[tuple[str, list[str]]] = [
+        ("tier-1 tests", [sys.executable, "-m", "pytest", "-x", "-q"]),
+    ]
+    if not args.skip_bench:
+        stages.append(
+            ("kernel regression guard",
+             [sys.executable, str(root / "benchmarks" / "check_regression.py"),
+              "--threshold", str(args.threshold)]))
+    for label, cmd in stages:
+        print(f"== {label} ==")
+        rc = subprocess.call(cmd, cwd=str(root), env=env)
+        if rc != 0:
+            print(f"verify FAILED at {label} (exit {rc})")
+            return rc
+    print("verify OK")
+    return 0
+
+
 def _int_list(text: str) -> tuple[int, ...]:
     return tuple(int(x) for x in text.split(","))
 
@@ -131,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("report")
     sp.add_argument("--out", default=None,
                     help="write markdown to a file instead of stdout")
+    sp = sub.add_parser("verify",
+                        help="run the tier-1 tests and the kernel "
+                             "regression guard as one gate")
+    sp.add_argument("--skip-bench", action="store_true",
+                    help="run only the test suite")
+    sp.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional throughput drop (default 0.25)")
     return p
 
 
@@ -151,6 +189,8 @@ def main(argv=None) -> int:
         _cmd_cost(args)
     elif cmd == "dispersion":
         _cmd_dispersion(args)
+    elif cmd == "verify":
+        return _cmd_verify(args)
     elif cmd == "report":
         from repro.perf.report import generate_report
         text = generate_report()

@@ -92,6 +92,35 @@ class CPUNode:
             for b in self.solver.boundaries:
                 b.pre_stream(self.solver.fg)
 
+    # -- split collide (executed overlap protocol) ------------------------
+    @property
+    def overlap_safe(self) -> bool:
+        """Whether the split protocol is bit-identical here.
+
+        A ``pre_stream`` override could snapshot border populations, and
+        the split path runs it after the exchange has already read the
+        borders — so any boundary with a non-trivial ``pre_stream``
+        forces the sequential protocol.
+        """
+        if self.timing_only:
+            return True
+        from repro.lbm.boundaries import Boundary
+        return all(type(b).pre_stream is Boundary.pre_stream
+                   for b in self.solver.boundaries)
+
+    def collide_boundary_phase(self) -> None:
+        """Collide the depth-1 shell so borders are exchange-ready."""
+        if not self.timing_only:
+            self.solver.collide_boundary()
+
+    def collide_inner_phase(self) -> None:
+        """Collide the inner core (runs while the exchange is in flight;
+        touches no border or ghost memory)."""
+        if not self.timing_only:
+            self.solver.collide_inner()
+            for b in self.solver.boundaries:
+                b.pre_stream(self.solver.fg)
+
     # -- ghost-layer plumbing on the padded array ----------------------------
     def _layer_index(self, axis: int, side: str, ghost: bool) -> int:
         if side == "low":

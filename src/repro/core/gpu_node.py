@@ -147,6 +147,35 @@ class GPUNode:
         inner_frac = self.inner_cells() / self.cells
         self.overlap_window_s = collide_s * inner_frac
 
+    # -- split collide (executed overlap protocol) ------------------------
+    #: The split phases below are bit-identical to :meth:`collide_phase`,
+    #: so the driver may overlap the exchange with the inner pass.
+    overlap_safe = True
+
+    def collide_boundary_phase(self) -> None:
+        """Macro + collide over the depth-1 shell only ("multiple small
+        rectangles", Sec 4.3).  After this the border layers hold their
+        post-collision values, so the halo exchange can start while
+        :meth:`collide_inner_phase` renders the core."""
+        if self.timing_only:
+            return
+        for rect, zr in self.solver.split_pieces()[0]:
+            self.solver.run_macro_pass(rect=rect, z_range=zr)
+            self.solver.run_collide_passes(rect=rect, z_range=zr)
+
+    def collide_inner_phase(self) -> None:
+        """Macro + collide over the inner core; its device time *is* the
+        modeled overlap window (macro + 5 collide passes over the inner
+        cells — the same anchor as :meth:`_model_window_s`)."""
+        if self.timing_only:
+            self.overlap_window_s = self._model_window_s()
+            return
+        before = self.device.clock_s
+        for rect, zr in self.solver.split_pieces()[1]:
+            self.solver.run_macro_pass(rect=rect, z_range=zr)
+            self.solver.run_collide_passes(rect=rect, z_range=zr)
+        self.overlap_window_s = self.device.clock_s - before
+
     def read_borders(self, axis: int,
                      out: dict[int, np.ndarray] | None = None) -> dict[int, np.ndarray]:
         """Read both border faces along ``axis`` (numeric mode).

@@ -78,12 +78,38 @@ class SPMDClusterLBM:
             solver.fg[tuple(sl)] = data
 
         for _ in range(steps):
-            solver.collide()
-            # Axis phases in the Fig-7 order.  Within a phase, two
-            # directional shifts: send high border up / receive from
+            # Executed overlap (Sec 4.4): collide the boundary shell so
+            # the axis-0 borders are ready, launch that axis's sends and
+            # nonblocking receives, collide the inner core while the
+            # messages are in flight, then complete the receives.  The
+            # split collide is bit-identical to the full one, and the
+            # inner pass touches neither borders nor ghosts.
+            solver.collide_boundary()
+            pending = []
+            for direction in (1, -1):
+                peer_out = decomp.neighbor(rank, 0, direction)
+                peer_in = decomp.neighbor(rank, 0, -direction)
+                tag = _TAG[(0, direction)]
+                if peer_out is not None:
+                    comm.Isend(border(0, direction), dest=peer_out, tag=tag)
+                if peer_in is not None:
+                    pending.append((direction, comm.Irecv(source=peer_in,
+                                                          tag=tag)))
+                elif decomp.periodic[0]:
+                    # Single block along a periodic axis: self-wrap.
+                    set_ghost(0, -direction, border(0, direction))
+                else:
+                    set_ghost(0, -direction, border(0, -direction))
+            solver.collide_inner()
+            for direction, req in pending:
+                set_ghost(0, -direction, req.wait())
+            # Remaining axis phases in the Fig-7 order.  Within a phase,
+            # two directional shifts: send high border up / receive from
             # below, then the mirror — non-blocking sends make the
-            # matchings deadlock-free for any arrangement.
-            for axis in range(3):
+            # matchings deadlock-free for any arrangement.  Later-axis
+            # borders forward the rims just received, so these phases
+            # stay strictly after the axis-0 waits (two-hop routing).
+            for axis in (1, 2):
                 for direction in (1, -1):
                     peer_out = decomp.neighbor(rank, axis, direction)
                     peer_in = decomp.neighbor(rank, axis, -direction)

@@ -46,12 +46,21 @@ class FragmentProgram:
         ops counted once, matching how Cg programs were counted).
     tex_fetches:
         Texture fetches per fragment (one RGBA texel per fetch).
+    batchable:
+        The kernel is elementwise over the leading array axes (no
+        per-slice logic beyond fetch offsets), so the engine may render
+        a contiguous block of Z slices in one invocation: ``fetch``
+        returns ``(d, h, w, ...)`` arrays and the kernel must produce
+        ``(d, h, w, 4)``.  Purely a simulator-speed optimisation — the
+        committed texels and the modeled time are identical to the
+        slice-by-slice loop.
     """
 
     name: str
     kernel: Callable
     alu_ops: int
     tex_fetches: int
+    batchable: bool = False
 
 
 class Rect:
@@ -93,7 +102,9 @@ class RenderContext:
     bindings:
         Name -> :class:`TextureStack` inputs.
     z:
-        Output slice index within the target stack.
+        Output slice index within the target stack, or a contiguous
+        ``range`` of slice indices when the engine batches a
+        ``batchable`` program (fetches then return ``(d, h, w, ...)``).
     rect:
         Render rectangle (shared coordinate frame with all inputs).
     wrap:
@@ -108,7 +119,7 @@ class RenderContext:
     def __init__(self, bindings: Mapping[str, TextureStack], z: int, rect: Rect,
                  wrap: bool, consts: Mapping | None = None) -> None:
         self._bindings = bindings
-        self.z = int(z)
+        self.z = z if isinstance(z, range) else int(z)
         self.rect = rect
         self.wrap = bool(wrap)
         self.consts = dict(consts or {})
@@ -119,28 +130,41 @@ class RenderContext:
         """Gather: texel values at (fragment position + (dx, dy, dz)).
 
         Returns shape ``(h, w, 4)`` (or ``(h, w)`` / ``(h, w, k)`` when
-        ``channels`` selects specific components).  Counted for the
-        timing model via ``fetch_count``.
+        ``channels`` selects specific components).  With a batched
+        ``z`` range, a leading depth axis is prepended.  Counted for
+        the timing model via ``fetch_count``.
         """
         stack = self._bindings[name]
         self.fetch_count += 1
         r = self.rect
+        batched = isinstance(self.z, range)
         if self.wrap:
-            zz = (self.z + dz) % stack.depth
-            sl = stack.data[zz]
+            if batched:
+                idx = (np.arange(self.z.start, self.z.stop) + dz) % stack.depth
+                sl = stack.data[idx]
+            else:
+                sl = stack.data[(self.z + dz) % stack.depth]
             if dx or dy:
-                sl = np.roll(sl, shift=(-dy, -dx), axis=(0, 1))
-            out = sl[r.y0:r.y1, r.x0:r.x1]
+                sl = np.roll(sl, shift=(-dy, -dx), axis=(-3, -2))
+            out = sl[..., r.y0:r.y1, r.x0:r.x1, :]
         else:
-            zz = self.z + dz
-            if not (0 <= zz < stack.depth):
-                raise IndexError(
-                    f"fetch from {name} slice {zz} outside stack depth {stack.depth}")
+            if batched:
+                z0, z1 = self.z.start + dz, self.z.stop + dz
+                if z0 < 0 or z1 > stack.depth:
+                    raise IndexError(
+                        f"fetch from {name} slices [{z0},{z1}) outside stack "
+                        f"depth {stack.depth}")
+                zs = slice(z0, z1)
+            else:
+                zs = self.z + dz
+                if not (0 <= zs < stack.depth):
+                    raise IndexError(
+                        f"fetch from {name} slice {zs} outside stack depth {stack.depth}")
             ys = slice(r.y0 + dy, r.y1 + dy)
             xs = slice(r.x0 + dx, r.x1 + dx)
             if ys.start < 0 or xs.start < 0 or ys.stop > stack.height or xs.stop > stack.width:
                 raise IndexError(f"fetch offset ({dx},{dy}) leaves texture {name}")
-            out = stack.data[zz, ys, xs]
+            out = stack.data[zs, ys, xs]
         if channels is None:
             return out
         return out[..., channels]

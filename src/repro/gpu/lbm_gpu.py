@@ -118,6 +118,7 @@ class GPULBMSolver:
                       else Rect(1, th - 1, 1, tw - 1))
         self._z_range = range(td) if mode == "wrap" else range(1, td - 1)
         self._wrap = mode == "wrap"
+        self._split_pieces: tuple[list, list] | None = None
         self._programs = self._build_programs()
         self.time_step = 0
         self.initialize()
@@ -180,7 +181,7 @@ class GPULBMSolver:
             return out
 
         programs = {"macro": FragmentProgram("macro", macro_kernel, alu_ops=40,
-                                             tex_fetches=5)}
+                                             tex_fetches=5, batchable=True)}
 
         has_solid = self.has_solid
 
@@ -208,7 +209,8 @@ class GPULBMSolver:
                 return out
 
             return FragmentProgram(f"collide{s}", collide_kernel, alu_ops=50,
-                                   tex_fetches=3 if has_solid else 2)
+                                   tex_fetches=3 if has_solid else 2,
+                                   batchable=True)
 
         def make_stream(s):
             links = stack_links(s)
@@ -224,7 +226,7 @@ class GPULBMSolver:
                 return np.stack(cols, axis=-1)
 
             return FragmentProgram(f"stream{s}", stream_kernel, alu_ops=4,
-                                   tex_fetches=len(links))
+                                   tex_fetches=len(links), batchable=True)
 
         def make_bounce(s):
             links = stack_links(s)
@@ -240,7 +242,7 @@ class GPULBMSolver:
                 return out
 
             return FragmentProgram(f"bounce{s}", bounce_kernel, alu_ops=8,
-                                   tex_fetches=2 + len(links))
+                                   tex_fetches=2 + len(links), batchable=True)
 
         for s in range(n_stacks):
             programs[f"collide{s}"] = make_collide(s)
@@ -355,10 +357,41 @@ class GPULBMSolver:
             b["flags"] = self.flags_stack
         return b
 
-    def run_macro_pass(self) -> None:
+    def run_macro_pass(self, rect=None, z_range=None) -> None:
         self.device.run_pass(self._programs["macro"], self.macro_stack,
-                             self.bindings(), self._rect, self._z_range,
+                             self.bindings(), rect or self._rect,
+                             z_range if z_range is not None else self._z_range,
                              wrap=self._wrap)
+
+    # -- boundary/inner split (padded mode) -------------------------------
+    def split_pieces(self) -> tuple[list, list]:
+        """Texture-space pieces of the depth-1 shell and inner core.
+
+        Returns ``(shell, inner)``, each a list of ``(rect, z_range)``
+        covering the sub-domain interior; together they tile it exactly.
+        The cluster driver renders macro+collide over the shell pieces
+        first — the "multiple small rectangles" of the paper — so the
+        border layers can be read back while the inner core is still
+        colliding.  Empty pieces (thin domains) are dropped, so either
+        list may be empty.
+        """
+        self._check_padded()
+        if self._split_pieces is None:
+            from repro.lbm.streaming import shell_partition
+            slabs, core = shell_partition(self.shape, depth=1)
+            p = self.pad
+
+            def piece(region):
+                sx, sy, sz = region
+                if sx.stop <= sx.start or sy.stop <= sy.start or sz.stop <= sz.start:
+                    return None
+                return (Rect(sy.start + p, sy.stop + p, sx.start + p, sx.stop + p),
+                        range(sz.start + p, sz.stop + p))
+
+            shell = [pc for pc in map(piece, slabs) if pc is not None]
+            inner = [pc for pc in (piece(core),) if pc is not None]
+            self._split_pieces = (shell, inner)
+        return self._split_pieces
 
     def run_collide_passes(self, z_range=None, rect=None, charge: bool = True) -> None:
         """Collision passes; sub-rectangles support the inner/outer split

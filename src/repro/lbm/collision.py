@@ -57,7 +57,7 @@ class BGKCollision:
         self.force = None if force is None else np.asarray(force, dtype=np.float64)
         if self.force is not None and self.force.shape != (lattice.D,):
             raise ValueError(f"force must have shape ({lattice.D},)")
-        self._feq_buf: np.ndarray | None = None
+        self._feq_bufs: dict[tuple, np.ndarray] = {}
         self._force_add_cache: tuple[np.dtype, np.ndarray] | None = None
         self.counters = None  # optional KernelCounters, set by the owning solver
 
@@ -98,11 +98,15 @@ class BGKCollision:
         """
         lat = self.lattice
         rho, u = macroscopic(lat, f)
-        if self._feq_buf is None or self._feq_buf.shape != f.shape or self._feq_buf.dtype != f.dtype:
-            self._feq_buf = np.empty_like(f)
+        # Keyed by shape so the split boundary/inner collide (several
+        # distinct slab shapes per step) stays allocation-free too.
+        key = (f.shape, f.dtype)
+        buf = self._feq_bufs.get(key)
+        if buf is None:
+            buf = self._feq_bufs[key] = np.empty_like(f)
             if self.counters is not None:
                 self.counters.alloc("collision.feq_buf")
-        feq = equilibrium(lat, rho, u, out=self._feq_buf)
+        feq = equilibrium(lat, rho, u, out=buf)
         omega = f.dtype.type(self.omega)
         if mask is not None and mask.all():
             # All-fluid mask: the three full-field fancy-indexed copies

@@ -159,21 +159,23 @@ class FusedStepKernel:
         momentum, same guarded division semantics for ``u``.
         """
         fg = self.solver.fg
-        fg.sum(axis=0, out=self.rho)
-        np.einsum("qa,q...->a...", self._c, fg, out=self.j)
-        np.greater(self.rho, 0, out=self._bool)
-        if self._bool.all():
-            np.divide(self.j, self.rho, out=self.u)
+        rho, j, u = self.rho, self.j, self.u
+        usq, wr, bl = self.usq, self._wr, self._bool
+        fg.sum(axis=0, out=rho)
+        np.einsum("qa,q...->a...", self._c, fg, out=j)
+        np.greater(rho, 0, out=bl)
+        if bl.all():
+            np.divide(j, rho, out=u)
         else:
             # safe = where(rho > 0, rho, 1); u = j / safe; u[rho <= 0] = 0
-            np.copyto(self._wr, self.rho)
-            np.logical_not(self._bool, out=self._bool)
-            self._wr[self._bool] = self._one
-            np.divide(self.j, self._wr, out=self.u)
-            np.less_equal(self.rho, 0, out=self._bool)
-            self.u[:, self._bool] = 0
-        np.einsum("a...,a...->...", self.u, self.u, out=self.usq)
-        self.usq *= self._half_inv_cs2   # the - 1.5 u.u term, shared by all i
+            np.copyto(wr, rho)
+            np.logical_not(bl, out=bl)
+            wr[bl] = self._one
+            np.divide(j, wr, out=u)
+            np.less_equal(rho, 0, out=bl)
+            u[:, bl] = 0
+        np.einsum("a...,a...->...", u, u, out=usq)
+        usq *= self._half_inv_cs2   # the - 1.5 u.u term, shared by all i
 
     def relax_stream(self) -> None:
         """One fused pass: equilibrium, BGK relax, pull-stream, swap.

@@ -23,7 +23,8 @@ from repro.lbm.lattice import D3Q19, Lattice
 from repro.lbm.macroscopic import macroscopic
 from repro.lbm.mrt import MRTCollision
 from repro.lbm.streaming import (fill_ghosts_periodic, interior,
-                                 pull_slice_table, stream_pull)
+                                 pull_slice_table, shell_partition,
+                                 stream_pull)
 from repro.perf.counters import KernelCounters
 
 
@@ -100,6 +101,7 @@ class LBMSolver:
         self._pull_slices = pull_slice_table(lattice, padded[1:])
         self.fused = bool(fused)
         self._fused_kernel: FusedStepKernel | None = None
+        self._shell_parts: tuple[list, tuple] | None = None
         self.counters = KernelCounters()
         if isinstance(self.collision, BGKCollision):
             self.collision.counters = self.counters
@@ -131,6 +133,46 @@ class LBMSolver:
         """Collision on interior fluid cells (in place)."""
         fi = self.f
         self.collision(fi, mask=self.fluid)
+
+    # -- split collide (boundary shell first, then inner core) ---------
+    def _split_parts(self) -> tuple[list, tuple]:
+        if self._shell_parts is None:
+            self._shell_parts = shell_partition(self.shape, depth=1)
+        return self._shell_parts
+
+    def _collide_region(self, region: tuple[slice, ...]) -> None:
+        # The vectorized operator is the fast path here: with no
+        # streaming to fuse, a region collide is pure collision, and
+        # one all-links equilibrium evaluation beats the fused kernel's
+        # per-link loop (which only pays off when each f_i is streamed
+        # in the same sweep).  Collision is pointwise, so per-region
+        # operator calls are bit-identical to one full collide.
+        view = self.f[(slice(None),) + region]
+        if view.size == 0:
+            return
+        self.collision(view, mask=self.fluid[region])
+
+    def collide_boundary(self) -> None:
+        """Collide only the depth-1 boundary shell of the domain.
+
+        Together with :meth:`collide_inner` this is bit-identical to
+        :meth:`collide` — collision is pointwise, so visiting the cells
+        as disjoint slabs preserves every per-site operation.  The
+        cluster drivers run this first so border layers are ready for
+        the halo exchange while the inner core is still colliding
+        (the paper's Sec-4.4 communication/computation overlap).
+        """
+        for sl in self._split_parts()[0]:
+            self._collide_region(sl)
+
+    def collide_inner(self) -> None:
+        """Collide the inner core (everything the shell excludes)."""
+        self._collide_region(self._split_parts()[1])
+
+    def collide_split(self) -> None:
+        """Boundary-shell pass then inner-core pass; ≡ :meth:`collide`."""
+        self.collide_boundary()
+        self.collide_inner()
 
     def fill_ghosts(self) -> None:
         """Populate the ghost shell (periodic wrap or zero-gradient)."""

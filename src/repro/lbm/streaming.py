@@ -43,6 +43,42 @@ def interior(ndim: int) -> tuple[slice, ...]:
     return tuple(slice(1, -1) for _ in range(ndim))
 
 
+def shell_partition(shape: tuple[int, ...], depth: int = 1,
+                    ) -> tuple[list[tuple[slice, ...]], tuple[slice, ...]]:
+    """Partition a grid into its depth-``depth`` boundary shell and core.
+
+    Returns ``(shell_slabs, inner)``: a list of disjoint slab slices
+    (onion peeling, axis by axis) whose union is the set of cells within
+    ``depth`` of any grid face, plus the inner-core slice covering
+    everything else.  Together the slabs and the core tile ``shape``
+    exactly, so a pointwise kernel applied slab-by-slab visits every
+    cell exactly once — the split the cluster drivers use to collide
+    border cells first and overlap the halo exchange with the inner
+    core (Sec 4.4).
+
+    Extents smaller than ``2 * depth`` are handled by clamping: the
+    core is empty along that axis and the two slabs do not overlap.
+    """
+    ndim = len(shape)
+    bounds = []
+    for n in shape:
+        lo = min(depth, n)
+        bounds.append((lo, max(lo, n - depth)))
+    slabs: list[tuple[slice, ...]] = []
+    for ax in range(ndim):
+        peeled = [slice(bounds[a][0], bounds[a][1]) for a in range(ax)]
+        # Concrete bounds (never slice(None)) so callers can translate
+        # the slices into padded/ghost coordinates via .start/.stop.
+        rest = [slice(0, shape[a]) for a in range(ax + 1, ndim)]
+        lo, hi = bounds[ax]
+        if lo > 0:
+            slabs.append(tuple(peeled + [slice(0, lo)] + rest))
+        if hi < shape[ax]:
+            slabs.append(tuple(peeled + [slice(hi, shape[ax])] + rest))
+    inner = tuple(slice(lo, hi) for lo, hi in bounds)
+    return slabs, inner
+
+
 def pull_slice_table(lattice: Lattice,
                      padded_shape: tuple[int, ...]) -> list[tuple[slice, ...]]:
     """Per-direction source slices for pull-streaming a padded array.

@@ -30,7 +30,8 @@ Example
 from __future__ import annotations
 
 import threading
-from collections import defaultdict, deque
+import time
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,25 +51,82 @@ class _Envelope:
 
 
 class _Mailboxes:
-    """Tag- and peer-addressed mailboxes shared by all ranks."""
+    """Tag- and peer-addressed mailboxes shared by all ranks.
+
+    A plain dict keyed by ``(src, dst, tag)``: probing a key never
+    materialises a mailbox, and a deque drained to empty is dropped, so
+    the table stays bounded by the number of in-flight messages (a
+    ``defaultdict`` here grows by one empty deque per key ever probed).
+    """
 
     def __init__(self) -> None:
-        self._boxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._boxes: dict[tuple[int, int, int], deque] = {}
         self._cond = threading.Condition()
 
     def put(self, src: int, dst: int, tag: int, env: _Envelope) -> None:
         with self._cond:
-            self._boxes[(src, dst, tag)].append(env)
+            self._boxes.setdefault((src, dst, tag), deque()).append(env)
             self._cond.notify_all()
+
+    def probe(self, src: int, dst: int, tag: int) -> bool:
+        """True if a message is waiting (never allocates a mailbox)."""
+        with self._cond:
+            return bool(self._boxes.get((src, dst, tag)))
 
     def get(self, src: int, dst: int, tag: int, timeout: float) -> _Envelope:
         key = (src, dst, tag)
         with self._cond:
-            ok = self._cond.wait_for(lambda: self._boxes[key], timeout=timeout)
+            ok = self._cond.wait_for(lambda: self._boxes.get(key), timeout=timeout)
             if not ok:
                 raise TimeoutError(
                     f"rank {dst} timed out receiving from {src} (tag {tag})")
-            return self._boxes[key].popleft()
+            box = self._boxes[key]
+            env = box.popleft()
+            if not box:
+                del self._boxes[key]
+            return env
+
+
+class Request:
+    """Handle for a nonblocking SimMPI operation (mpi4py-style).
+
+    For a receive, :meth:`wait` blocks for the message, advances the
+    owner's simulated clock to the arrival time priced by the switch,
+    and returns the payload — so any ``compute`` the rank performed
+    between ``Irecv`` and ``wait`` genuinely hides network time, which
+    is exactly the paper's Sec-4.4 overlap.  Send requests complete
+    immediately (the NIC drains in the background) and ``wait`` returns
+    None.
+    """
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_payload")
+
+    def __init__(self, comm: "SimComm", source: int | None = None,
+                 tag: int = 0) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = source is None
+        self._payload = None
+
+    def test(self) -> bool:
+        """True if :meth:`wait` would not block."""
+        if self._done:
+            return True
+        return self._comm._cluster.mail.probe(self._source, self._comm.rank,
+                                              self._tag)
+
+    def wait(self):
+        """Complete the operation; returns the payload (None for sends)."""
+        if self._done:
+            return self._payload
+        comm = self._comm
+        env = comm._cluster.mail.get(self._source, comm.rank, self._tag,
+                                     timeout=comm._cluster.timeout_s)
+        comm.clock_s = max(comm.clock_s, env.arrival_s)
+        self._payload = env.payload
+        self._done = True
+        return self._payload
 
 
 class SimComm:
@@ -103,7 +161,7 @@ class SimComm:
         self.clock_s = max(self.clock_s, env.arrival_s)
         return env.payload
 
-    def Isend(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+    def Isend(self, array: np.ndarray, dest: int, tag: int = 0) -> Request:
         """Non-blocking send: the payload leaves now, the sender only
         pays the envelope overhead (the NIC DMAs in the background)."""
         arr = np.ascontiguousarray(array)
@@ -111,6 +169,17 @@ class SimComm:
         self.clock_s += cal.NET_STEP_OVERHEAD_S
         self._cluster.mail.put(self.rank, dest, tag,
                                _Envelope(arr.copy(), arrival_s=end))
+        return Request(self)
+
+    def Irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive: posting is free; the clock only
+        advances to the switch-priced arrival at ``Request.wait``, so
+        compute performed in between overlaps the transfer."""
+        return Request(self, source=source, tag=tag)
+
+    def Waitall(self, requests) -> list:
+        """Complete every request; returns their payloads in order."""
+        return [req.wait() for req in requests]
 
     def sendrecv(self, array: np.ndarray, dest: int, source: int | None = None,
                  tag: int = 0) -> np.ndarray:
@@ -130,10 +199,15 @@ class SimComm:
         return env.payload
 
     # -- collectives ----------------------------------------------------
+    def _coll_hops(self) -> int:
+        """Tree depth of a collective: 0 on a single rank (a collective
+        with no peers touches no wire and must cost no network time)."""
+        return int(np.ceil(np.log2(self.size))) if self.size > 1 else 0
+
     def barrier(self) -> None:
         """Synchronise all ranks; clocks advance to the global maximum
         plus the modeled barrier cost."""
-        cost = BARRIER_BASE_S * max(1, int(np.ceil(np.log2(max(2, self.size)))))
+        cost = BARRIER_BASE_S * max(1, self._coll_hops()) if self.size > 1 else 0.0
         t, _ = self._cluster._collective_sync(self.clock_s)
         self.clock_s = t + cost
 
@@ -145,14 +219,14 @@ class SimComm:
         out = ordered[0]
         for v in ordered[1:]:
             out = op(out, v)
-        self.clock_s = t + self._msg_cost_for(out) * np.ceil(np.log2(max(2, self.size)))
+        self.clock_s = t + self._msg_cost_for(out) * self._coll_hops()
         return out
 
     def gather(self, value, root: int = 0):
         """Gather per-rank values to ``root`` (None elsewhere)."""
         t, vals = self._cluster._collective_sync(self.clock_s,
                                                  payload=(self.rank, value))
-        self.clock_s = t + self._msg_cost_for(value)
+        self.clock_s = t + (self._msg_cost_for(value) if self.size > 1 else 0.0)
         if self.rank == root:
             return [v for _, v in sorted(vals, key=lambda p: p[0])]
         return None
@@ -161,7 +235,7 @@ class SimComm:
         """Gather per-rank values everywhere."""
         t, vals = self._cluster._collective_sync(self.clock_s,
                                                  payload=(self.rank, value))
-        self.clock_s = t + self._msg_cost_for(value) * np.ceil(np.log2(max(2, self.size)))
+        self.clock_s = t + self._msg_cost_for(value) * self._coll_hops()
         return [v for _, v in sorted(vals, key=lambda p: p[0])]
 
     def bcast(self, value, root: int = 0):
@@ -169,7 +243,7 @@ class SimComm:
         t, vals = self._cluster._collective_sync(self.clock_s,
                                                  payload=(self.rank, value))
         out = dict(vals)[root]
-        self.clock_s = t + self._msg_cost_for(out) * np.ceil(np.log2(max(2, self.size)))
+        self.clock_s = t + self._msg_cost_for(out) * self._coll_hops()
         return out
 
     def _msg_cost_for(self, value) -> float:
@@ -225,10 +299,28 @@ class SimCluster:
 
     def run(self, main, *args) -> list:
         """Execute ``main(comm, *args)`` on every rank; returns a list
-        of per-rank results (exceptions re-raised with rank context)."""
+        of per-rank results.
+
+        Failure semantics: *every* rank's real exception (anything but
+        the ``BrokenBarrierError`` fallout of another rank's abort) is
+        collected into one aggregated :class:`RuntimeError`, chained
+        from the first of them; ranks that neither return nor raise
+        within the join deadline raise instead of leaving ``None``
+        results behind silently.  The cluster resets its barrier, sync
+        and mailbox state on entry, so it remains usable after a failed
+        run.
+        """
+        # A failed run leaves the barrier aborted and possibly stale
+        # sync/mailbox state behind; reset so the cluster is reusable.
+        self._barrier = threading.Barrier(self.size)
+        self._sync_max = 0.0
+        self._payloads = []
+        self.mail = _Mailboxes()
+
         results: list = [None] * self.size
         errors: list = [None] * self.size
         comms = [SimComm(self, r) for r in range(self.size)]
+        barrier = self._barrier
 
         def runner(r: int) -> None:
             try:
@@ -236,18 +328,28 @@ class SimCluster:
             except Exception as exc:  # noqa: BLE001 - surfaced below
                 errors[r] = exc
                 # Unblock peers waiting on this rank.
-                self._barrier.abort()
+                barrier.abort()
 
         threads = [threading.Thread(target=runner, args=(r,), daemon=True)
                    for r in range(self.size)]
         for t in threads:
             t.start()
+        deadline = time.monotonic() + self.timeout_s * 2
         for t in threads:
-            t.join(timeout=self.timeout_s * 2)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        hung = [r for r, t in enumerate(threads) if t.is_alive()]
         real = [(r, e) for r, e in enumerate(errors)
                 if e is not None and not isinstance(e, threading.BrokenBarrierError)]
         broken = [(r, e) for r, e in enumerate(errors) if e is not None]
-        for r, err in real or broken:
-            raise RuntimeError(f"rank {r} failed: {err!r}") from err
+        failed = real or broken
+        if failed:
+            parts = [f"rank {r} failed: {err!r}" for r, err in failed]
+            if hung:
+                parts.append(f"ranks {hung} still running at join deadline")
+            raise RuntimeError("; ".join(parts)) from failed[0][1]
+        if hung:
+            raise RuntimeError(
+                f"ranks {hung} hung: no result or exception within "
+                f"{self.timeout_s * 2:.1f}s join deadline")
         self.clocks = [c.clock_s for c in comms]
         return results

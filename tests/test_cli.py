@@ -59,6 +59,33 @@ class TestCLI:
         assert text.startswith("# Reproduction report")
         assert "| 32 |" in text
 
+    def test_verify_parser_wiring(self):
+        args = build_parser().parse_args(["verify", "--skip-bench",
+                                          "--threshold", "0.5"])
+        assert args.command == "verify"
+        assert args.skip_bench is True
+        assert args.threshold == 0.5
+
+    def test_verify_invokes_stages(self, monkeypatch, capsys):
+        import subprocess
+        calls = []
+        monkeypatch.setattr(subprocess, "call",
+                            lambda cmd, **kw: calls.append(cmd) or 0)
+        assert main(["verify"]) == 0
+        assert len(calls) == 2
+        assert calls[0][-2:] == ["-x", "-q"]
+        assert any("check_regression" in part for part in calls[1])
+        assert "verify OK" in capsys.readouterr().out
+
+    def test_verify_stops_on_failure(self, monkeypatch, capsys):
+        import subprocess
+        calls = []
+        monkeypatch.setattr(subprocess, "call",
+                            lambda cmd, **kw: calls.append(cmd) or 1)
+        assert main(["verify"]) == 1
+        assert len(calls) == 1  # bench guard never runs after test failure
+        assert "FAILED" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -93,14 +93,26 @@ class TestExchangeBuffers:
     def test_cluster_counters_record_phases(self, rng):
         f0 = _initial_state(rng)
         cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7)
-        cluster = GPUClusterLBM(cfg)
-        cluster.load_global_distributions(f0)
-        cluster.step(2)
-        stats = cluster.counters.stats
-        assert stats["cluster.collide"].calls == 2
-        assert stats["cluster.exchange"].calls == 2
-        assert stats["cluster.finish"].calls == 2
-        cluster.shutdown()
+        with GPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(2)
+            stats = cluster.counters.stats
+            assert stats["cluster.collide_boundary"].calls == 2
+            assert stats["cluster.collide_inner"].calls == 2
+            assert stats["cluster.exchange"].calls == 2
+            assert stats["cluster.finish"].calls == 2
+
+    def test_sequential_protocol_records_legacy_phases(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            overlap=False)
+        with GPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(2)
+            stats = cluster.counters.stats
+            assert stats["cluster.collide"].calls == 2
+            assert stats["cluster.exchange"].calls == 2
+            assert "cluster.collide_boundary" not in stats
 
 
 class TestConfigValidation:

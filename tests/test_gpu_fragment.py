@@ -126,6 +126,76 @@ class TestRunPass:
         assert device.clock_s == 0.0
 
 
+class TestBatchedRendering:
+    """`batchable` programs render a contiguous Z block in one kernel
+    invocation; texels and modeled time must match the per-slice loop."""
+
+    @staticmethod
+    def _gather_kernel(ctx):
+        # Elementwise over the leading axes, with spatial + Z offsets.
+        return (ctx.fetch("s", dx=1, dy=-1, dz=1) * np.float32(2.0)
+                + ctx.fetch("s", dz=-1))
+
+    @pytest.mark.parametrize("wrap", [True, False])
+    def test_batched_matches_looped(self, wrap):
+        rect = Rect(0, 5, 0, 6) if wrap else Rect(1, 4, 1, 5)
+        zr = range(5) if wrap else range(1, 4)
+        results = []
+        clocks = []
+        for batchable in (False, True):
+            dev = SimulatedGPU(enforce_memory=False)
+            src = _stack(dev, d=5, name="s")
+            tgt = dev.new_stack(6, 5, 5, "t")
+            prog = FragmentProgram("gather", self._gather_kernel,
+                                   alu_ops=3, tex_fetches=2,
+                                   batchable=batchable)
+            dev.run_pass(prog, tgt, {"s": src}, rect, zr, wrap=wrap)
+            results.append(tgt.data.copy())
+            clocks.append(dev.clock_s)
+        assert np.array_equal(results[0], results[1])
+        assert clocks[0] == clocks[1]
+
+    def test_batched_pass_group_matches_looped(self):
+        results = []
+        for batchable in (False, True):
+            dev = SimulatedGPU(enforce_memory=False)
+            a = _stack(dev, d=4, name="a")
+            b = _stack(dev, d=4, name="b")
+            b.data *= np.float32(0.5)
+            pa = FragmentProgram("pa", lambda ctx: ctx.fetch("b") + 1.0,
+                                 alu_ops=1, tex_fetches=1, batchable=batchable)
+            pb = FragmentProgram("pb", lambda ctx: ctx.fetch("a") * 2.0,
+                                 alu_ops=1, tex_fetches=1, batchable=batchable)
+            bindings = {"a": a, "b": b}
+            dev.run_pass_group([(pa, a, bindings), (pb, b, bindings)],
+                               Rect(0, 5, 0, 6), range(4), wrap=True)
+            results.append((a.data.copy(), b.data.copy()))
+        assert np.array_equal(results[0][0], results[1][0])
+        assert np.array_equal(results[0][1], results[1][1])
+
+    def test_batched_respects_commit_after_pass(self):
+        """The z-batched path must still read pre-pass target contents."""
+        dev = SimulatedGPU(enforce_memory=False)
+        s = dev.new_stack(2, 2, 3, "t")
+        s.data[...] = 1.0
+        prog = FragmentProgram("shift", lambda ctx: ctx.fetch("t", dz=-1) + 1.0,
+                               alu_ops=1, tex_fetches=1, batchable=True)
+        dev.run_pass(prog, s, {"t": s}, Rect(0, 2, 0, 2), wrap=True)
+        assert (s.data == 2.0).all()
+
+    def test_single_slice_and_lists_take_loop_path(self):
+        """Non-contiguous z iterations still work for batchable programs."""
+        dev = SimulatedGPU(enforce_memory=False)
+        s = _stack(dev, d=4, name="s")
+        t = dev.new_stack(6, 5, 4, "t")
+        prog = FragmentProgram("copy", lambda ctx: ctx.fetch("s") + 0.0,
+                               alu_ops=1, tex_fetches=1, batchable=True)
+        dev.run_pass(prog, t, {"s": s}, Rect(0, 5, 0, 6), [0, 3], wrap=True)
+        assert np.array_equal(t.data[0], s.data[0])
+        assert np.array_equal(t.data[3], s.data[3])
+        assert (t.data[1:3] == 0).all()
+
+
 class TestRunPassGroup:
     def test_swap_is_atomic(self, device):
         """Two passes that swap each other's stacks must both read the

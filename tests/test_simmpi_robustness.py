@@ -1,0 +1,213 @@
+"""SimMPI robustness: error aggregation, reuse, nonblocking requests,
+and the cost model's degenerate cases.
+
+Regression tests for the failure-masking bugs that blocked the executed
+overlap work: ``SimCluster.run`` used to raise only the first rank's
+error (hiding concurrent failures), leave hung ranks behind as silent
+``None`` results, and permanently break its barrier after any abort;
+size-1 collectives charged network time for messages that never touch a
+wire, and every probed mailbox key leaked an empty deque.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net.simmpi import SimCluster
+
+
+class TestErrorAggregation:
+    def test_all_real_errors_reported(self):
+        def main(comm):
+            if comm.rank in (0, 2):
+                raise ValueError(f"boom-{comm.rank}")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError) as exc_info:
+            SimCluster(3, timeout_s=2.0).run(main)
+        msg = str(exc_info.value)
+        assert "rank 0 failed" in msg and "boom-0" in msg
+        assert "rank 2 failed" in msg and "boom-2" in msg
+        # Rank 1 only suffered the broken barrier; it is not a failure.
+        assert "rank 1 failed" not in msg
+
+    def test_cause_chain_points_at_first_real_error(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise KeyError("first")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError) as exc_info:
+            SimCluster(2, timeout_s=2.0).run(main)
+        assert isinstance(exc_info.value.__cause__, KeyError)
+
+    def test_hung_rank_raises_instead_of_none(self):
+        release = threading.Event()
+
+        def main(comm):
+            if comm.rank == 1:
+                release.wait(10.0)  # neither returns nor raises in time
+            return comm.rank
+
+        cluster = SimCluster(2, timeout_s=0.3)
+        try:
+            with pytest.raises(RuntimeError, match="hung"):
+                cluster.run(main)
+        finally:
+            release.set()
+
+
+class TestReuseAfterFailure:
+    def test_cluster_usable_after_worker_exception(self):
+        cluster = SimCluster(3, timeout_s=2.0)
+
+        def bad(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cluster.run(bad)
+
+        def good(comm):
+            comm.barrier()
+            return comm.allreduce(comm.rank)
+
+        assert cluster.run(good) == [3, 3, 3]
+
+    def test_repeated_failures_then_success(self):
+        cluster = SimCluster(2, timeout_s=2.0)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                cluster.run(lambda comm: (_ for _ in ()).throw(ValueError()))
+        assert cluster.run(lambda comm: comm.rank) == [0, 1]
+
+    def test_stale_mail_dropped_between_runs(self):
+        cluster = SimCluster(2, timeout_s=2.0)
+
+        def leaky(comm):
+            # Rank 0 sends a message nobody receives, then rank 1 fails.
+            if comm.rank == 0:
+                comm.Isend(np.arange(4.0), dest=1, tag=9)
+            else:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cluster.run(leaky)
+
+        def probe(comm):
+            if comm.rank == 1:
+                return comm.Irecv(source=0, tag=9).test()
+            return None
+
+        # The undelivered tag-9 message must not survive into this run.
+        assert cluster.run(probe)[1] is False
+
+
+class TestNonblockingRequests:
+    def test_irecv_wait_returns_payload(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Isend(np.arange(5.0), dest=1)
+                return None
+            req = comm.Irecv(source=0)
+            return req.wait().sum()
+
+        assert SimCluster(2).run(main)[1] == 10.0
+
+    def test_irecv_defers_clock_to_wait(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.compute(1e-3)
+                comm.Send(np.zeros(1 << 16), dest=1)
+                return comm.clock_s
+            req = comm.Irecv(source=0)
+            posted_clock = comm.clock_s
+            payload = req.wait()
+            assert payload.shape == (1 << 16,)
+            return posted_clock, comm.clock_s
+
+        res = SimCluster(2).run(main)
+        posted, waited = res[1]
+        assert posted == 0.0          # posting the receive is free
+        assert waited > 0.0           # wait() advances to arrival
+
+    def test_compute_between_irecv_and_wait_hides_network(self):
+        nbytes_arr = np.zeros(1 << 14)
+
+        def main(comm, hide):
+            if comm.rank == 0:
+                comm.Send(nbytes_arr, dest=1)
+                return comm.clock_s
+            req = comm.Irecv(source=0)
+            if hide:
+                comm.compute(10.0)    # modeled work >> transfer time
+            req.wait()
+            return comm.clock_s
+
+        overlapped = SimCluster(2).run(main, True)[1]
+        assert overlapped == 10.0     # arrival fully hidden by compute
+
+    def test_waitall_orders_payloads(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Isend(np.array([1.0]), dest=1, tag=1)
+                comm.Isend(np.array([2.0]), dest=1, tag=2)
+                return None
+            reqs = [comm.Irecv(source=0, tag=2), comm.Irecv(source=0, tag=1)]
+            return [float(p[0]) for p in comm.Waitall(reqs)]
+
+        assert SimCluster(2).run(main)[1] == [2.0, 1.0]
+
+    def test_isend_returns_completed_request(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.Isend(np.arange(3.0), dest=1)
+                assert req.test()
+                assert req.wait() is None
+            else:
+                comm.Recv(source=0)
+
+        SimCluster(2).run(main)
+
+
+class TestDegenerateCosts:
+    def test_size_one_collectives_are_free(self):
+        def main(comm):
+            comm.barrier()
+            comm.allreduce(np.float64(3.0))
+            comm.gather(np.zeros(1000))
+            comm.allgather(np.zeros(1000))
+            comm.bcast(np.zeros(1000))
+            return comm.clock_s
+
+        assert SimCluster(1).run(main) == [0.0]
+
+    def test_multi_rank_collectives_still_charged(self):
+        def main(comm):
+            comm.barrier()
+            comm.allreduce(np.float64(3.0))
+            return comm.clock_s
+
+        clocks = SimCluster(2).run(main)
+        assert all(c > 0.0 for c in clocks)
+
+    def test_mailbox_table_stays_bounded(self):
+        def main(comm):
+            if comm.rank == 1:
+                for tag in range(200):
+                    comm.Irecv(source=0, tag=tag).test()   # probe misses
+            comm.barrier()
+            if comm.rank == 0:
+                comm.Send(np.zeros(1), dest=1, tag=500)
+            elif comm.rank == 1:
+                comm.Recv(source=0, tag=500)
+            comm.barrier()
+
+        cluster = SimCluster(2, timeout_s=5.0)
+        cluster.run(main)
+        # Probes must not materialise mailboxes, and drained boxes are
+        # dropped: after the run the table is empty.
+        assert cluster.mail._boxes == {}
