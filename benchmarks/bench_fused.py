@@ -55,7 +55,8 @@ def _throughput_mcells(solver, steps: int, repeats: int) -> float:
     return cells / best / 1e6
 
 
-def run_benchmarks(shape=SHAPE, steps: int = 8, repeats: int = 3) -> dict:
+def run_benchmarks(shape=SHAPE, steps: int = 8, repeats: int = 3,
+                   cluster_backends=None) -> dict:
     """Measure the fused and unfused step pipelines; returns a JSON dict."""
     results: dict[str, dict] = {}
     for name, fused, solid in [
@@ -71,21 +72,12 @@ def run_benchmarks(shape=SHAPE, steps: int = 8, repeats: int = 3) -> dict:
                        / results["reference_full_step_unfused"]["mcells_per_s"], 3)
     }
     # Cluster step (2x2x1 numeric mode) so the distributed hot path is
-    # tracked too, serial vs threaded driver.
-    from repro.core import ClusterConfig, GPUClusterLBM
-    for name, workers in [("cluster_numeric_step_serial", 1),
-                          ("cluster_numeric_step_threaded", 4)]:
-        cfg = ClusterConfig(sub_shape=(16, 16, 16), arrangement=(2, 2, 1),
-                            tau=0.7, max_workers=workers)
-        with GPUClusterLBM(cfg) as cluster:
-            cluster.step(1)  # warm up exchange buffers
-            best = float("inf")
-            for _ in range(repeats):
-                t0 = time.perf_counter()
-                cluster.step(2)
-                best = min(best, (time.perf_counter() - t0) / 2)
-            results[name] = {
-                "mcells_per_s": round(cluster.cells_total() / best / 1e6, 3)}
+    # tracked too, under every execution backend (bench_procpool).
+    from bench_procpool import BACKENDS, comparison_line, run_backend_benchmarks
+    backend_results = run_backend_benchmarks(
+        repeats=repeats, backends=cluster_backends or BACKENDS)
+    results.update(backend_results)
+    print(comparison_line(backend_results))
     # Sequential vs executed-overlap protocol (bench_overlap) rides in
     # the same json so check_regression guards it too.
     from bench_overlap import run_overlap_benchmarks
@@ -112,10 +104,17 @@ def main(argv=None) -> int:
                     help="output JSON path (default: repo-root BENCH_kernels.json)")
     ap.add_argument("--steps", type=int, default=8)
     ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--backend", default="all",
+                    choices=("all", "serial", "threads", "processes"),
+                    help="cluster execution backend(s) to benchmark "
+                         "(default: all three; note the committed baseline "
+                         "expects all entries present)")
     args = ap.parse_args(argv)
     if args.steps < 1 or args.repeats < 1:
         ap.error("--steps and --repeats must be >= 1")
-    data = run_benchmarks(steps=args.steps, repeats=args.repeats)
+    backends = None if args.backend == "all" else (args.backend,)
+    data = run_benchmarks(steps=args.steps, repeats=args.repeats,
+                          cluster_backends=backends)
     path = write_results(data, args.out)
     print(f"wrote {path}")
     for name, entry in sorted(data["results"].items()):
@@ -149,7 +148,7 @@ def test_fused_step_with_obstacle(benchmark):
 def test_cluster_threaded_step(benchmark):
     from repro.core import ClusterConfig, GPUClusterLBM
     cfg = ClusterConfig(sub_shape=(16, 16, 16), arrangement=(2, 2, 1),
-                        tau=0.7, max_workers=4)
+                        tau=0.7, backend="threads", max_workers=4)
     with GPUClusterLBM(cfg) as cluster:
         benchmark(lambda: cluster.step(1))
 

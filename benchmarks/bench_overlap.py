@@ -40,6 +40,7 @@ except ImportError:  # pragma: no cover - path bootstrap
 SUB_SHAPE = (64, 64, 64)
 ARRANGEMENT = (2, 1, 1)
 MAX_WORKERS = 2
+BACKENDS = ("serial", "threads", "processes")
 
 
 def _best_step_s(cluster, steps: int, repeats: int) -> tuple[float, float]:
@@ -56,8 +57,16 @@ def _best_step_s(cluster, steps: int, repeats: int) -> tuple[float, float]:
 
 
 def run_overlap_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
-                           steps: int = 2, repeats: int = 3) -> dict:
-    """Measure both protocols; returns bench-kernels result entries."""
+                           steps: int = 2, repeats: int = 3,
+                           backend: str = "threads") -> dict:
+    """Measure both protocols; returns bench-kernels result entries.
+
+    ``backend`` picks the cluster execution backend.  The committed
+    baseline entries are measured with ``"threads"`` (the pre-backend
+    behaviour of ``max_workers=2``); under ``"processes"`` the executed
+    overlap is ignored — each rank steps sequentially in its own
+    process — so the pair mostly measures the process-backend floor.
+    """
     from repro.core import ClusterConfig, CPUClusterLBM
 
     results: dict[str, dict] = {}
@@ -65,7 +74,7 @@ def run_overlap_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
     for name, overlap in [("cluster_step_no_overlap", False),
                           ("cluster_step_overlapped", True)]:
         cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement,
-                            tau=0.7, overlap=overlap,
+                            tau=0.7, overlap=overlap, backend=backend,
                             max_workers=MAX_WORKERS)
         with CPUClusterLBM(cfg) as cluster:
             best, window = _best_step_s(cluster, steps, repeats)
@@ -87,15 +96,36 @@ def main(argv=None) -> int:
                     help="BENCH json to merge the entries into (if it exists)")
     ap.add_argument("--steps", type=int, default=2)
     ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--backend", default="threads",
+                    choices=("all",) + BACKENDS,
+                    help="cluster execution backend for the overlap pair; "
+                         "'all' measures every backend and prints a one-line "
+                         "comparison (baseline entries use 'threads')")
     args = ap.parse_args(argv)
     if args.steps < 1 or args.repeats < 1:
         ap.error("--steps and --repeats must be >= 1")
-    results = run_overlap_benchmarks(steps=args.steps, repeats=args.repeats)
+    if args.backend == "all":
+        per_backend = {
+            backend: run_overlap_benchmarks(steps=args.steps,
+                                            repeats=args.repeats,
+                                            backend=backend)
+            for backend in BACKENDS}
+        results = per_backend["threads"]
+        print("overlapped step, backends [Mcells/s]: " + " | ".join(
+            f"{b} {per_backend[b]['cluster_step_overlapped']['mcells_per_s']:.3f}"
+            for b in BACKENDS))
+    else:
+        results = run_overlap_benchmarks(steps=args.steps,
+                                         repeats=args.repeats,
+                                         backend=args.backend)
     for name, entry in sorted(results.items()):
         val = entry.get("mcells_per_s", entry.get("ratio"))
         print(f"  {name:36s} {val}")
     out = Path(args.out)
-    if out.exists():
+    if args.backend not in ("threads", "all"):
+        print(f"not merging into {out}: baseline entries are measured "
+              f"with backend='threads'")
+    elif out.exists():
         data = json.loads(out.read_text())
         data.setdefault("results", {}).update(results)
         out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

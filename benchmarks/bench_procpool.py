@@ -1,0 +1,128 @@
+"""Cluster execution-backend benchmark: serial vs threads vs processes.
+
+Measures the same numeric multi-node step under every
+``ClusterConfig.backend`` and records
+``cluster_numeric_step_serial`` / ``cluster_numeric_step_threaded`` /
+``cluster_numeric_step_processes`` (plus the processes-over-serial
+``procpool_speedup`` ratio) into ``BENCH_kernels.json``.  All backends
+are bit-identical (pinned by ``tests/test_cluster_procs.py``); only the
+execution substrate differs — the processes backend is the one that can
+exceed a single core's throughput on multi-core hosts, because each
+rank steps its shared-memory sub-domain in its own interpreter.
+
+Entry points:
+
+* ``python benchmarks/bench_procpool.py [--backend all|serial|threads|processes]``
+  — print the comparison and merge the entries into the repo-root
+  ``BENCH_kernels.json`` if it exists.
+* :func:`run_backend_benchmarks` — called by ``bench_fused.run_benchmarks``
+  so ``check_regression.py`` tracks all three backends.
+* :func:`comparison_line` — the one-line serial/threads/processes table
+  shared with ``bench_fused``/``bench_overlap``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # allow `python benchmarks/bench_procpool.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BACKENDS = ("serial", "threads", "processes")
+ENTRY_NAMES = {
+    "serial": "cluster_numeric_step_serial",
+    "threads": "cluster_numeric_step_threaded",
+    "processes": "cluster_numeric_step_processes",
+}
+SUB_SHAPE = (16, 16, 16)
+ARRANGEMENT = (2, 2, 1)
+
+
+def measure_backend(backend: str, sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
+                    steps: int = 2, repeats: int = 3) -> float:
+    """Best per-step Mcells/s of one backend on the GPU-cluster workload."""
+    from repro.core import ClusterConfig, GPUClusterLBM
+
+    cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement, tau=0.7,
+                        backend=backend,
+                        max_workers=4 if backend == "threads" else 1)
+    with GPUClusterLBM(cfg) as cluster:
+        cluster.step(1)  # warm up exchange buffers / worker pool
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cluster.step(steps)
+            best = min(best, (time.perf_counter() - t0) / steps)
+        cells = cluster.cells_total()
+    return cells / best / 1e6
+
+
+def run_backend_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
+                           steps: int = 2, repeats: int = 3,
+                           backends=BACKENDS) -> dict:
+    """Measure the requested backends; returns bench-kernels entries."""
+    results: dict[str, dict] = {}
+    for backend in backends:
+        mc = measure_backend(backend, sub_shape=sub_shape,
+                             arrangement=arrangement, steps=steps,
+                             repeats=repeats)
+        results[ENTRY_NAMES[backend]] = {"mcells_per_s": round(mc, 3)}
+    if "serial" in backends and "processes" in backends:
+        results["procpool_speedup"] = {
+            "ratio": round(
+                results[ENTRY_NAMES["processes"]]["mcells_per_s"]
+                / results[ENTRY_NAMES["serial"]]["mcells_per_s"], 3)}
+    return results
+
+
+def comparison_line(results: dict) -> str:
+    """One-line serial/threads/processes table from bench entries."""
+    cols = []
+    for backend in BACKENDS:
+        entry = results.get(ENTRY_NAMES[backend])
+        if entry is not None:
+            cols.append(f"{backend} {entry['mcells_per_s']:.3f}")
+    line = "backends [Mcells/s]: " + " | ".join(cols)
+    ratio = results.get("procpool_speedup")
+    if ratio is not None:
+        line += f"  (processes/serial {ratio['ratio']:.2f}x)"
+    return line
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backend", default="all",
+                    choices=("all",) + BACKENDS,
+                    help="which execution backend(s) to measure")
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernels.json"),
+                    help="BENCH json to merge the entries into (if it exists)")
+    ap.add_argument("--steps", type=int, default=2)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+    backends = BACKENDS if args.backend == "all" else (args.backend,)
+    results = run_backend_benchmarks(steps=args.steps, repeats=args.repeats,
+                                     backends=backends)
+    for name, entry in sorted(results.items()):
+        val = entry.get("mcells_per_s", entry.get("ratio"))
+        print(f"  {name:36s} {val}")
+    print(comparison_line(results))
+    out = Path(args.out)
+    if out.exists():
+        data = json.loads(out.read_text())
+        data.setdefault("results", {}).update(results)
+        out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"merged into {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

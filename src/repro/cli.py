@@ -9,7 +9,8 @@
     python -m repro whatif            # Sec 4.4 enhancements
     python -m repro cost              # Sec 3 accounting
     python -m repro dispersion        # Sec 5 headline (0.31 s/step)
-    python -m repro verify            # tier-1 tests + kernel regression guard
+    python -m repro check-procs       # process-backend equivalence + leak gate
+    python -m repro verify            # tier-1 tests + backend gate + regression guard
 
 All output comes from the same row generators the benchmark harness
 uses (`repro.perf.model`), so the CLI and `pytest benchmarks/` always
@@ -111,9 +112,21 @@ def _cmd_dispersion(args) -> None:
         print(f"  {k:>14}: {v:7.1f} ms")
 
 
+def _cmd_check_procs(args) -> int:
+    """Process-backend gate: serial-vs-processes bit equivalence, no
+    leaked shared-memory segments, no orphaned worker processes."""
+    from repro.core.procpool import run_equivalence_check
+
+    run_equivalence_check(steps=args.steps)
+    print("process backend OK: bit-identical to serial, "
+          "no leaked segments, no orphaned workers")
+    return 0
+
+
 def _cmd_verify(args) -> int:
-    """The repo's single verification gate: tier-1 pytest, then the
-    kernel-throughput regression guard (skippable for quick loops)."""
+    """The repo's single verification gate: tier-1 pytest, the
+    process-backend equivalence/leak gate, then the kernel-throughput
+    regression guard (skippable for quick loops)."""
     import os
     import subprocess
     from pathlib import Path
@@ -125,6 +138,8 @@ def _cmd_verify(args) -> int:
         else str(root / "src")
     stages: list[tuple[str, list[str]]] = [
         ("tier-1 tests", [sys.executable, "-m", "pytest", "-x", "-q"]),
+        ("process-backend equivalence",
+         [sys.executable, "-m", "repro", "check-procs"]),
     ]
     if not args.skip_bench:
         stages.append(
@@ -162,9 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("report")
     sp.add_argument("--out", default=None,
                     help="write markdown to a file instead of stdout")
+    sp = sub.add_parser("check-procs",
+                        help="process-backend equivalence and "
+                             "shared-memory leak gate")
+    sp.add_argument("--steps", type=int, default=2,
+                    help="steps to compare (default 2)")
     sp = sub.add_parser("verify",
-                        help="run the tier-1 tests and the kernel "
-                             "regression guard as one gate")
+                        help="run the tier-1 tests, the process-backend "
+                             "gate and the kernel regression guard as "
+                             "one gate")
     sp.add_argument("--skip-bench", action="store_true",
                     help="run only the test suite")
     sp.add_argument("--threshold", type=float, default=0.25,
@@ -189,6 +210,8 @@ def main(argv=None) -> int:
         _cmd_cost(args)
     elif cmd == "dispersion":
         _cmd_dispersion(args)
+    elif cmd == "check-procs":
+        return _cmd_check_procs(args)
     elif cmd == "verify":
         return _cmd_verify(args)
     elif cmd == "report":

@@ -18,6 +18,10 @@
   network, overlapped vs non-overlapping) in exactly the shape of
   Table 1, and — in numeric mode — bit-compare against the
   single-domain reference solver.
+* :mod:`repro.core.shm` / :mod:`repro.core.procpool` — the
+  ``backend="processes"`` execution backend: persistent per-rank
+  worker processes whose distribution arrays and halo mailboxes live
+  in shared memory (zero-copy exchange, barrier-synchronised steps).
 """
 
 from repro.core.decomposition import BlockDecomposition, arrange_nodes_2d, arrange_nodes_3d
@@ -25,6 +29,8 @@ from repro.core.halo import HaloPlan
 from repro.core.schedule import CommSchedule, naive_schedule
 from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM, GPUClusterLBM, StepTiming
 from repro.core.compression import HaloCompressor
+from repro.core.procpool import ProcessBackend, run_equivalence_check
+from repro.core.shm import leaked_segments
 from repro.core.spmd import SPMDClusterLBM
 from repro.core.thermal_cluster import DistributedThermalLBM
 
@@ -33,4 +39,5 @@ __all__ = [
     "HaloPlan", "CommSchedule", "naive_schedule",
     "ClusterConfig", "GPUClusterLBM", "CPUClusterLBM", "StepTiming",
     "HaloCompressor", "SPMDClusterLBM", "DistributedThermalLBM",
+    "ProcessBackend", "run_equivalence_check", "leaked_segments",
 ]

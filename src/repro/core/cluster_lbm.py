@@ -34,6 +34,7 @@ from repro.core.cpu_node import CPUNode
 from repro.core.decomposition import BlockDecomposition, arrange_nodes_2d
 from repro.core.gpu_node import GPUNode
 from repro.core.halo import HaloPlan
+from repro.core.procpool import ProcessBackend
 from repro.core.schedule import CommSchedule
 from repro.gpu.specs import AGP_8X, GEFORCE_FX_5800_ULTRA, XEON_2_4, BusSpec, CPUSpec, GPUSpec
 from repro.net.switch import GigabitSwitch
@@ -105,14 +106,31 @@ class ClusterConfig:
     inlet / outflow / force:
         Global boundary conditions, applied on the nodes that own the
         corresponding global boundary.
+    backend:
+        Execution backend for the per-node phases:
+
+        * ``"serial"`` (default): the coordinator loop advances nodes
+          one after another.
+        * ``"threads"``: a :class:`ThreadPoolExecutor` of width
+          ``max_workers`` steps the nodes concurrently.  Explicit
+          opt-in only — see the ``max_workers`` caveat.
+        * ``"processes"``: one persistent worker process per rank with
+          shared-memory sub-domains and zero-copy halo mailboxes
+          (:mod:`repro.core.procpool`) — the only backend whose ranks
+          genuinely run in parallel on multi-core hosts.  Numeric mode
+          only; ``overlap`` and ``max_workers`` are ignored (each rank
+          is its own process, like the paper's cluster nodes).
+
+        All three backends produce bit-identical distributions.
     max_workers:
-        Thread-pool width for stepping the nodes.  With the default 1
-        the driver advances nodes serially from the coordinator loop;
-        with > 1 the ``collide_phase``/``finish_step`` of all nodes run
-        concurrently (numpy releases the GIL in the big kernels, like
-        the paper's per-node processes run concurrently on the real
-        cluster).  Results are identical either way — nodes only touch
-        their own sub-domain between exchanges.
+        Thread-pool width for ``backend="threads"``.  GIL caveat: the
+        NumPy collide/stream sweeps at per-node sizes hold the GIL for
+        most of their runtime, so threads usually deliver *no* speedup
+        over serial (the tracked benchmark measured 0.665 Mcells/s
+        threaded vs 0.696 serial); that is why threads are an explicit
+        opt-in spelling and ``max_workers`` is ignored under the
+        default ``backend="serial"``.  Use ``backend="processes"`` for
+        real multi-core scaling.
     overlap:
         When True (default), numeric multi-node steps *execute* the
         paper's Sec-4.4 overlap instead of merely modeling it: border
@@ -141,8 +159,21 @@ class ClusterConfig:
     switch: GigabitSwitch | None = None
     max_workers: int = 1
     overlap: bool = True
+    backend: str = "serial"
+    backend_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
+        if self.backend not in ("serial", "threads", "processes"):
+            raise ValueError(
+                f"backend must be 'serial', 'threads' or 'processes', "
+                f"got {self.backend!r}")
+        if self.backend == "processes" and self.timing_only:
+            raise ValueError(
+                "backend='processes' runs real numerics; use the default "
+                "serial backend for timing_only sweeps")
+        if self.backend_timeout_s <= 0:
+            raise ValueError(
+                f"backend_timeout_s must be > 0, got {self.backend_timeout_s}")
         if int(self.max_workers) < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if len(self.sub_shape) != 3 or any(s < 2 for s in self.sub_shape):
@@ -178,6 +209,9 @@ class ClusterConfig:
 class _ClusterLBMBase:
     """Shared coordinator: decomposition, schedule, exchange, timing."""
 
+    #: Which node class the processes backend's workers should build.
+    node_kind = "cpu"
+
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self.decomp = BlockDecomposition(config.global_shape, config.arrangement,
@@ -187,8 +221,17 @@ class _ClusterLBMBase:
         self.switch = config.switch if config.switch is not None else GigabitSwitch()
         solids = (self.decomp.scatter_field(config.solid)
                   if config.solid is not None else [None] * self.decomp.n_nodes)
-        self.nodes = [self._make_node(rank, solids[rank])
-                      for rank in range(self.decomp.n_nodes)]
+        self._proc_backend: ProcessBackend | None = None
+        if config.backend == "processes":
+            self._proc_backend = ProcessBackend(
+                [self._worker_spec_args(rank, solids[rank])
+                 for rank in range(self.decomp.n_nodes)],
+                node_kind=self.node_kind,
+                timeout_s=config.backend_timeout_s)
+            self.nodes = self._proc_backend.proxies
+        else:
+            self.nodes = [self._make_node(rank, solids[rank])
+                          for rank in range(self.decomp.n_nodes)]
         self.time_step = 0
         self.last_timing: StepTiming | None = None
         self.counters = KernelCounters()
@@ -196,16 +239,44 @@ class _ClusterLBMBase:
         self._comm_executor: ThreadPoolExecutor | None = None
         self._border_bufs: list[dict[int, dict[int, np.ndarray]]] | None = None
 
+    def _worker_spec_args(self, rank: int, solid) -> dict:
+        """The per-rank construction kwargs shipped to a worker process
+        (everything :meth:`_make_node` would have used, minus the
+        segment bookkeeping the backend adds itself)."""
+        cfg = self.config
+        bc = self._node_boundary_config(rank)
+        return {
+            "sub_shape": cfg.sub_shape,
+            "tau": cfg.tau,
+            "periodic": cfg.periodic,
+            "neighbors": {(axis, direction):
+                          self.decomp.neighbor(rank, axis, direction)
+                          for axis in range(3) for direction in (-1, 1)},
+            "face_dirs": tuple(self.decomp.face_neighbors(rank)),
+            "edge_dirs": tuple(self.decomp.edge_neighbors(rank)),
+            "solid": solid,
+            "inlet": bc["inlet"],
+            "outflow": bc["outflow"],
+            "force": cfg.force,
+            "use_sse": cfg.use_sse,
+            "cpu_spec": cfg.cpu_spec,
+            "gpu_spec": cfg.gpu_spec,
+            "bus": cfg.bus,
+        }
+
     # -- threaded node stepping -------------------------------------------
     def _run_on_nodes(self, method: str) -> None:
-        """Invoke ``method`` on every node, threaded when configured.
+        """Invoke ``method`` on every node, threaded when opted in.
 
         Nodes only touch their own sub-domain state between exchanges,
-        so the per-node phases are embarrassingly parallel; numpy
-        releases the GIL inside the large kernels, letting the pool
-        overlap them like the per-node processes of the real cluster.
+        so the per-node phases are embarrassingly parallel.  The pool
+        is used only under the explicit ``backend="threads"`` opt-in:
+        numpy's big sweeps mostly hold the GIL at these sizes, so the
+        threaded path exists for API parity and experimentation, not
+        speed (see the ``ClusterConfig.max_workers`` caveat).
         """
-        if self.config.max_workers > 1 and len(self.nodes) > 1:
+        if (self.config.backend == "threads"
+                and self.config.max_workers > 1 and len(self.nodes) > 1):
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=min(self.config.max_workers, len(self.nodes)),
@@ -219,13 +290,16 @@ class _ClusterLBMBase:
                 getattr(node, method)()
 
     def shutdown(self) -> None:
-        """Release the node and communication thread pools (idempotent)."""
+        """Release thread pools, worker processes and shared memory
+        (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
         if self._comm_executor is not None:
             self._comm_executor.shutdown(wait=True)
             self._comm_executor = None
+        if self._proc_backend is not None:
+            self._proc_backend.shutdown()
 
     def __enter__(self):
         return self
@@ -321,6 +395,8 @@ class _ClusterLBMBase:
         streaming.  The wall-clock intersection of the exchange and the
         inner pass is reported as ``measured_window_s``.
         """
+        if self._proc_backend is not None:
+            return self._step_processes(n)
         timing = self.last_timing
         rec = self.counters
         overlapped = self._overlap_capable()
@@ -369,6 +445,34 @@ class _ClusterLBMBase:
         self.last_timing = timing
         return timing
 
+    def _step_processes(self, n: int) -> StepTiming:
+        """Advance ``n`` steps on the persistent worker processes.
+
+        One command round-trip per call: the workers run all ``n``
+        steps (exchanging halos among themselves through the shared
+        mailboxes), then reply with the last step's timing buckets and
+        their per-phase counter deltas, which are merged into this
+        driver's :class:`KernelCounters` (seconds are summed across
+        ranks, so multi-rank phases read like CPU time).
+        """
+        with self.counters.phase("cluster.proc_step"):
+            payloads = self._proc_backend.step(n)
+        for payload in payloads:
+            self.counters.merge(payload["counters"])
+        net_total = (self.switch.phase_time(self.schedule.round_bytes(),
+                                            self.decomp.n_nodes)
+                     if self.decomp.n_nodes > 1 else 0.0)
+        timing = StepTiming(
+            nodes=self.decomp.n_nodes,
+            compute_s=max(nd.compute_s for nd in self.nodes),
+            agp_s=max(nd.agp_s for nd in self.nodes),
+            net_total_s=net_total,
+            overlap_window_s=max(nd.overlap_window_s for nd in self.nodes),
+        )
+        self.time_step += n
+        self.last_timing = timing
+        return timing
+
     # -- observables -----------------------------------------------------------
     def _numeric_nodes(self):
         if self.config.timing_only:
@@ -377,7 +481,11 @@ class _ClusterLBMBase:
 
     def gather_distributions(self) -> np.ndarray:
         """Assemble the global (19, nx, ny, nz) distribution field."""
-        parts = [self._node_distributions(nd) for nd in self._numeric_nodes()]
+        if self._proc_backend is not None:
+            self._numeric_nodes()
+            parts = self._proc_backend.gather_parts()
+        else:
+            parts = [self._node_distributions(nd) for nd in self._numeric_nodes()]
         return self.decomp.gather_field(parts)
 
     def gather_macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
@@ -398,6 +506,8 @@ class _ClusterLBMBase:
 class GPUClusterLBM(_ClusterLBMBase):
     """The paper's system: one simulated GPU per node (Sec 4.3)."""
 
+    node_kind = "gpu"
+
     def _make_node(self, rank: int, solid):
         bc = self._node_boundary_config(rank)
         return GPUNode(rank, self.config.sub_shape, self.config.tau, solid=solid,
@@ -413,12 +523,20 @@ class GPUClusterLBM(_ClusterLBMBase):
 
     def initialize(self, rho: float = 1.0, u=None) -> None:
         """Reset every node to equilibrium at (rho, u)."""
+        if self._proc_backend is not None:
+            self._numeric_nodes()
+            self._proc_backend.initialize(rho, u)
+            return
         for node in self._numeric_nodes():
             node.solver.initialize(rho=rho, u=u)
 
     def load_global_distributions(self, f: np.ndarray) -> None:
         """Scatter a global distribution field to the nodes."""
         parts = self.decomp.scatter_field(f)
+        if self._proc_backend is not None:
+            self._numeric_nodes()
+            self._proc_backend.load_parts(parts)
+            return
         for node, part in zip(self._numeric_nodes(), parts):
             node.solver.load_distributions(part)
 
@@ -426,6 +544,8 @@ class GPUClusterLBM(_ClusterLBMBase):
 class CPUClusterLBM(_ClusterLBMBase):
     """The paper's baseline: software LBM per node, second-thread
     overlap (Sec 4.4)."""
+
+    node_kind = "cpu"
 
     def _make_node(self, rank: int, solid):
         bc = self._node_boundary_config(rank)
@@ -444,5 +564,9 @@ class CPUClusterLBM(_ClusterLBMBase):
     def load_global_distributions(self, f: np.ndarray) -> None:
         """Scatter a global distribution field to the nodes."""
         parts = self.decomp.scatter_field(f)
+        if self._proc_backend is not None:
+            self._numeric_nodes()
+            self._proc_backend.load_parts(parts)
+            return
         for node, part in zip(self._numeric_nodes(), parts):
             node.solver.f[...] = part.astype(node.solver.dtype)

@@ -55,19 +55,46 @@ class HaloPlan:
     def __init__(self, sub_shape, lattice: Lattice = D3Q19) -> None:
         self.sub_shape = tuple(int(s) for s in sub_shape)
         self.lattice = lattice
+        # Link-set lookups are pure functions of the velocity set, but
+        # the lattice computes them with fresh boolean scans; exchange
+        # hot loops (schedule building, SPMD rank programs) ask for the
+        # same handful of sets every step, so memoise them here.  The
+        # cached arrays are frozen to keep callers from corrupting the
+        # shared copies.
+        self._face_links_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._edge_links_cache: dict[tuple[int, int, int, int], np.ndarray] = {}
 
     def face_links(self, axis: int, direction: int) -> np.ndarray:
         """Link indices streaming out of the ``(axis, direction)`` face
-        (the ones a neighbour's ghost layer needs)."""
+        (the ones a neighbour's ghost layer needs).
+
+        Cached per ``(axis, direction)``; the returned array is
+        read-only and identical to a fresh lattice scan.
+        """
+        key = (int(axis), int(direction))
+        cached = self._face_links_cache.get(key)
+        if cached is not None:
+            return cached
         if direction == 1:
-            return self.lattice.links_with_positive(axis)
-        if direction == -1:
-            return self.lattice.links_with_negative(axis)
-        raise ValueError("direction must be +-1")
+            links = self.lattice.links_with_positive(axis)
+        elif direction == -1:
+            links = self.lattice.links_with_negative(axis)
+        else:
+            raise ValueError("direction must be +-1")
+        links.flags.writeable = False
+        self._face_links_cache[key] = links
+        return links
 
     def edge_links(self, axis_a: int, dir_a: int, axis_b: int, dir_b: int) -> np.ndarray:
-        """The single link streaming out through the signed edge."""
-        return self.lattice.edge_links(axis_a, dir_a, axis_b, dir_b)
+        """The single link streaming out through the signed edge
+        (cached per signed edge; read-only)."""
+        key = (int(axis_a), int(dir_a), int(axis_b), int(dir_b))
+        cached = self._edge_links_cache.get(key)
+        if cached is None:
+            cached = self.lattice.edge_links(axis_a, dir_a, axis_b, dir_b)
+            cached.flags.writeable = False
+            self._edge_links_cache[key] = cached
+        return cached
 
     def face_cells(self, axis: int) -> int:
         """Interior cells of a face normal to ``axis``."""

@@ -1,0 +1,579 @@
+"""Process-parallel execution backend for the cluster drivers.
+
+``ClusterConfig.backend = "processes"`` replaces the coordinator's
+in-process node loop with one persistent OS process per cluster rank —
+the shape of the paper's real cluster, where every node steps its
+sub-domain concurrently.  NumPy's big collide/stream sweeps hold the
+GIL, so threads cannot deliver that concurrency; processes can.
+
+Protocol (see DESIGN.md §5c):
+
+* **Spawn once.**  The driver creates the shared segments
+  (:mod:`repro.core.shm`), builds one picklable :class:`WorkerSpec`
+  per rank, and forks/spawns the workers at construction.  Workers
+  build their own :class:`~repro.core.cpu_node.CPUNode` /
+  :class:`~repro.core.gpu_node.GPUNode` from the spec — the
+  coordinator holds only lightweight :class:`RankProxy` stand-ins.
+* **Zero-copy stepping.**  A step command is a tiny tuple on a pipe.
+  Inside the step, workers exchange halos through the shared
+  mailboxes: per axis, each rank packs its two border faces into its
+  own mailbox slot ``t % 2``, waits on the shared barrier, then
+  unpacks its neighbours' opposite faces into its ghost layers.  The
+  double-buffered slots make one barrier per axis sufficient: a rank
+  may already pack step ``t+1`` (parity ``t+1 & 1``) while a slower
+  neighbour still reads step ``t``'s slot.  Sequential axis order
+  preserves the two-hop diagonal routing bit-for-bit.
+* **Aggregated observability.**  Each step reply carries the rank's
+  modeled timing buckets (``compute_s``/``agp_s``/``overlap_window_s``)
+  and a :class:`~repro.perf.counters.KernelCounters` summary delta;
+  the driver merges them so ``StepTiming`` and the perf counters look
+  the same as under the serial backend.
+* **Fail loudly, clean up always.**  A killed or hung worker breaks
+  the shared barrier; the coordinator aborts it, drains the surviving
+  ranks' error replies, and raises one aggregated ``RuntimeError``
+  (mirroring ``SimCluster.run``).  ``shutdown()`` — also reachable via
+  the driver's context manager — terminates workers and unlinks every
+  segment; a :mod:`weakref` finalizer covers drivers that were never
+  shut down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import weakref
+from dataclasses import dataclass, field
+from threading import BrokenBarrierError
+
+import numpy as np
+
+from repro.core.shm import RankSegments, segment_name, unique_token, unlink_segment_names
+from repro.gpu.specs import BusSpec, CPUSpec, GPUSpec
+from repro.perf.counters import KernelCounters
+
+#: Fallback start method order: fork is cheap and keeps tests fast on
+#: Linux; spawn is the portable fallback.
+_START_METHODS = ("fork", "spawn")
+
+
+def _mp_context():
+    for method in _START_METHODS:
+        if method in mp.get_all_start_methods():
+            return mp.get_context(method)
+    return mp.get_context()
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker needs to rebuild its rank's node.
+
+    Pickled exactly once, at spawn; per-step traffic is scalars only.
+    """
+
+    rank: int
+    n_ranks: int
+    node_kind: str                      # "cpu" | "gpu"
+    sub_shape: tuple[int, int, int]
+    tau: float
+    periodic: tuple[bool, bool, bool]
+    neighbors: dict                     # (axis, direction) -> rank | None
+    face_dirs: tuple
+    edge_dirs: tuple
+    solid: np.ndarray | None
+    inlet: tuple | None
+    outflow: tuple | None
+    force: tuple | None
+    use_sse: bool
+    cpu_spec: CPUSpec
+    gpu_spec: GPUSpec
+    bus: BusSpec
+    seg_names: dict                     # own {"fg","mail","stage"} names
+    mail_names: tuple                   # every rank's mailbox segment name
+    barrier_timeout_s: float
+    q: int = 19
+
+
+class RankProxy:
+    """Coordinator-side stand-in for a node running in a worker.
+
+    Exposes exactly the per-step timing attributes the driver's
+    ``StepTiming`` assembly reads from real nodes.
+    """
+
+    __slots__ = ("rank", "compute_s", "agp_s", "overlap_window_s")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.compute_s = 0.0
+        self.agp_s = 0.0
+        self.overlap_window_s = 0.0
+
+
+def _build_node(spec: WorkerSpec):
+    if spec.node_kind == "gpu":
+        from repro.core.gpu_node import GPUNode
+        return GPUNode(spec.rank, spec.sub_shape, spec.tau, solid=spec.solid,
+                       face_dirs=list(spec.face_dirs),
+                       edge_dirs=list(spec.edge_dirs), timing_only=False,
+                       gpu_spec=spec.gpu_spec, bus=spec.bus,
+                       inlet=spec.inlet, outflow=spec.outflow,
+                       force=spec.force)
+    from repro.core.cpu_node import CPUNode
+    return CPUNode(spec.rank, spec.sub_shape, spec.tau, solid=spec.solid,
+                   face_dirs=list(spec.face_dirs),
+                   edge_dirs=list(spec.edge_dirs), timing_only=False,
+                   cpu_spec=spec.cpu_spec, use_sse=spec.use_sse,
+                   inlet=spec.inlet, outflow=spec.outflow, force=spec.force)
+
+
+class _Worker:
+    """The persistent per-rank loop executed inside the worker process."""
+
+    def __init__(self, spec: WorkerSpec, conn, barrier) -> None:
+        self.spec = spec
+        self.conn = conn
+        self.barrier = barrier
+        self.counters = KernelCounters()
+        self.broken: str | None = None
+        self.step_count = 0
+        self.node = _build_node(spec)
+        # Attach own segments, then every peer's mailbox for unpacking.
+        self.segs = RankSegments.attach(spec.seg_names, spec.sub_shape, spec.q)
+        self.peer_mail: dict[int, RankSegments] = {spec.rank: self.segs}
+        for peer in sorted({p for p in spec.neighbors.values()
+                            if p is not None and p != spec.rank}):
+            self.peer_mail[peer] = RankSegments.attach(
+                {"fg": None, "mail": spec.mail_names[peer], "stage": None},
+                spec.sub_shape, spec.q)
+        if spec.node_kind == "cpu":
+            self._adopt_shared_fg()
+
+    def _adopt_shared_fg(self) -> None:
+        """Rebind the solver's double buffer onto the shared segment.
+
+        After this the interior of the current buffer *is* the shared
+        page set, so coordinator-side gather/load are plain memory
+        reads/writes with no worker round-trip.
+        """
+        fg0, fg1 = self.segs.fg_bufs
+        solver = self.node.solver
+        fg0[...] = solver.fg
+        fg1[...] = solver._fg_next
+        solver.fg = fg0
+        solver._fg_next = fg1
+
+    # -- halo exchange over shared mailboxes ----------------------------
+    def _exchange(self) -> None:
+        node, spec = self.node, self.spec
+        slot = self.step_count & 1
+        own_mail = self.segs.mail
+        for axis in range(3):
+            node.read_borders(axis, out={-1: own_mail[axis][-1][slot],
+                                         1: own_mail[axis][1][slot]})
+            self._barrier_wait()
+            for direction in (-1, 1):
+                peer = spec.neighbors[(axis, direction)]
+                if peer is None:
+                    if spec.periodic[axis]:
+                        node.write_ghost(axis, direction,
+                                         own_mail[axis][-direction][slot])
+                    else:
+                        node.fill_ghost_zero_gradient(axis, direction)
+                else:
+                    node.write_ghost(
+                        axis, direction,
+                        self.peer_mail[peer].mail[axis][-direction][slot])
+
+    def _barrier_wait(self) -> None:
+        if self.spec.n_ranks < 2:
+            return
+        try:
+            self.barrier.wait(timeout=self.spec.barrier_timeout_s)
+        except BrokenBarrierError:
+            self.broken = ("halo barrier broken (a peer died or timed out "
+                           f"after {self.spec.barrier_timeout_s:g}s)")
+            raise
+
+    def _step(self, n: int) -> dict:
+        node, rec = self.node, self.counters
+        for _ in range(int(n)):
+            node.begin_step()
+            with rec.phase("cluster.collide"):
+                node.collide_phase()
+            with rec.phase("cluster.exchange"):
+                self._exchange()
+            node.charge_transfers()
+            with rec.phase("cluster.finish"):
+                node.finish_step()
+            self.step_count += 1
+        reply = {
+            "compute_s": node.compute_s,
+            "agp_s": node.agp_s,
+            "overlap_window_s": node.overlap_window_s,
+            "counters": rec.summary(),
+            "cur": self.step_count & 1,
+        }
+        rec.reset()
+        return reply
+
+    def _gather(self) -> dict:
+        if self.spec.node_kind == "gpu":
+            self.segs.stage[...] = self.node.solver.distributions()
+        else:
+            # CPU distributions already live in the shared fg buffers.
+            pass
+        return {"cur": self.step_count & 1}
+
+    def _load(self) -> dict:
+        if self.spec.node_kind == "gpu":
+            self.node.solver.load_distributions(np.array(self.segs.stage))
+        return {}
+
+    def _initialize(self, rho, u) -> dict:
+        self.node.solver.initialize(rho=rho, u=u)
+        return {}
+
+    def run(self) -> None:
+        parent = os.getppid()
+        try:
+            self.conn.send(("ready", self.spec.rank))
+            while True:
+                # Poll so an orphaned worker notices its coordinator
+                # vanished instead of blocking on the pipe forever.
+                if not self.conn.poll(1.0):
+                    if os.getppid() != parent:
+                        return
+                    continue
+                try:
+                    msg = self.conn.recv()
+                except EOFError:
+                    return
+                cmd = msg[0]
+                if cmd == "shutdown":
+                    self.conn.send(("bye", self.spec.rank))
+                    return
+                try:
+                    if self.broken and cmd == "step":
+                        raise RuntimeError(
+                            f"worker rank {self.spec.rank} is broken: "
+                            f"{self.broken}")
+                    if cmd == "step":
+                        payload = self._step(msg[1])
+                    elif cmd == "gather":
+                        payload = self._gather()
+                    elif cmd == "load":
+                        payload = self._load()
+                    elif cmd == "initialize":
+                        payload = self._initialize(msg[1], msg[2])
+                    else:
+                        raise ValueError(f"unknown command {cmd!r}")
+                except BrokenBarrierError:
+                    self.conn.send(("error", self.spec.rank, self.broken))
+                except Exception as exc:  # noqa: BLE001 - forwarded whole
+                    self.conn.send(("error", self.spec.rank,
+                                    f"{type(exc).__name__}: {exc}"))
+                else:
+                    self.conn.send(("done", self.spec.rank, payload))
+        finally:
+            for segs in self.peer_mail.values():
+                if segs is not self.segs:
+                    segs.close(unlink=False)
+            self.segs.close(unlink=False)
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+
+
+def _worker_main(spec: WorkerSpec, conn, barrier) -> None:
+    """Module-level entry point (picklable under the spawn method)."""
+    _Worker(spec, conn, barrier).run()
+
+
+@dataclass
+class _Failure:
+    rank: int
+    reason: str
+
+
+class ProcessBackend:
+    """Coordinator handle for the persistent worker pool.
+
+    The driver owns exactly one of these when
+    ``ClusterConfig.backend == "processes"``; all methods are
+    synchronous (a command is sent to every worker and all replies are
+    awaited), so shared buffers are never read or written concurrently
+    by both sides.
+    """
+
+    def __init__(self, specs_args: list[dict], node_kind: str,
+                 timeout_s: float = 60.0) -> None:
+        self.node_kind = node_kind
+        self.timeout_s = float(timeout_s)
+        self.n_ranks = len(specs_args)
+        self.broken: str | None = None
+        self._closed = False
+        self.token = unique_token()
+        ctx = _mp_context()
+        self.barrier = ctx.Barrier(self.n_ranks)
+        self.segments: list[RankSegments] = []
+        self.procs: list[mp.Process] = []
+        self.conns = []
+        self.proxies = [RankProxy(r) for r in range(self.n_ranks)]
+        sub_shape = specs_args[0]["sub_shape"]
+        q = specs_args[0].get("q", 19)
+        mail_names = tuple(segment_name(self.token, "mail", r)
+                           for r in range(self.n_ranks))
+        try:
+            for rank in range(self.n_ranks):
+                self.segments.append(RankSegments.create(
+                    rank, sub_shape, q, self.token,
+                    with_fg=(node_kind == "cpu")))
+            all_names = [seg.names[k] for seg in self.segments
+                         for k in ("fg", "mail", "stage")]
+            self._finalizer = weakref.finalize(
+                self, _crash_cleanup, list(self.procs), all_names)
+            for rank, args in enumerate(specs_args):
+                spec = WorkerSpec(
+                    rank=rank, n_ranks=self.n_ranks, node_kind=node_kind,
+                    seg_names=self.segments[rank].names,
+                    mail_names=mail_names,
+                    barrier_timeout_s=self.timeout_s, q=q, **args)
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main,
+                                   args=(spec, child_conn, self.barrier),
+                                   name=f"lbm-rank{rank}", daemon=True)
+                proc.start()
+                child_conn.close()
+                self.conns.append(parent_conn)
+                self.procs.append(proc)
+            # The finalizer captured an empty proc list above; refresh.
+            self._finalizer.detach()
+            self._finalizer = weakref.finalize(
+                self, _crash_cleanup, list(self.procs), all_names)
+            self._await_all()
+        except Exception:
+            self.shutdown()
+            raise
+
+    # -- low-level messaging --------------------------------------------
+    def _require_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "process backend has been shut down; create a new driver")
+        if self.broken:
+            raise RuntimeError(
+                f"process backend is broken ({self.broken}); "
+                "shut the driver down and create a new one")
+
+    def _broadcast(self, msg: tuple) -> None:
+        for rank, conn in enumerate(self.conns):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                self._fail_fast([_Failure(rank, "pipe closed (worker died)")])
+
+    def _await_all(self) -> list[dict]:
+        """Collect one reply per rank; abort loudly if any rank dies.
+
+        A dead worker is detected by process liveness, not by waiting
+        out the barrier timeout: the coordinator aborts the shared
+        barrier so surviving ranks fail fast, then aggregates every
+        rank's failure into one error (the ``SimCluster.run`` shape).
+        """
+        payloads: list[dict | None] = [None] * self.n_ranks
+        pending = set(range(self.n_ranks))
+        failures: list[_Failure] = []
+        aborted = False
+        deadline = time.monotonic() + self.timeout_s
+        while pending:
+            progressed = False
+            for rank in sorted(pending):
+                conn = self.conns[rank]
+                try:
+                    has_msg = conn.poll(0.02)
+                except (OSError, EOFError):
+                    has_msg = False
+                if has_msg:
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        failures.append(_Failure(
+                            rank, "connection lost (worker died)"))
+                        pending.discard(rank)
+                        progressed = True
+                        continue
+                    kind = msg[0]
+                    if kind == "error":
+                        failures.append(_Failure(rank, msg[2]))
+                    elif kind in ("done", "ready", "bye"):
+                        payloads[rank] = msg[2] if len(msg) > 2 else {}
+                    pending.discard(rank)
+                    progressed = True
+                elif not self.procs[rank].is_alive():
+                    code = self.procs[rank].exitcode
+                    failures.append(_Failure(
+                        rank, f"worker died (exit code {code})"))
+                    pending.discard(rank)
+                    progressed = True
+            if failures and not aborted:
+                # Release peers blocked on the shared barrier so they
+                # report instead of hanging out their full timeout.
+                aborted = True
+                try:
+                    self.barrier.abort()
+                except Exception:
+                    pass
+                deadline = time.monotonic() + 5.0
+            if pending and not progressed and time.monotonic() > deadline:
+                for rank in sorted(pending):
+                    failures.append(_Failure(
+                        rank, f"no reply within {self.timeout_s:g}s (hung)"))
+                pending.clear()
+        if failures:
+            self._fail_fast(failures)
+        return payloads  # type: ignore[return-value]
+
+    def _fail_fast(self, failures: list[_Failure]) -> None:
+        self.broken = "; ".join(f"rank {f.rank}: {f.reason}"
+                                for f in failures)
+        raise RuntimeError(f"process backend failed: {self.broken}")
+
+    def _command(self, msg: tuple) -> list[dict]:
+        self._require_usable()
+        self._broadcast(msg)
+        return self._await_all()
+
+    # -- driver-facing API ----------------------------------------------
+    def step(self, n: int) -> list[dict]:
+        """Advance all ranks ``n`` steps; returns per-rank reply dicts."""
+        payloads = self._command(("step", int(n)))
+        for proxy, payload in zip(self.proxies, payloads):
+            proxy.compute_s = payload["compute_s"]
+            proxy.agp_s = payload["agp_s"]
+            proxy.overlap_window_s = payload["overlap_window_s"]
+        return payloads
+
+    def gather_parts(self) -> list[np.ndarray]:
+        """Per-rank interior distribution blocks.
+
+        CPU ranks are read straight out of the shared ``fg`` buffers
+        (zero-copy views — consume before ``shutdown``); GPU ranks are
+        staged by the workers first.
+        """
+        payloads = self._command(("gather",))
+        parts = []
+        for rank, seg in enumerate(self.segments):
+            if self.node_kind == "cpu":
+                parts.append(seg.interior(payloads[rank]["cur"]))
+            else:
+                parts.append(seg.stage)
+        return parts
+
+    def load_parts(self, parts: list[np.ndarray]) -> None:
+        """Scatter per-rank interior blocks into the workers' solvers."""
+        self._require_usable()
+        if self.node_kind == "cpu":
+            # Workers are idle between commands, so writing the shared
+            # interior directly is race-free and copy-free.
+            payloads = self._command(("gather",))
+            for rank, seg in enumerate(self.segments):
+                seg.interior(payloads[rank]["cur"])[...] = parts[rank]
+        else:
+            for seg, part in zip(self.segments, parts):
+                seg.stage[...] = part
+            self._command(("load",))
+
+    def initialize(self, rho, u) -> None:
+        self._command(("initialize", rho, u))
+
+    def worker_pids(self) -> list[int | None]:
+        return [p.pid for p in self.procs]
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for rank, conn in enumerate(self.conns):
+            if self.procs[rank].is_alive():
+                try:
+                    conn.send(("shutdown",))
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 5.0
+        for proc in self.procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for seg in self.segments:
+            seg.close(unlink=True)
+        if getattr(self, "_finalizer", None) is not None:
+            self._finalizer.detach()
+
+
+def _crash_cleanup(procs, segment_names) -> None:
+    """Finalizer: last-resort teardown for never-shut-down backends."""
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except Exception:
+            pass
+    unlink_segment_names(segment_names)
+
+
+def run_equivalence_check(sub_shape=(6, 6, 4), arrangement=(2, 1, 1),
+                          steps: int = 2, seed: int = 0) -> None:
+    """Tiny serial-vs-processes gate used by ``python -m repro verify``.
+
+    Steps the same random initial state under ``backend="serial"`` and
+    ``backend="processes"``, requires bit-identical gathered
+    distributions, and fails on any leaked shared-memory segment or
+    surviving worker process.  Raises ``AssertionError``/``RuntimeError``
+    on any violation.
+    """
+    from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM
+    from repro.core.shm import leaked_segments
+    from repro.lbm.solver import LBMSolver
+
+    shape = tuple(s * a for s, a in zip(sub_shape, arrangement))
+    rng = np.random.default_rng(seed)
+    ref = LBMSolver(shape, tau=0.7)
+    ref.initialize(rho=np.ones(shape, np.float32),
+                   u=(0.02 * rng.standard_normal((3,) + shape)).astype(np.float32))
+    f0 = ref.f.copy()
+
+    results = {}
+    pids: list[int | None] = []
+    for backend in ("serial", "processes"):
+        cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement,
+                            tau=0.7, backend=backend)
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(steps)
+            results[backend] = cluster.gather_distributions().copy()
+            if backend == "processes":
+                pids = cluster._proc_backend.worker_pids()
+    if not np.array_equal(results["serial"], results["processes"]):
+        raise AssertionError(
+            "process backend diverged from the serial backend")
+    leaks = leaked_segments()
+    if leaks:
+        raise RuntimeError(f"leaked shared-memory segments: {leaks}")
+    for pid in pids:
+        if pid is None:
+            continue
+        try:
+            os.kill(pid, 0)
+        except (ProcessLookupError, PermissionError):
+            continue
+        raise RuntimeError(f"orphaned worker process survived: pid {pid}")

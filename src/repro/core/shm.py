@@ -1,0 +1,292 @@
+"""Shared-memory layout for the process-parallel cluster backend.
+
+The ``backend="processes"`` driver (``repro.core.procpool``) runs one
+persistent worker process per cluster rank.  Bulk lattice data never
+crosses a pipe: every rank's distribution arrays and per-face halo
+mailboxes live in :mod:`multiprocessing.shared_memory` segments, and
+both sides work on zero-copy :class:`numpy.ndarray` views of the same
+pages.  Pipes carry only small control tuples (step commands, timing
+scalars, counter summaries).
+
+Per-rank segments (all float32):
+
+``fg``
+    Two ghost-padded distribution buffers, shape
+    ``(2, Q, nx+2, ny+2, nz+2)`` — the CPU worker rebinds its solver's
+    double-buffered ``fg``/``_fg_next`` onto views of this segment, so
+    the coordinator can gather the interior without any worker
+    round-trip.  GPU workers keep their state in simulated textures and
+    skip this segment.
+
+``mail``
+    The halo mailboxes: for each axis, ``(2 dirs, 2 slots, Q, *face)``
+    where ``face`` is the padded cross-section perpendicular to the
+    axis.  ``dirs`` indexes the outgoing face (-1 -> 0, +1 -> 1) and
+    ``slots`` is double buffering by step parity: a rank may pack its
+    step-``t`` borders into slot ``t % 2`` while a slower neighbour is
+    still unpacking slot ``(t - 1) % 2``, which is what lets the
+    exchange run with a single barrier per axis (between pack and
+    unpack) and none between steps.
+
+``stage``
+    One unpadded block ``(Q, nx, ny, nz)`` used as a gather/load
+    staging area by GPU workers (whose distributions live in simulated
+    texture memory and need one explicit copy to become shareable).
+
+Segment names carry the creating process id
+(``reproshm-<pid>-<token>-<kind><rank>``) so tests and the
+``python -m repro check-procs`` gate can assert that a driver's
+shutdown left nothing behind in ``/dev/shm`` (:func:`leaked_segments`).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+#: Prefix of every segment this module creates.
+SEGMENT_PREFIX = "reproshm"
+
+#: dtype of all shared lattice data (matches the solvers).
+SHM_DTYPE = np.dtype(np.float32)
+
+
+def unique_token() -> str:
+    """A short collision-resistant token for one driver's segments."""
+    return secrets.token_hex(4)
+
+
+def segment_name(token: str, kind: str, rank: int) -> str:
+    """Canonical segment name (also the /dev/shm file name on Linux)."""
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{token}-{kind}{rank}"
+
+
+def shm_root() -> Path | None:
+    """Directory where POSIX shared memory appears, if inspectable."""
+    root = Path("/dev/shm")
+    return root if root.is_dir() else None
+
+
+def leaked_segments(pid: int | None = None) -> list[str]:
+    """Names of this module's segments still present in /dev/shm.
+
+    With ``pid`` (default: current process) only segments created by
+    that process are reported, so concurrent runs don't cross-talk.
+    Returns ``[]`` on platforms without an inspectable shm directory.
+    """
+    root = shm_root()
+    if root is None:
+        return []
+    prefix = f"{SEGMENT_PREFIX}-{os.getpid() if pid is None else pid}-"
+    return sorted(p.name for p in root.iterdir() if p.name.startswith(prefix))
+
+
+def _attach_untracks() -> bool:
+    """Whether an attaching process must unregister from its tracker.
+
+    Fork children share the coordinator's resource tracker, where
+    registration is set-idempotent and the creator's ``unlink`` must
+    remain the only unregister.  Spawn children run their *own*
+    tracker, which would otherwise unlink segments it does not own
+    when the child exits — those must untrack after attaching.
+    """
+    import multiprocessing as mp
+    try:
+        return mp.get_start_method(allow_none=True) == "spawn"
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker double-accounting.
+
+    Only the creating coordinator owns the segment lifetime; see
+    :func:`_attach_untracks` for why spawn children unregister.
+    """
+    seg = shared_memory.SharedMemory(name=name)
+    if _attach_untracks():
+        try:  # pragma: no cover - tracker internals vary across versions
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    return seg
+
+
+# ---------------------------------------------------------------------------
+# layout
+
+
+def padded_shape(sub_shape, q: int) -> tuple[int, ...]:
+    """Ghost-padded distribution shape ``(Q, nx+2, ny+2, nz+2)``."""
+    return (q,) + tuple(int(s) + 2 for s in sub_shape)
+
+
+def face_shape(sub_shape, axis: int, q: int) -> tuple[int, ...]:
+    """One mailbox face: all links over the padded cross-section."""
+    return (q,) + tuple(int(s) + 2 for a, s in enumerate(sub_shape) if a != axis)
+
+
+def mailbox_nbytes(sub_shape, q: int) -> int:
+    """Total bytes of one rank's mailbox segment (3 axes x 2 dirs x 2 slots)."""
+    total = 0
+    for axis in range(3):
+        total += 2 * 2 * int(np.prod(face_shape(sub_shape, axis, q)))
+    return total * SHM_DTYPE.itemsize
+
+
+class RankSegments:
+    """One rank's shared segments plus the ndarray views into them.
+
+    Create on the coordinator with :meth:`create` (which owns unlink),
+    attach inside the worker with :meth:`attach` using the published
+    ``names``.  Views:
+
+    ``fg_bufs``
+        ``(buf0, buf1)`` padded distribution buffers (CPU ranks only).
+    ``mail``
+        ``{axis: {direction: array(2 slots, Q, *face)}}``.
+    ``stage``
+        ``(Q, nx, ny, nz)`` staging block.
+    """
+
+    def __init__(self, sub_shape, q: int, names: dict[str, str | None],
+                 owner: bool) -> None:
+        self.sub_shape = tuple(int(s) for s in sub_shape)
+        self.q = int(q)
+        self.names = dict(names)
+        self.owner = bool(owner)
+        self._segs: dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+        try:
+            for kind, name in self.names.items():
+                if name is None:
+                    continue
+                if owner:
+                    self._segs[kind] = shared_memory.SharedMemory(
+                        name=name, create=True, size=self._nbytes(kind))
+                    # Fresh pages are zero-filled by the OS, but be
+                    # explicit: ghosts/mailboxes must start at 0.0.
+                    np.frombuffer(self._segs[kind].buf, SHM_DTYPE)[:] = 0.0
+                else:
+                    self._segs[kind] = attach_segment(name)
+        except Exception:
+            self.close(unlink=owner)
+            raise
+        self.fg_bufs = self._fg_views()
+        self.mail = self._mail_views()
+        self.stage = self._stage_view()
+
+    # -- sizes and views -------------------------------------------------
+    def _nbytes(self, kind: str) -> int:
+        if kind == "fg":
+            return 2 * int(np.prod(padded_shape(self.sub_shape, self.q))) \
+                * SHM_DTYPE.itemsize
+        if kind == "mail":
+            return mailbox_nbytes(self.sub_shape, self.q)
+        if kind == "stage":
+            return self.q * int(np.prod(self.sub_shape)) * SHM_DTYPE.itemsize
+        raise ValueError(f"unknown segment kind {kind!r}")
+
+    def _fg_views(self) -> tuple[np.ndarray, np.ndarray] | None:
+        seg = self._segs.get("fg")
+        if seg is None:
+            return None
+        arr = np.ndarray((2,) + padded_shape(self.sub_shape, self.q),
+                         dtype=SHM_DTYPE, buffer=seg.buf)
+        return arr[0], arr[1]
+
+    def _mail_views(self) -> dict[int, dict[int, np.ndarray]]:
+        seg = self._segs["mail"]
+        out: dict[int, dict[int, np.ndarray]] = {}
+        offset = 0
+        for axis in range(3):
+            face = face_shape(self.sub_shape, axis, self.q)
+            per_dir = {}
+            for direction in (-1, 1):
+                shape = (2,) + face    # (slot, Q, *face)
+                per_dir[direction] = np.ndarray(
+                    shape, dtype=SHM_DTYPE, buffer=seg.buf, offset=offset)
+                offset += int(np.prod(shape)) * SHM_DTYPE.itemsize
+            out[axis] = per_dir
+        return out
+
+    def _stage_view(self) -> np.ndarray | None:
+        seg = self._segs.get("stage")
+        if seg is None:
+            return None
+        return np.ndarray((self.q,) + self.sub_shape, dtype=SHM_DTYPE,
+                          buffer=seg.buf)
+
+    def interior(self, buf_index: int) -> np.ndarray:
+        """Interior (unpadded) view of one fg buffer."""
+        fg = self.fg_bufs[buf_index]
+        return fg[(slice(None),) + (slice(1, -1),) * 3]
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self, unlink: bool | None = None) -> None:
+        """Drop the views and close (and, for the owner, unlink) segments."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views hold exported buffers; releasing them first lets close()
+        # succeed without BufferError.
+        self.fg_bufs = None
+        self.mail = {}
+        self.stage = None
+        do_unlink = self.owner if unlink is None else unlink
+        for seg in self._segs.values():
+            try:
+                seg.close()
+            except Exception:
+                pass
+            if do_unlink:
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+                except Exception:
+                    pass
+        self._segs = {}
+
+    @classmethod
+    def create(cls, rank: int, sub_shape, q: int, token: str,
+               with_fg: bool) -> "RankSegments":
+        names = {
+            "fg": segment_name(token, "fg", rank) if with_fg else None,
+            "mail": segment_name(token, "mail", rank),
+            "stage": segment_name(token, "stage", rank),
+        }
+        return cls(sub_shape, q, names, owner=True)
+
+    @classmethod
+    def attach(cls, names: dict[str, str | None], sub_shape,
+               q: int) -> "RankSegments":
+        return cls(sub_shape, q, names, owner=False)
+
+
+def unlink_segment_names(names) -> None:
+    """Best-effort unlink of segments by name (crash-path cleanup).
+
+    Used by the backend's :mod:`weakref` finalizer so that a driver
+    that was never shut down still does not leak /dev/shm entries at
+    interpreter exit.
+    """
+    for name in names:
+        if name is None:
+            continue
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        except Exception:
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+        except Exception:
+            pass

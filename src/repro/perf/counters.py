@@ -85,6 +85,25 @@ class KernelCounters:
         finally:
             self.add(name, time.perf_counter() - t0)
 
+    def merge(self, summary: dict[str, dict]) -> None:
+        """Fold another counter's :meth:`summary` into this one.
+
+        Used for cross-process aggregation: worker ranks serialize
+        their per-phase stats as plain dicts (pipe-friendly) and the
+        coordinator merges them here, so multi-process runs report the
+        same phase names as in-process runs.  Seconds add up across
+        ranks (CPU-time-like for concurrent phases).
+        """
+        if not self.enabled:
+            return
+        for name, entry in summary.items():
+            st = self.stats.get(name)
+            if st is None:
+                st = self.stats[name] = PhaseStat()
+            st.calls += int(entry.get("calls", 0))
+            st.seconds += float(entry.get("seconds", 0.0))
+            st.allocs += int(entry.get("allocs", 0))
+
     # -- inspection -----------------------------------------------------
     def reset(self) -> None:
         """Drop all accumulated statistics."""

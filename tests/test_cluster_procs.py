@@ -1,0 +1,196 @@
+"""Process-backend cluster stepping: equivalence, lifecycle, teardown.
+
+``ClusterConfig.backend = "processes"`` runs one persistent worker
+process per rank with all bulk data in shared memory.  The gathered
+result must match the serial backend bit for bit, counters must
+aggregate across ranks, and — mirroring ``test_simmpi_robustness`` —
+a killed worker must surface as one clear error from ``step()``
+(never a hang), with the driver still cleanly closable and no shared
+segments or worker processes left behind.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, CPUClusterLBM, GPUClusterLBM, leaked_segments
+from repro.core.procpool import run_equivalence_check
+from repro.lbm.solver import LBMSolver
+
+SUB, ARR = (8, 6, 4), (2, 2, 1)
+SHAPE = tuple(s * a for s, a in zip(SUB, ARR))
+N_RANKS = int(np.prod(ARR))
+
+
+def _initial_state(rng, solid=None):
+    ref = LBMSolver(SHAPE, tau=0.7, solid=solid)
+    u0 = (0.02 * rng.standard_normal((3,) + SHAPE)).astype(np.float32)
+    if solid is not None:
+        u0[:, solid] = 0
+    ref.initialize(rho=np.ones(SHAPE, np.float32), u=u0)
+    return ref.f.copy()
+
+
+def _run(cls, f0, steps=4, solid=None, **cfg_kw):
+    cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                        solid=solid, **cfg_kw)
+    cluster = cls(cfg)
+    try:
+        cluster.load_global_distributions(f0)
+        timing = cluster.step(steps)
+        f = cluster.gather_distributions().copy()
+    finally:
+        cluster.shutdown()
+    return f, timing
+
+
+def _assert_all_dead(pids):
+    deadline = time.monotonic() + 5.0
+    for pid in pids:
+        if pid is None:
+            continue
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail(f"worker pid {pid} survived shutdown")
+
+
+@pytest.mark.parametrize("cls", [CPUClusterLBM, GPUClusterLBM])
+class TestProcessesEqualsSerial:
+    def test_gather_bit_identical_with_solid(self, rng, cls):
+        solid = np.zeros(SHAPE, bool)
+        solid[3:6, 4:7, 1:3] = True
+        f0 = _initial_state(rng, solid=solid)
+        f_serial, _ = _run(cls, f0, solid=solid, backend="serial")
+        f_procs, _ = _run(cls, f0, solid=solid, backend="processes")
+        assert np.array_equal(f_serial, f_procs)
+
+    def test_step_timing_decomposition_identical(self, rng, cls):
+        f0 = _initial_state(rng)
+        # overlap=False so the serial driver runs the same sequential
+        # per-rank protocol the workers execute.
+        _, t_serial = _run(cls, f0, backend="serial", overlap=False)
+        _, t_procs = _run(cls, f0, backend="processes")
+        assert t_serial.nodes == t_procs.nodes
+        assert t_serial.compute_s == t_procs.compute_s
+        assert t_serial.agp_s == t_procs.agp_s
+        assert t_serial.net_total_s == t_procs.net_total_s
+
+
+class TestProcessesMatchesReference:
+    def test_process_cpu_cluster_matches_reference(self, rng):
+        ref = LBMSolver(SHAPE, tau=0.7)
+        u0 = (0.02 * rng.standard_normal((3,) + SHAPE)).astype(np.float32)
+        ref.initialize(rho=np.ones(SHAPE, np.float32), u=u0)
+        f0 = ref.f.copy()
+        ref.step(5)
+        f, _ = _run(CPUClusterLBM, f0, steps=5, backend="processes")
+        assert np.array_equal(f, ref.f)
+
+    def test_counters_aggregate_across_ranks(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            backend="processes")
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(2)
+            cluster.step(1)
+            stats = cluster.counters.stats
+            # Worker-side phases merged back: one call per rank per step.
+            assert stats["cluster.collide"].calls == 3 * N_RANKS
+            assert stats["cluster.exchange"].calls == 3 * N_RANKS
+            assert stats["cluster.finish"].calls == 3 * N_RANKS
+            # Coordinator-side envelope: one record per step() call.
+            assert stats["cluster.proc_step"].calls == 2
+
+
+class TestLifecycle:
+    def test_shutdown_leaves_nothing_behind(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            backend="processes")
+        cluster = CPUClusterLBM(cfg)
+        pids = cluster._proc_backend.worker_pids()
+        assert len(pids) == N_RANKS
+        cluster.load_global_distributions(f0)
+        cluster.step(2)
+        assert leaked_segments()  # live driver owns segments
+        cluster.shutdown()
+        assert leaked_segments() == []
+        _assert_all_dead(pids)
+
+    def test_shutdown_idempotent_and_step_after_raises(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            backend="processes")
+        cluster = CPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(1)
+        cluster.shutdown()
+        cluster.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            cluster.step(1)
+
+    def test_context_manager_shuts_down(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            backend="processes")
+        with GPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(1)
+            pids = cluster._proc_backend.worker_pids()
+        assert leaked_segments() == []
+        _assert_all_dead(pids)
+
+    def test_verify_gate_passes(self):
+        run_equivalence_check(steps=2)
+
+
+class TestKilledWorker:
+    def test_killed_worker_raises_not_hangs(self, rng):
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            backend="processes", backend_timeout_s=30.0)
+        cluster = CPUClusterLBM(cfg)
+        try:
+            cluster.load_global_distributions(f0)
+            cluster.step(1)
+            backend = cluster._proc_backend
+            pids = backend.worker_pids()
+            os.kill(pids[1], signal.SIGKILL)
+            t0 = time.monotonic()
+            with pytest.raises(RuntimeError,
+                               match=r"process backend failed.*rank 1"):
+                cluster.step(2)
+            # Liveness detection + barrier abort, not a timeout wait.
+            assert time.monotonic() - t0 < 10.0
+            with pytest.raises(RuntimeError, match="broken"):
+                cluster.step(1)
+        finally:
+            cluster.shutdown()
+        assert leaked_segments() == []
+        _assert_all_dead(pids)
+
+
+class TestConfigValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ClusterConfig(sub_shape=(8, 8, 8), arrangement=(1, 1, 1),
+                          backend="gpu-direct")
+
+    def test_processes_with_timing_only_rejected(self):
+        with pytest.raises(ValueError, match="timing_only"):
+            ClusterConfig(sub_shape=(8, 8, 8), arrangement=(2, 1, 1),
+                          timing_only=True, backend="processes")
+
+    def test_timeout_validated(self):
+        with pytest.raises(ValueError, match="backend_timeout_s"):
+            ClusterConfig(sub_shape=(8, 8, 8), arrangement=(2, 1, 1),
+                          backend="processes", backend_timeout_s=0.0)

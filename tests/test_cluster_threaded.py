@@ -1,9 +1,10 @@
 """Threaded cluster stepping and allocation-free halo exchange.
 
-The driver may advance its nodes from a thread pool
-(``ClusterConfig.max_workers > 1``); since nodes only touch their own
-sub-domain between exchanges, the gathered result and the StepTiming
-decomposition must be identical to the serial driver, bit for bit.
+The driver may advance its nodes from a thread pool (the explicit
+``ClusterConfig.backend="threads"`` opt-in with ``max_workers > 1``);
+since nodes only touch their own sub-domain between exchanges, the
+gathered result and the StepTiming decomposition must be identical to
+the serial driver, bit for bit.
 """
 
 import numpy as np
@@ -43,13 +44,14 @@ class TestThreadedEqualsSerial:
         solid[3:6, 4:7, 1:3] = True
         f0 = _initial_state(rng, solid=solid)
         f_serial, t_serial = _run(cls, f0, solid=solid, max_workers=1)
-        f_thread, t_thread = _run(cls, f0, solid=solid, max_workers=4)
+        f_thread, t_thread = _run(cls, f0, solid=solid,
+                                  backend="threads", max_workers=4)
         assert np.array_equal(f_serial, f_thread)
 
     def test_step_timing_decomposition_identical(self, rng, cls):
         f0 = _initial_state(rng)
         _, t_serial = _run(cls, f0, max_workers=1)
-        _, t_thread = _run(cls, f0, max_workers=4)
+        _, t_thread = _run(cls, f0, backend="threads", max_workers=4)
         assert t_serial.nodes == t_thread.nodes
         assert t_serial.compute_s == t_thread.compute_s
         assert t_serial.agp_s == t_thread.agp_s
@@ -65,7 +67,8 @@ class TestThreadedMatchesReference:
         ref.initialize(rho=np.ones(SHAPE, np.float32), u=u0)
         f0 = ref.f.copy()
         ref.step(5)
-        f, _ = _run(CPUClusterLBM, f0, steps=5, max_workers=3)
+        f, _ = _run(CPUClusterLBM, f0, steps=5,
+                    backend="threads", max_workers=3)
         assert np.array_equal(f, ref.f)
 
 
@@ -121,9 +124,14 @@ class TestConfigValidation:
             ClusterConfig(sub_shape=(8, 8, 8), arrangement=(1, 1, 1),
                           max_workers=0)
 
+    def test_backend_must_be_known(self):
+        with pytest.raises(ValueError, match="backend"):
+            ClusterConfig(sub_shape=(8, 8, 8), arrangement=(1, 1, 1),
+                          backend="mpi")
+
     def test_shutdown_idempotent(self):
         cfg = ClusterConfig(sub_shape=(4, 4, 4), arrangement=(2, 1, 1),
-                            tau=0.7, max_workers=2)
+                            tau=0.7, backend="threads", max_workers=2)
         cluster = CPUClusterLBM(cfg)
         cluster.step(1)
         cluster.shutdown()

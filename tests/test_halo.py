@@ -30,6 +30,31 @@ class TestLinkSets:
             plan.face_links(0, 0)
 
 
+class TestLinkCaching:
+    """face_links/edge_links are memoised per (axis, direction)."""
+
+    def test_cached_face_links_match_fresh_scan(self, plan):
+        for axis in range(3):
+            assert np.array_equal(plan.face_links(axis, 1),
+                                  D3Q19.links_with_positive(axis))
+            assert np.array_equal(plan.face_links(axis, -1),
+                                  D3Q19.links_with_negative(axis))
+
+    def test_cached_edge_links_match_fresh_scan(self, plan):
+        assert np.array_equal(plan.edge_links(0, 1, 1, -1),
+                              D3Q19.edge_links(0, 1, 1, -1))
+
+    def test_same_object_returned_twice(self, plan):
+        assert plan.face_links(1, -1) is plan.face_links(1, -1)
+        assert plan.edge_links(0, 1, 2, 1) is plan.edge_links(0, 1, 2, 1)
+
+    def test_cached_arrays_are_read_only(self, plan):
+        with pytest.raises(ValueError):
+            plan.face_links(0, 1)[0] = 99
+        with pytest.raises(ValueError):
+            plan.edge_links(0, 1, 1, -1)[0] = 99
+
+
 class TestByteAccounting:
     def test_face_bytes_are_5N2(self, plan):
         """The paper's 5 N^2 values (x4 bytes/float)."""

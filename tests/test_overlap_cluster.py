@@ -158,7 +158,7 @@ class TestContextManager:
     def test_with_block_releases_pools(self, rng, cls):
         f0 = _initial_state(rng).f.copy()
         cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
-                            max_workers=3)
+                            backend="threads", max_workers=3)
         with cls(cfg) as cluster:
             cluster.load_global_distributions(f0)
             cluster.step(2)
