@@ -1,9 +1,9 @@
 """Kernel-throughput regression guard.
 
-Runs a fresh :mod:`bench_fused` measurement and compares every
-``mcells_per_s`` entry against the committed ``BENCH_kernels.json``
-baseline.  Exits non-zero if any kernel regressed by more than the
-threshold (default 25%), so the guard is a single command::
+Runs a fresh benchmark sweep and compares every ``mcells_per_s`` entry
+against the committed ``BENCH_kernels.json`` baseline.  Exits non-zero
+if any kernel regressed by more than the threshold (default 25%), so
+the guard is a single command::
 
     PYTHONPATH=src python benchmarks/check_regression.py
 
@@ -11,7 +11,19 @@ Options::
 
     --baseline PATH   baseline JSON (default: repo-root BENCH_kernels.json)
     --threshold F     allowed fractional drop, e.g. 0.25 (default)
-    --update          rewrite the baseline with the fresh numbers and exit 0
+    --suite NAME      which recording suites to run: ``kernels`` (the
+                      bench_fused sweep: fused + cluster backends +
+                      overlap), ``sparse`` (the urban dense-vs-sparse
+                      sweep), or ``all`` (default: kernels)
+    --update          merge the fresh numbers into the baseline and exit 0
+
+Baseline entries the selected suite did not measure are *skipped*, not
+failed: the baseline accumulates entries from several recording suites
+(``bench_fused``/``bench_procpool``/``bench_overlap``/``bench_sparse``),
+and a partial run must only guard what it actually re-measured.  Use
+``--suite all`` to opt into the full sweep that covers every entry.
+``--update`` likewise merges into the existing baseline instead of
+overwriting it, so refreshing one suite keeps the others' entries.
 
 The baseline is machine-specific: refresh it with ``--update`` when the
 benchmark host changes, and commit the result so the perf trajectory
@@ -34,12 +46,35 @@ try:  # allow `python benchmarks/check_regression.py` without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from bench_fused import run_benchmarks, write_results  # noqa: E402
+SUITES = ("kernels", "sparse", "all")
+
+
+def run_suites(suite: str, steps: int, repeats: int) -> dict:
+    """Run the selected recording suite(s); returns a bench-kernels dict."""
+    results: dict[str, dict] = {}
+    meta: dict = {"schema": "bench-kernels/1", "steps": steps,
+                  "repeats": repeats}
+    if suite in ("kernels", "all"):
+        from bench_fused import run_benchmarks
+        data = run_benchmarks(steps=steps, repeats=repeats)
+        results.update(data["results"])
+        meta.update({k: v for k, v in data.items() if k != "results"})
+    if suite in ("sparse", "all"):
+        from bench_sparse import run_sparse_benchmarks
+        results.update(run_sparse_benchmarks(steps=steps, repeats=repeats))
+    meta["results"] = results
+    return meta
 
 
 def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
-    """Return a list of regression messages (empty = pass)."""
+    """Return a list of regression messages (empty = pass).
+
+    Only the *intersection* of baseline and fresh entries is compared;
+    baseline entries the fresh run did not measure are reported as
+    skipped (other suites own them), never failed.
+    """
     failures = []
+    skipped = []
     base_results = baseline.get("results", {})
     fresh_results = fresh.get("results", {})
     for name, base_entry in sorted(base_results.items()):
@@ -48,7 +83,7 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
             continue  # ratios and other non-throughput entries
         fresh_entry = fresh_results.get(name)
         if fresh_entry is None:
-            failures.append(f"{name}: missing from fresh run")
+            skipped.append(name)
             continue
         fresh_v = fresh_entry["mcells_per_s"]
         drop = (base_v - fresh_v) / base_v if base_v > 0 else 0.0
@@ -59,7 +94,25 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
             failures.append(
                 f"{name}: {base_v:.3f} -> {fresh_v:.3f} Mcells/s "
                 f"({drop:.1%} drop > {threshold:.0%} threshold)")
+    for name in sorted(set(fresh_results) - set(base_results)):
+        if fresh_results[name].get("mcells_per_s") is not None:
+            print(f"  {name:36s} new entry (no baseline yet)")
+    if skipped:
+        print(f"  skipped (not measured by this suite): {', '.join(skipped)}")
     return failures
+
+
+def merge_baseline(baseline_path: Path, fresh: dict) -> None:
+    """Fold the fresh entries into the baseline file (create if absent)."""
+    if baseline_path.exists():
+        data = json.loads(baseline_path.read_text())
+        data.setdefault("results", {}).update(fresh.get("results", {}))
+        for key, value in fresh.items():
+            if key != "results":
+                data[key] = value
+    else:
+        data = fresh
+    baseline_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:
@@ -68,19 +121,23 @@ def main(argv=None) -> int:
     ap.add_argument("--threshold", type=float, default=0.25)
     ap.add_argument("--steps", type=int, default=8)
     ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--suite", default="kernels", choices=SUITES,
+                    help="recording suites to run (default: kernels; "
+                         "'all' covers every baseline entry)")
     ap.add_argument("--update", action="store_true",
-                    help="rewrite the baseline instead of comparing")
+                    help="merge fresh numbers into the baseline "
+                         "instead of comparing")
     args = ap.parse_args(argv)
     if args.steps < 1 or args.repeats < 1:
         ap.error("--steps and --repeats must be >= 1")
 
-    print("measuring fresh kernel throughput ...")
-    fresh = run_benchmarks(steps=args.steps, repeats=args.repeats)
+    print(f"measuring fresh kernel throughput (suite: {args.suite}) ...")
+    fresh = run_suites(args.suite, steps=args.steps, repeats=args.repeats)
 
     baseline_path = Path(args.baseline)
     if args.update or not baseline_path.exists():
-        write_results(fresh, baseline_path)
-        print(f"baseline written to {baseline_path}")
+        merge_baseline(baseline_path, fresh)
+        print(f"baseline updated at {baseline_path}")
         return 0
 
     baseline = json.loads(baseline_path.read_text())

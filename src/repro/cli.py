@@ -10,7 +10,8 @@
     python -m repro cost              # Sec 3 accounting
     python -m repro dispersion        # Sec 5 headline (0.31 s/step)
     python -m repro check-procs       # process-backend equivalence + leak gate
-    python -m repro verify            # tier-1 tests + backend gate + regression guard
+    python -m repro check-sparse      # sparse-kernel equivalence gate
+    python -m repro verify            # tier-1 tests + backend gates + regression guard
 
 All output comes from the same row generators the benchmark harness
 uses (`repro.perf.model`), so the CLI and `pytest benchmarks/` always
@@ -101,6 +102,13 @@ def _cmd_cost(args) -> None:
     print(f"MFlops/$:        {c.gpu_mflops_per_dollar:.1f}")
 
 
+def _kernel_report_lines(cluster) -> list[str]:
+    """Per-rank kernel choice / local occupancy rows for timing output."""
+    return [f"  rank {row['rank']:>3}: kernel {row['kernel']:<9} "
+            f"solid {row['solid_fraction']:.1%}"
+            for row in cluster.kernel_report()]
+
+
 def _cmd_dispersion(args) -> None:
     from repro.urban import DispersionScenario
     scenario = DispersionScenario(shape=tuple(args.shape))
@@ -110,6 +118,9 @@ def _cmd_dispersion(args) -> None:
           f"{t.total_s:.3f} s/step (paper: 0.31)")
     for k, v in t.ms().items():
         print(f"  {k:>14}: {v:7.1f} ms")
+    print("per-rank kernels:")
+    for line in _kernel_report_lines(cluster):
+        print(line)
 
 
 def _cmd_check_procs(args) -> int:
@@ -120,6 +131,24 @@ def _cmd_check_procs(args) -> int:
     run_equivalence_check(steps=args.steps)
     print("process backend OK: bit-identical to serial, "
           "no leaked segments, no orphaned workers")
+    return 0
+
+
+def _cmd_check_sparse(args) -> int:
+    """Sparse-kernel gate: bit equivalence against the dense phase-split
+    reference on a voxelized-city mask, single-domain and across
+    cluster backends with mixed per-rank kernel selection."""
+    from repro.lbm.sparse import run_sparse_equivalence_check
+
+    report = run_sparse_equivalence_check(steps=args.steps)
+    print(f"sparse kernel OK: bit-identical to the dense reference on a "
+          f"{report['occupancy']:.0%}-solid city mask "
+          f"(threshold {report['threshold']:.0%})")
+    for backend, rows in report["backends"].items():
+        print(f"  backend {backend}:")
+        for row in rows:
+            print(f"    rank {row['rank']:>3}: kernel {row['kernel']:<9} "
+                  f"solid {row['solid_fraction']:.1%}")
     return 0
 
 
@@ -140,6 +169,8 @@ def _cmd_verify(args) -> int:
         ("tier-1 tests", [sys.executable, "-m", "pytest", "-x", "-q"]),
         ("process-backend equivalence",
          [sys.executable, "-m", "repro", "check-procs"]),
+        ("sparse-kernel equivalence",
+         [sys.executable, "-m", "repro", "check-sparse"]),
     ]
     if not args.skip_bench:
         stages.append(
@@ -182,10 +213,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "shared-memory leak gate")
     sp.add_argument("--steps", type=int, default=2,
                     help="steps to compare (default 2)")
+    sp = sub.add_parser("check-sparse",
+                        help="sparse-kernel equivalence gate on a "
+                             "voxelized-city mask (single-domain + "
+                             "mixed-kernel cluster backends)")
+    sp.add_argument("--steps", type=int, default=3,
+                    help="steps to compare (default 3)")
     sp = sub.add_parser("verify",
                         help="run the tier-1 tests, the process-backend "
-                             "gate and the kernel regression guard as "
-                             "one gate")
+                             "and sparse-kernel gates and the kernel "
+                             "regression guard as one gate")
     sp.add_argument("--skip-bench", action="store_true",
                     help="run only the test suite")
     sp.add_argument("--threshold", type=float, default=0.25,
@@ -212,6 +249,8 @@ def main(argv=None) -> int:
         _cmd_dispersion(args)
     elif cmd == "check-procs":
         return _cmd_check_procs(args)
+    elif cmd == "check-sparse":
+        return _cmd_check_sparse(args)
     elif cmd == "verify":
         return _cmd_verify(args)
     elif cmd == "report":

@@ -141,6 +141,16 @@ class ClusterConfig:
         ``overlap=False`` (the split collide visits the same cells with
         the same arithmetic, and the exchange touches only border/ghost
         layers the inner pass never reads).
+    kernel / sparse_threshold:
+        Per-rank hot-path selection, forwarded to every CPU rank's
+        :class:`~repro.lbm.LBMSolver`.  Under the default ``"auto"``
+        each rank independently picks the sparse fluid-compacted kernel
+        (:class:`~repro.lbm.SparseStepKernel`) when its *local* solid
+        fraction reaches ``sparse_threshold``, and the dense phase-split
+        path otherwise — the per-subdomain dense/sparse choice of the
+        patch-based schemes, with the halo protocol unchanged either
+        way.  Every choice is bit-identical; :meth:`kernel_report` and
+        the ``kernel.*`` counters record what each rank ran.
     """
 
     sub_shape: tuple[int, int, int]
@@ -161,8 +171,18 @@ class ClusterConfig:
     overlap: bool = True
     backend: str = "serial"
     backend_timeout_s: float = 60.0
+    kernel: str = "auto"
+    sparse_threshold: float = 0.5
 
     def __post_init__(self) -> None:
+        if self.kernel not in ("auto", "fused", "sparse", "split"):
+            raise ValueError(
+                f"kernel must be 'auto', 'fused', 'sparse' or 'split', "
+                f"got {self.kernel!r}")
+        if not 0.0 <= float(self.sparse_threshold) <= 1.0:
+            raise ValueError(
+                f"sparse_threshold must be within [0, 1], "
+                f"got {self.sparse_threshold}")
         if self.backend not in ("serial", "threads", "processes"):
             raise ValueError(
                 f"backend must be 'serial', 'threads' or 'processes', "
@@ -262,7 +282,23 @@ class _ClusterLBMBase:
             "cpu_spec": cfg.cpu_spec,
             "gpu_spec": cfg.gpu_spec,
             "bus": cfg.bus,
+            "kernel": cfg.kernel,
+            "sparse_threshold": cfg.sparse_threshold,
         }
+
+    def kernel_report(self) -> list[dict]:
+        """Per-rank hot-path choice and local solid occupancy.
+
+        One row per rank — ``{"rank", "kernel", "solid_fraction"}`` —
+        for the timing summary: which kernel the rank's last step ran
+        (``"sparse"``, ``"split"``, ``"fused"``, ``"gpu"``, or
+        ``"unstepped"``/``"model"`` before the first numeric step) and
+        the rank-local solid fraction that drove the selection.
+        """
+        return [{"rank": getattr(node, "rank", i),
+                 "kernel": getattr(node, "kernel_used", "n/a"),
+                 "solid_fraction": float(getattr(node, "solid_fraction", 0.0))}
+                for i, node in enumerate(self.nodes)]
 
     # -- threaded node stepping -------------------------------------------
     def _run_on_nodes(self, method: str) -> None:
@@ -556,7 +592,9 @@ class CPUClusterLBM(_ClusterLBMBase):
                        cpu_spec=self.config.cpu_spec,
                        use_sse=self.config.use_sse,
                        inlet=bc["inlet"], outflow=bc["outflow"],
-                       force=self.config.force)
+                       force=self.config.force,
+                       kernel=self.config.kernel,
+                       sparse_threshold=self.config.sparse_threshold)
 
     def _node_distributions(self, node) -> np.ndarray:
         return node.solver.f.copy()

@@ -29,7 +29,8 @@ class CPUNode:
     def __init__(self, rank: int, sub_shape, tau: float, solid=None,
                  face_dirs=(), edge_dirs=(), timing_only: bool = False,
                  cpu_spec: CPUSpec = XEON_2_4, inlet=None, outflow=None,
-                 force=None, use_sse: bool = False) -> None:
+                 force=None, use_sse: bool = False, kernel: str = "auto",
+                 sparse_threshold: float = 0.5) -> None:
         self.rank = rank
         self.sub_shape = tuple(int(s) for s in sub_shape)
         self.tau = float(tau)
@@ -51,10 +52,25 @@ class CPUNode:
             if outflow is not None:
                 bcs.append(OutflowBoundary(D3Q19, *outflow))
             self.solver = LBMSolver(self.sub_shape, tau, solid=solid,
-                                    boundaries=bcs, force=force, periodic=False)
+                                    boundaries=bcs, force=force, periodic=False,
+                                    kernel=kernel,
+                                    sparse_threshold=sparse_threshold)
         self.compute_s = 0.0
         self.agp_s = 0.0           # always 0: no GPU on this path
         self.overlap_window_s = 0.0
+
+    # -- kernel report ----------------------------------------------------
+    @property
+    def solid_fraction(self) -> float:
+        """Local solid occupancy (0.0 in timing-only mode)."""
+        return 0.0 if self.solver is None else self.solver.solid_fraction
+
+    @property
+    def kernel_used(self) -> str:
+        """Which hot path this rank's last step ran."""
+        if self.solver is None:
+            return "model"
+        return self.solver.kernel_used or "unstepped"
 
     # -- geometry ---------------------------------------------------------
     @property

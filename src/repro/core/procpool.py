@@ -92,6 +92,8 @@ class WorkerSpec:
     mail_names: tuple                   # every rank's mailbox segment name
     barrier_timeout_s: float
     q: int = 19
+    kernel: str = "auto"                # per-rank hot-path selection
+    sparse_threshold: float = 0.5
 
 
 class RankProxy:
@@ -101,13 +103,16 @@ class RankProxy:
     ``StepTiming`` assembly reads from real nodes.
     """
 
-    __slots__ = ("rank", "compute_s", "agp_s", "overlap_window_s")
+    __slots__ = ("rank", "compute_s", "agp_s", "overlap_window_s",
+                 "kernel_used", "solid_fraction")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
         self.compute_s = 0.0
         self.agp_s = 0.0
         self.overlap_window_s = 0.0
+        self.kernel_used = "unstepped"
+        self.solid_fraction = 0.0
 
 
 def _build_node(spec: WorkerSpec):
@@ -124,7 +129,9 @@ def _build_node(spec: WorkerSpec):
                    face_dirs=list(spec.face_dirs),
                    edge_dirs=list(spec.edge_dirs), timing_only=False,
                    cpu_spec=spec.cpu_spec, use_sse=spec.use_sse,
-                   inlet=spec.inlet, outflow=spec.outflow, force=spec.force)
+                   inlet=spec.inlet, outflow=spec.outflow, force=spec.force,
+                   kernel=spec.kernel,
+                   sparse_threshold=spec.sparse_threshold)
 
 
 class _Worker:
@@ -211,6 +218,8 @@ class _Worker:
             "compute_s": node.compute_s,
             "agp_s": node.agp_s,
             "overlap_window_s": node.overlap_window_s,
+            "kernel_used": getattr(node, "kernel_used", "n/a"),
+            "solid_fraction": float(getattr(node, "solid_fraction", 0.0)),
             "counters": rec.summary(),
             "cur": self.step_count & 1,
         }
@@ -453,6 +462,8 @@ class ProcessBackend:
             proxy.compute_s = payload["compute_s"]
             proxy.agp_s = payload["agp_s"]
             proxy.overlap_window_s = payload["overlap_window_s"]
+            proxy.kernel_used = payload.get("kernel_used", "n/a")
+            proxy.solid_fraction = payload.get("solid_fraction", 0.0)
         return payloads
 
     def gather_parts(self) -> list[np.ndarray]:

@@ -18,6 +18,7 @@ from repro.lbm.equilibrium import equilibrium
 from repro.lbm.macroscopic import macroscopic, density, momentum
 from repro.lbm.collision import BGKCollision, viscosity_to_tau, tau_to_viscosity
 from repro.lbm.fused import FusedStepKernel
+from repro.lbm.sparse import SparseStepKernel
 from repro.lbm.mrt import MRTCollision, mrt_matrix
 from repro.lbm.streaming import pull_slice_table, stream_periodic, stream_pull
 from repro.lbm.boundaries import (
@@ -50,6 +51,7 @@ __all__ = [
     "stream_pull",
     "pull_slice_table",
     "FusedStepKernel",
+    "SparseStepKernel",
     "BounceBackNodes",
     "BouzidiCurvedBoundary",
     "EquilibriumVelocityInlet",

@@ -85,6 +85,7 @@ class FusedStepKernel:
         self._c = lat.c.astype(dtype)
         self._w = lat.w.astype(dtype)
         self._one = dtype.type(1.0)
+        self._zero = dtype.type(0.0)
         self._inv_cs2 = dtype.type(1.0 / lat.cs2)
         self._half_inv_cs4 = dtype.type(0.5 / lat.cs2 ** 2)
         self._half_inv_cs2 = dtype.type(0.5 / lat.cs2)
@@ -168,12 +169,16 @@ class FusedStepKernel:
             np.divide(j, rho, out=u)
         else:
             # safe = where(rho > 0, rho, 1); u = j / safe; u[rho <= 0] = 0
+            # (masked writes via copyto-where: the boolean fancy-indexed
+            # spellings wr[bl] = ... / u[:, bl] = 0 allocate an index
+            # list per call, which on a solid-heavy domain means fresh
+            # temporaries every step).
             np.copyto(wr, rho)
             np.logical_not(bl, out=bl)
-            wr[bl] = self._one
+            np.copyto(wr, self._one, where=bl)
             np.divide(j, wr, out=u)
             np.less_equal(rho, 0, out=bl)
-            u[:, bl] = 0
+            np.copyto(u, self._zero, where=bl)
         np.einsum("a...,a...->...", u, u, out=usq)
         usq *= self._half_inv_cs2   # the - 1.5 u.u term, shared by all i
 
@@ -225,6 +230,7 @@ class FusedStepKernel:
         s = self.solver
         rec = s.counters
         if rec is not None and rec.enabled:
+            rec.add("kernel.fused", 0.0)
             with rec.phase("fused.ghosts"):
                 s.fill_ghosts()
             with rec.phase("fused.relax_stream"):

@@ -64,12 +64,24 @@ class LBMSolver:
         ``pre_stream`` boundary snapshots); ineligible configurations
         and ``fused=False`` take the phase-split path.  Both paths are
         bit-identical.
+    kernel:
+        Hot-path selection: ``"auto"`` (default) picks the sparse
+        fluid-compacted kernel (:class:`~repro.lbm.sparse.SparseStepKernel`)
+        when the solid fraction reaches ``sparse_threshold`` and the
+        fused dense kernel otherwise (phase-split when ``fused=False``
+        or the configuration is ineligible); ``"fused"``, ``"sparse"``
+        and ``"split"`` force one path (ineligible configurations still
+        fall back to ``"split"``).  All paths are bit-identical.
+    sparse_threshold:
+        Solid fraction at or above which ``kernel="auto"`` selects the
+        sparse kernel (default 0.5).
     """
 
     def __init__(self, shape, tau: float, lattice: Lattice = D3Q19,
                  collision: str | object = "bgk", solid=None, boundaries=(),
                  force=None, periodic: bool = True, dtype=np.float32,
-                 fused: bool = True) -> None:
+                 fused: bool = True, kernel: str = "auto",
+                 sparse_threshold: float = 0.5) -> None:
         self.lattice = lattice
         self.shape = tuple(int(s) for s in shape)
         if len(self.shape) != lattice.D:
@@ -100,7 +112,20 @@ class LBMSolver:
         self._fg_next = np.zeros(padded, dtype=self.dtype)
         self._pull_slices = pull_slice_table(lattice, padded[1:])
         self.fused = bool(fused)
+        if kernel not in ("auto", "fused", "sparse", "split"):
+            raise ValueError(f"kernel must be 'auto', 'fused', 'sparse' or "
+                             f"'split', got {kernel!r}")
+        self.kernel = kernel
+        self.sparse_threshold = float(sparse_threshold)
+        self.solid_fraction = float(self.solid.mean()) if self.solid.size else 0.0
+        #: Which hot path actually ran ("fused" | "sparse" | "split");
+        #: None until the first step.
+        self.kernel_used: str | None = None
         self._fused_kernel: FusedStepKernel | None = None
+        self._sparse_kernel = None
+        #: Set by the sparse stream (bounce-back is folded into its
+        #: gather table) so post_stream skips the dense swap.
+        self._bounce_folded = False
         self._shell_parts: tuple[list, tuple] | None = None
         self.counters = KernelCounters()
         if isinstance(self.collision, BGKCollision):
@@ -128,9 +153,53 @@ class LBMSolver:
             self.f[...] = equilibrium(lat, rho_arr, u_arr)
         self.time_step = 0
 
+    # -- kernel selection ----------------------------------------------
+    def _select_kernel(self) -> str:
+        """Resolve which hot path this step should run.
+
+        Re-checked every step (boundary handlers may be appended after
+        construction).  ``"auto"`` honours the legacy ``fused`` switch
+        — ``fused=False`` keeps the historic phase-split behaviour —
+        and picks sparse only when the local solid fraction reaches
+        ``sparse_threshold``, the per-rank selection rule the cluster
+        drivers rely on.
+        """
+        from repro.lbm.sparse import SparseStepKernel
+        if self.kernel == "split":
+            return "split"
+        if self.kernel == "sparse":
+            return "sparse" if SparseStepKernel.eligible(self) else "split"
+        if self.kernel == "fused":
+            return "fused" if FusedStepKernel.eligible(self) else "split"
+        if not self.fused or not FusedStepKernel.eligible(self):
+            return "split"
+        if self.solid_fraction >= self.sparse_threshold:
+            return "sparse"
+        return "fused"
+
+    def _sparse_kernel_for_phase(self):
+        """The sparse kernel when selected, else None (dense phases run).
+
+        Used by the per-phase entry points so the cluster drivers get
+        per-rank sparse selection without any protocol change: the
+        exchange still sees the same padded ``fg``.
+        """
+        if self._select_kernel() != "sparse":
+            return None
+        if self._sparse_kernel is None:
+            from repro.lbm.sparse import SparseStepKernel
+            self._sparse_kernel = SparseStepKernel(self)
+        return self._sparse_kernel
+
     # -- step phases (reused by the distributed driver) ----------------
     def collide(self) -> None:
         """Collision on interior fluid cells (in place)."""
+        kern = self._sparse_kernel_for_phase()
+        if kern is not None:
+            self.kernel_used = "sparse"
+            kern.collide()
+            return
+        self.kernel_used = "split"
         fi = self.f
         self.collision(fi, mask=self.fluid)
 
@@ -162,11 +231,21 @@ class LBMSolver:
         the halo exchange while the inner core is still colliding
         (the paper's Sec-4.4 communication/computation overlap).
         """
+        kern = self._sparse_kernel_for_phase()
+        if kern is not None:
+            self.kernel_used = "sparse"
+            kern.collide_shell()
+            return
+        self.kernel_used = "split"
         for sl in self._split_parts()[0]:
             self._collide_region(sl)
 
     def collide_inner(self) -> None:
         """Collide the inner core (everything the shell excludes)."""
+        kern = self._sparse_kernel_for_phase()
+        if kern is not None:
+            kern.collide_core()
+            return
         self._collide_region(self._split_parts()[1])
 
     def collide_split(self) -> None:
@@ -191,14 +270,33 @@ class LBMSolver:
                 self.fg[tuple(lo)] = self.fg[tuple(src)]
 
     def stream(self) -> None:
-        """Pull-stream into the double buffer and swap."""
-        stream_pull(self.lattice, self.fg, out=self._fg_next,
-                    slices=self._pull_slices)
-        self.fg, self._fg_next = self._fg_next, self.fg
+        """Pull-stream into the double buffer and swap.
+
+        On the sparse path the stream visits fluid cells through the
+        compact gather tables with bounce-back folded into the solid
+        destinations, and flags ``post_stream`` to skip the dense swap.
+        """
+        kern = self._sparse_kernel_for_phase()
+        rec = self.counters
+        if kern is not None:
+            self.kernel_used = "sparse"
+            kern.stream_bounce()
+            self._bounce_folded = True
+        else:
+            self.kernel_used = "split"
+            stream_pull(self.lattice, self.fg, out=self._fg_next,
+                        slices=self._pull_slices)
+            self.fg, self._fg_next = self._fg_next, self.fg
+        if rec is not None and rec.enabled:
+            # One marker per step recording which hot path ran, so
+            # cluster counter summaries show the per-rank selection.
+            rec.add(f"kernel.{self.kernel_used}", 0.0)
 
     def post_stream(self) -> None:
         """Bounce-back on solids, then user boundary handlers."""
-        if self.solid.any():
+        if self._bounce_folded:
+            self._bounce_folded = False
+        elif self.solid.any():
             self._bounce.apply(self.fg)
         for b in self.boundaries:
             b.apply(self.fg)
@@ -242,8 +340,12 @@ class LBMSolver:
     def step(self, n: int = 1) -> None:
         """Advance ``n`` LBM time steps."""
         for _ in range(n):
-            kern = self._fused_kernel_for_step()
+            if self._select_kernel() == "fused":
+                kern = self._fused_kernel_for_step()
+            else:
+                kern = None
             if kern is not None:
+                self.kernel_used = "fused"
                 kern.step_once()
             else:
                 self._step_phase_split()

@@ -11,9 +11,10 @@ from repro.lbm.solver import LBMSolver
 
 
 def _reference(shape, tau, rng, solid=None, steps=4, force=None,
-               periodic=True, boundaries=()):
+               periodic=True, boundaries=(), kernel="auto"):
     ref = LBMSolver(shape, tau=tau, solid=solid, force=force,
-                    periodic=periodic, boundaries=list(boundaries))
+                    periodic=periodic, boundaries=list(boundaries),
+                    kernel=kernel)
     u0 = (0.02 * rng.standard_normal((3,) + shape)).astype(np.float32)
     if solid is not None:
         u0[:, solid] = 0
@@ -142,6 +143,82 @@ class TestBoundedDomain:
         rho_r, u_r = ref.macroscopic()
         assert np.allclose(rho_c, rho_r, rtol=1e-6)
         assert np.allclose(u_c, u_r, atol=1e-6)
+
+
+class TestSolidHeavyCity:
+    """A voxelized-city global domain whose ranks *mix* sparse and
+    dense kernels: local solid fractions straddle the threshold, each
+    rank selects independently, and the result must still equal the
+    single-domain dense reference bit for bit."""
+
+    SHAPE = (24, 20, 4)
+    SUB, ARR = (12, 10, 4), (2, 2, 1)
+
+    @classmethod
+    def _city(cls):
+        from repro.urban.city import times_square_like
+        from repro.urban.voxelize import voxelize_city
+        return voxelize_city(times_square_like(seed=7), cls.SHAPE,
+                             resolution_m=24.0, ground_layers=2)
+
+    @classmethod
+    def _mixing_threshold(cls, solid) -> float:
+        fracs = sorted(
+            float(solid[i * cls.SUB[0]:(i + 1) * cls.SUB[0],
+                        j * cls.SUB[1]:(j + 1) * cls.SUB[1]].mean())
+            for i in range(2) for j in range(2))
+        assert fracs[0] < fracs[-1]
+        return (fracs[0] + fracs[-1]) / 2.0
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 1),
+                                                 ("threads", 4)])
+    def test_mixed_kernels_match_reference(self, rng, backend, workers):
+        solid = self._city()
+        ref, f0 = _reference(self.SHAPE, 0.7, rng, solid=solid, steps=4,
+                             kernel="split")
+        cfg = ClusterConfig(sub_shape=self.SUB, arrangement=self.ARR,
+                            tau=0.7, solid=solid, backend=backend,
+                            max_workers=workers,
+                            sparse_threshold=self._mixing_threshold(solid))
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(4)
+            got = cluster.gather_distributions()
+            kinds = {row["kernel"] for row in cluster.kernel_report()}
+        assert np.array_equal(got, ref.f)
+        # Ranks above the threshold ran sparse; the rest ran the dense
+        # phase-split path (the fused single-pass kernel cannot
+        # interleave the halo exchange).
+        assert {"sparse", "split"} <= kinds
+
+    def test_all_sparse_ranks_match_reference(self, rng):
+        solid = self._city()
+        ref, f0 = _reference(self.SHAPE, 0.7, rng, solid=solid, steps=4,
+                             kernel="split")
+        cfg = ClusterConfig(sub_shape=self.SUB, arrangement=self.ARR,
+                            tau=0.7, solid=solid, kernel="sparse")
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(4)
+            got = cluster.gather_distributions()
+            kinds = {row["kernel"] for row in cluster.kernel_report()}
+        assert np.array_equal(got, ref.f)
+        assert kinds == {"sparse"}
+
+    def test_no_overlap_protocol_identical(self, rng):
+        """overlap=False takes the single collide pass; sparse ranks
+        must land on the same bits either way."""
+        solid = self._city()
+        ref, f0 = _reference(self.SHAPE, 0.7, rng, solid=solid, steps=3,
+                             kernel="split")
+        threshold = self._mixing_threshold(solid)
+        cfg = ClusterConfig(sub_shape=self.SUB, arrangement=self.ARR,
+                            tau=0.7, solid=solid, overlap=False,
+                            sparse_threshold=threshold)
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(3)
+            assert np.array_equal(cluster.gather_distributions(), ref.f)
 
 
 class TestModes:

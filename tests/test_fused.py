@@ -158,6 +158,71 @@ class TestFusedMachinery:
             FusedStepKernel(s)
 
 
+class TestMomentsSlowPath:
+    """The guarded-division slow path of ``_moments`` (any rho <= 0
+    site) must stay bit-identical to the unfused ``macroscopic()`` and
+    allocate nothing per call: the masked writes use preallocated
+    ``np.copyto(..., where=)`` buffers, not boolean fancy indexing."""
+
+    SHAPE3 = (12, 10, 8)
+
+    @classmethod
+    def _zero_rho_solver(cls, u0, fused=True):
+        solid = np.zeros(cls.SHAPE3, bool)
+        solid[3:6, 2:5, 1:4] = True   # 3x3x3: one fully-interior core cell
+        s = LBMSolver(cls.SHAPE3, tau=0.7, solid=solid, fused=fused)
+        v = u0.copy()
+        v[:, solid] = 0
+        s.initialize(rho=np.ones(cls.SHAPE3, np.float32), u=v)
+        # Zero the solid distributions: the block's core cell only ever
+        # pulls from solid neighbours, so its rho stays exactly 0 and
+        # the slow path runs every step.
+        s.f[:, s.solid] = 0
+        return s
+
+    @classmethod
+    def _u0(cls, rng):
+        return (0.03 * rng.standard_normal((3,) + cls.SHAPE3)
+                ).astype(np.float32)
+
+    @staticmethod
+    def _moments_peak(kern) -> int:
+        import tracemalloc
+        kern._moments()                 # page everything in first
+        tracemalloc.start()
+        kern._moments()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    def test_zero_rho_sites_bit_equal(self, rng):
+        u0 = self._u0(rng)
+        fused = self._zero_rho_solver(u0, fused=True)
+        split = self._zero_rho_solver(u0, fused=False)
+        fused.step(6)
+        split.step(6)
+        assert fused._fused_kernel is not None
+        assert fused.f[:, 4, 3, 2].sum() == 0.0   # slow path stayed live
+        assert np.array_equal(fused.f, split.f)
+
+    def test_moments_slow_path_allocation_free(self, rng):
+        slow = self._zero_rho_solver(self._u0(rng))
+        fast = LBMSolver(slow.shape, tau=0.7, solid=slow.solid.copy())
+        for s in (slow, fast):
+            s.step(2)
+            s.counters.enabled = False
+        kern_slow, kern_fast = slow._fused_kernel, fast._fused_kernel
+        kern_slow._moments()
+        assert not np.greater(kern_slow.rho, 0).all()   # slow path taken
+        kern_fast._moments()
+        assert np.greater(kern_fast.rho, 0).all()       # fast path taken
+        # Identical transient footprint: the guarded division adds no
+        # allocation over the unguarded divide (the old wr[bl] = 1 /
+        # u[:, bl] = 0 spellings allocated index lists scaling with the
+        # solid count on every call).
+        assert self._moments_peak(kern_slow) <= self._moments_peak(kern_fast)
+
+
 class TestCollisionSatellites:
     def test_all_fluid_mask_equals_none(self, rng):
         """The all-fluid mask path must skip fancy indexing yet match
