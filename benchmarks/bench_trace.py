@@ -1,0 +1,139 @@
+"""Tracing-overhead benchmark: traced vs untraced cluster stepping.
+
+The tracing subsystem (:mod:`repro.perf.trace`) promises two things
+about cost: a disabled tracer is a strict no-op (the spans stay in the
+hot paths permanently), and an *enabled* tracer observes without
+meaningfully slowing the step.  This suite measures both on the serial
+cluster backend and records, into ``BENCH_kernels.json``,
+
+* ``cluster_step_untraced`` — Mcells/s with the default ``NULL_TRACER``
+  (the shipping configuration, also guarded by the procpool suite),
+* ``cluster_step_traced`` — Mcells/s with tracing enabled (every
+  solver/driver/network phase recorded),
+* ``trace_overhead`` — untraced-over-traced ratio (>= 1 means tracing
+  costs something; the entry also logs the measured disabled-span
+  cost in ns/call),
+
+so ``check_regression.py --suite trace`` guards the untraced entry
+like any other throughput number and the traced entry documents the
+observation cost trajectory PR over PR.
+
+Entry points:
+
+* ``python benchmarks/bench_trace.py`` — print the comparison and
+  merge the entries into the repo-root ``BENCH_kernels.json``.
+* :func:`run_trace_benchmarks` — called by the regression guard's
+  ``--suite trace`` / ``--suite all`` sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # allow `python benchmarks/bench_trace.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SUB_SHAPE = (24, 24, 12)
+ARRANGEMENT = (2, 1, 1)
+
+
+def _make_cluster():
+    from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM
+    cfg = ClusterConfig(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
+                        tau=0.7, backend="serial")
+    return CPUClusterLBM(cfg)
+
+
+def _step_throughput(cluster, steps: int, repeats: int,
+                     traced: bool) -> float:
+    """Best-of-``repeats`` Mcells/s; fresh tracer buffer per repeat."""
+    tracer = cluster.enable_tracing() if traced else None
+    cluster.step(2)  # warm up kernels and the exchange schedule
+    cells = float(cluster.cells_total())
+    best = float("inf")
+    for _ in range(repeats):
+        if tracer is not None:
+            tracer.clear()
+        t0 = time.perf_counter()
+        cluster.step(steps)
+        best = min(best, (time.perf_counter() - t0) / steps)
+    return cells / best / 1e6
+
+
+def run_trace_benchmarks(steps: int = 8, repeats: int = 3) -> dict:
+    """Measure traced vs untraced cluster stepping; bench entries."""
+    from repro.perf.trace import disabled_overhead_ns
+
+    mc = {}
+    for kind, traced in (("untraced", False), ("traced", True)):
+        with _make_cluster() as cluster:
+            mc[kind] = _step_throughput(cluster, steps, repeats, traced)
+    noop_ns = disabled_overhead_ns()
+    return {
+        "cluster_step_untraced": {"mcells_per_s": round(mc["untraced"], 3),
+                                  "noop_span_ns": round(noop_ns, 1)},
+        "cluster_step_traced": {"mcells_per_s": round(mc["traced"], 3)},
+        "trace_overhead": {"ratio": round(mc["untraced"] / mc["traced"], 3)},
+    }
+
+
+def comparison_lines(results: dict) -> str:
+    un = results["cluster_step_untraced"]
+    tr = results["cluster_step_traced"]
+    ratio = results["trace_overhead"]["ratio"]
+    return (f"  untraced {un['mcells_per_s']:7.3f} | traced "
+            f"{tr['mcells_per_s']:7.3f} Mcells/s  "
+            f"(untraced/traced {ratio:.2f}x, disabled span "
+            f"{un['noop_span_ns']:.0f} ns/call)")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernels.json"),
+                    help="BENCH json to merge the entries into (if it exists)")
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+    results = run_trace_benchmarks(steps=args.steps, repeats=args.repeats)
+    for name, entry in sorted(results.items()):
+        val = entry.get("mcells_per_s", entry.get("ratio"))
+        print(f"  {name:36s} {val}")
+    print(comparison_lines(results))
+    out = Path(args.out)
+    if out.exists():
+        data = json.loads(out.read_text())
+        data.setdefault("results", {}).update(results)
+        out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"merged into {out}")
+    return 0
+
+
+# -- pytest-benchmark entry points -------------------------------------
+
+
+def test_cluster_step_untraced(benchmark):
+    with _make_cluster() as cluster:
+        cluster.step(1)
+        benchmark(lambda: cluster.step(1))
+
+
+def test_cluster_step_traced(benchmark):
+    with _make_cluster() as cluster:
+        cluster.enable_tracing()
+        cluster.step(1)
+        benchmark(lambda: cluster.step(1))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

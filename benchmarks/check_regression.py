@@ -14,12 +14,14 @@ Options::
     --suite NAME      which recording suites to run: ``kernels`` (the
                       bench_fused sweep: fused + cluster backends +
                       overlap), ``sparse`` (the urban dense-vs-sparse
-                      sweep), or ``all`` (default: kernels)
+                      sweep), ``trace`` (traced vs untraced cluster
+                      stepping), or ``all`` (default: kernels)
     --update          merge the fresh numbers into the baseline and exit 0
 
 Baseline entries the selected suite did not measure are *skipped*, not
 failed: the baseline accumulates entries from several recording suites
-(``bench_fused``/``bench_procpool``/``bench_overlap``/``bench_sparse``),
+(``bench_fused``/``bench_procpool``/``bench_overlap``/``bench_sparse``/
+``bench_trace``),
 and a partial run must only guard what it actually re-measured.  Use
 ``--suite all`` to opt into the full sweep that covers every entry.
 ``--update`` likewise merges into the existing baseline instead of
@@ -46,7 +48,7 @@ try:  # allow `python benchmarks/check_regression.py` without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SUITES = ("kernels", "sparse", "all")
+SUITES = ("kernels", "sparse", "trace", "all")
 
 
 def run_suites(suite: str, steps: int, repeats: int) -> dict:
@@ -62,6 +64,9 @@ def run_suites(suite: str, steps: int, repeats: int) -> dict:
     if suite in ("sparse", "all"):
         from bench_sparse import run_sparse_benchmarks
         results.update(run_sparse_benchmarks(steps=steps, repeats=repeats))
+    if suite in ("trace", "all"):
+        from bench_trace import run_trace_benchmarks
+        results.update(run_trace_benchmarks(steps=steps, repeats=repeats))
     meta["results"] = results
     return meta
 

@@ -9,8 +9,10 @@
     python -m repro whatif            # Sec 4.4 enhancements
     python -m repro cost              # Sec 3 accounting
     python -m repro dispersion        # Sec 5 headline (0.31 s/step)
+    python -m repro trace             # traced cluster step -> Perfetto JSON + analytics
     python -m repro check-procs       # process-backend equivalence + leak gate
     python -m repro check-sparse      # sparse-kernel equivalence gate
+    python -m repro check-trace       # trace schema + no-op overhead gate
     python -m repro verify            # tier-1 tests + backend gates + regression guard
 
 All output comes from the same row generators the benchmark harness
@@ -113,6 +115,7 @@ def _cmd_dispersion(args) -> None:
     from repro.urban import DispersionScenario
     scenario = DispersionScenario(shape=tuple(args.shape))
     cluster = scenario.make_cluster(tuple(args.arrangement), timing_only=True)
+    tracer = cluster.enable_tracing() if args.trace else None
     t = cluster.step()
     print(f"{scenario.shape} on {cluster.decomp.n_nodes} GPU nodes: "
           f"{t.total_s:.3f} s/step (paper: 0.31)")
@@ -121,6 +124,72 @@ def _cmd_dispersion(args) -> None:
     print("per-rank kernels:")
     for line in _kernel_report_lines(cluster):
         print(line)
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print(f"wrote Chrome trace ({len(tracer.events)} spans, incl. the "
+              f"simulated Fig-7 schedule) to {args.trace}")
+
+
+def _cmd_trace(args) -> None:
+    """Run one traced cluster/dispersion segment and export the spans.
+
+    Steps a small voxelized-city cluster (mixed dense/sparse ranks) on
+    the chosen backend with tracing on, then replays the same
+    decomposition as an SPMD SimMPI program so the network track also
+    carries executed per-message events (src/dst/tag/bytes on the
+    simulated clock).  Writes Chrome-trace JSON + JSONL and prints the
+    derived analytics.
+    """
+    import os
+
+    from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM
+    from repro.core.decomposition import BlockDecomposition
+    from repro.core.spmd import SPMDClusterLBM
+    from repro.net.simmpi import SimCluster
+    from repro.perf.report import format_trace_analytics
+    from repro.urban.city import times_square_like
+    from repro.urban.voxelize import voxelize_city
+
+    shape = tuple(args.shape)
+    arrangement = tuple(args.arrangement)
+    solid = voxelize_city(times_square_like(seed=7), shape,
+                          resolution_m=24.0, ground_layers=1)
+    sub = tuple(s // a for s, a in zip(shape, arrangement))
+    cfg = ClusterConfig(sub_shape=sub, arrangement=arrangement, tau=0.6,
+                        solid=solid, backend=args.backend,
+                        max_workers=(2 if args.backend == "threads" else 1))
+    import numpy as np
+
+    from repro.lbm.solver import LBMSolver
+
+    ref = LBMSolver(shape, tau=0.6, solid=solid)
+    rng = np.random.default_rng(11)
+    ref.initialize(rho=np.ones(shape, np.float32),
+                   u=(0.02 * rng.standard_normal((3,) + shape)
+                      ).astype(np.float32))
+    with CPUClusterLBM(cfg) as cluster:
+        cluster.load_global_distributions(ref.f)
+        tracer = cluster.enable_tracing()
+        cluster.step(args.steps)
+    # Executed SimMPI pass over the same decomposition: per-message
+    # events on the network track (the coordinator backends model the
+    # schedule; this records the Fig-7 message pattern for real).
+    decomp = BlockDecomposition(shape, arrangement,
+                                periodic=(True, True, True))
+    sim = SimCluster(decomp.n_nodes, tracer=tracer)
+    SPMDClusterLBM(decomp, tau=0.6, solid=solid).run(1, cluster=sim)
+
+    os.makedirs(args.out, exist_ok=True)
+    chrome_path = os.path.join(args.out, "repro-trace.json")
+    jsonl_path = os.path.join(args.out, "repro-trace.jsonl")
+    tracer.write_chrome(chrome_path)
+    tracer.write_jsonl(jsonl_path)
+    print(f"{shape} on {decomp.n_nodes} ranks, backend={args.backend}, "
+          f"{args.steps} traced steps: {len(tracer.events)} spans")
+    print(f"  wrote {chrome_path} (open in Perfetto / chrome://tracing)")
+    print(f"  wrote {jsonl_path}")
+    print()
+    print(format_trace_analytics(tracer))
 
 
 def _cmd_check_procs(args) -> int:
@@ -152,6 +221,22 @@ def _cmd_check_sparse(args) -> int:
     return 0
 
 
+def _cmd_check_trace(args) -> int:
+    """Trace gate: traced runs bit-identical to untraced on the serial
+    and processes backends, one span track per rank, schema-valid
+    Chrome-trace output, and ~zero disabled-tracer overhead."""
+    from repro.perf.trace import run_trace_check
+
+    report = run_trace_check()
+    for backend, info in report["backends"].items():
+        print(f"  backend {backend}: {info['spans']} spans, "
+              f"ranks {info['ranks']}, chrome schema OK")
+    print(f"trace OK: bit-identical numerics traced vs untraced, "
+          f"disabled-span overhead "
+          f"{report['disabled_overhead_ns']:.0f} ns/call")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     """The repo's single verification gate: tier-1 pytest, the
     process-backend equivalence/leak gate, then the kernel-throughput
@@ -171,6 +256,8 @@ def _cmd_verify(args) -> int:
          [sys.executable, "-m", "repro", "check-procs"]),
         ("sparse-kernel equivalence",
          [sys.executable, "-m", "repro", "check-sparse"]),
+        ("trace gate",
+         [sys.executable, "-m", "repro", "check-trace"]),
     ]
     if not args.skip_bench:
         stages.append(
@@ -205,6 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("dispersion")
     sp.add_argument("--shape", type=_int_list, default=(480, 400, 80))
     sp.add_argument("--arrangement", type=_int_list, default=(6, 5, 1))
+    sp.add_argument("--trace", default=None, metavar="PATH",
+                    help="write a Chrome trace-event JSON of the step "
+                         "(incl. the simulated network schedule) to PATH")
+    sp = sub.add_parser("trace",
+                        help="run a traced cluster step on any backend; "
+                             "write Perfetto-loadable trace artifacts "
+                             "and print the derived analytics")
+    sp.add_argument("--backend", default="serial",
+                    choices=("serial", "threads", "processes"))
+    sp.add_argument("--steps", type=int, default=3)
+    sp.add_argument("--shape", type=_int_list, default=(24, 20, 8))
+    sp.add_argument("--arrangement", type=_int_list, default=(2, 2, 1))
+    sp.add_argument("--out", default=".",
+                    help="directory for repro-trace.json / .jsonl "
+                         "(default: current directory)")
     sp = sub.add_parser("report")
     sp.add_argument("--out", default=None,
                     help="write markdown to a file instead of stdout")
@@ -213,6 +315,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "shared-memory leak gate")
     sp.add_argument("--steps", type=int, default=2,
                     help="steps to compare (default 2)")
+    sub.add_parser("check-trace",
+                   help="trace-subsystem gate: schema-valid Chrome "
+                        "output, per-rank tracks, bit-identical "
+                        "numerics, ~zero disabled overhead")
     sp = sub.add_parser("check-sparse",
                         help="sparse-kernel equivalence gate on a "
                              "voxelized-city mask (single-domain + "
@@ -247,10 +353,14 @@ def main(argv=None) -> int:
         _cmd_cost(args)
     elif cmd == "dispersion":
         _cmd_dispersion(args)
+    elif cmd == "trace":
+        _cmd_trace(args)
     elif cmd == "check-procs":
         return _cmd_check_procs(args)
     elif cmd == "check-sparse":
         return _cmd_check_sparse(args)
+    elif cmd == "check-trace":
+        return _cmd_check_trace(args)
     elif cmd == "verify":
         return _cmd_verify(args)
     elif cmd == "report":

@@ -39,6 +39,7 @@ from repro.core.schedule import CommSchedule
 from repro.gpu.specs import AGP_8X, GEFORCE_FX_5800_ULTRA, XEON_2_4, BusSpec, CPUSpec, GPUSpec
 from repro.net.switch import GigabitSwitch
 from repro.perf.counters import KernelCounters
+from repro.perf.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -255,6 +256,8 @@ class _ClusterLBMBase:
         self.time_step = 0
         self.last_timing: StepTiming | None = None
         self.counters = KernelCounters()
+        self.tracer = NULL_TRACER
+        self._halo_bytes = 0
         self._executor: ThreadPoolExecutor | None = None
         self._comm_executor: ThreadPoolExecutor | None = None
         self._border_bufs: list[dict[int, dict[int, np.ndarray]]] | None = None
@@ -300,8 +303,34 @@ class _ClusterLBMBase:
                  "solid_fraction": float(getattr(node, "solid_fraction", 0.0))}
                 for i, node in enumerate(self.nodes)]
 
+    # -- tracing ----------------------------------------------------------
+    def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
+        """Attach a live span tracer to every layer of this driver.
+
+        Coordinator phases, per-rank node phases, the per-rank solver
+        kernel phases and the switch's scheduled exchange rounds all
+        record into the one returned tracer (see
+        :mod:`repro.perf.trace`).  On the processes backend the workers
+        are switched into tracing mode over the command pipe and their
+        spans are re-based onto the coordinator clock at each step
+        reply.  Tracing is observational only: traced runs stay
+        bit-identical to untraced ones (the check-trace gate enforces
+        this).
+        """
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.switch.tracer = self.tracer
+        self._halo_bytes = sum(sum(rnd) for rnd in self.schedule.round_bytes())
+        if self._proc_backend is not None:
+            self._proc_backend.set_tracing(True)
+        else:
+            for rank, node in enumerate(self.nodes):
+                solver = getattr(node, "solver", None)
+                if solver is not None and hasattr(solver, "tracer"):
+                    solver.tracer = self.tracer.for_rank(rank)
+        return self.tracer
+
     # -- threaded node stepping -------------------------------------------
-    def _run_on_nodes(self, method: str) -> None:
+    def _run_on_nodes(self, method: str, span: str | None = None) -> None:
         """Invoke ``method`` on every node, threaded when opted in.
 
         Nodes only touch their own sub-domain state between exchanges,
@@ -311,19 +340,29 @@ class _ClusterLBMBase:
         threaded path exists for API parity and experimentation, not
         speed (see the ``ClusterConfig.max_workers`` caveat).
         """
+        tracer = self.tracer
+        if tracer.enabled and span is not None:
+            step = self.time_step
+
+            def call(rank: int, node) -> None:
+                with tracer.span(span, step=step, rank=rank):
+                    getattr(node, method)()
+        else:
+            def call(rank: int, node) -> None:
+                getattr(node, method)()
         if (self.config.backend == "threads"
                 and self.config.max_workers > 1 and len(self.nodes) > 1):
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=min(self.config.max_workers, len(self.nodes)),
                     thread_name_prefix="lbm-node")
-            futures = [self._executor.submit(getattr(node, method))
-                       for node in self.nodes]
+            futures = [self._executor.submit(call, rank, node)
+                       for rank, node in enumerate(self.nodes)]
             for fut in futures:
                 fut.result()
         else:
-            for node in self.nodes:
-                getattr(node, method)()
+            for rank, node in enumerate(self.nodes):
+                call(rank, node)
 
     def shutdown(self) -> None:
         """Release thread pools, worker processes and shared memory
@@ -415,11 +454,19 @@ class _ClusterLBMBase:
                         for node in self.nodes))
 
     def _timed_exchange(self) -> tuple[float, float]:
-        """Run the halo exchange, returning its (start, end) wall times."""
+        """Run the halo exchange, returning its (start, end) wall times.
+
+        Runs on the dedicated comm thread under the overlap protocol;
+        the recorded span is what the overlap-efficiency analytics
+        intersect with the concurrent inner-collide spans.
+        """
         t0 = time.perf_counter()
         with self.counters.phase("cluster.exchange"):
             self._exchange()
-        return t0, time.perf_counter()
+        t1 = time.perf_counter()
+        self.tracer.add_span("cluster.exchange", t0, t1,
+                             step=self.time_step, bytes=self._halo_bytes)
+        return t0, t1
 
     def step(self, n: int = 1) -> StepTiming:
         """Advance ``n`` time steps; returns the last step's timing.
@@ -437,19 +484,22 @@ class _ClusterLBMBase:
         rec = self.counters
         overlapped = self._overlap_capable()
         for _ in range(n):
+            self.tracer.begin_step(self.time_step)
             for node in self.nodes:
                 node.begin_step()
             measured_window = measured_exchange = 0.0
             if overlapped:
                 with rec.phase("cluster.collide_boundary"):
-                    self._run_on_nodes("collide_boundary_phase")
+                    self._run_on_nodes("collide_boundary_phase",
+                                       span="cluster.collide_boundary")
                 if self._comm_executor is None:
                     self._comm_executor = ThreadPoolExecutor(
                         max_workers=1, thread_name_prefix="lbm-comm")
                 inner_t0 = time.perf_counter()
                 fut = self._comm_executor.submit(self._timed_exchange)
                 with rec.phase("cluster.collide_inner"):
-                    self._run_on_nodes("collide_inner_phase")
+                    self._run_on_nodes("collide_inner_phase",
+                                       span="cluster.collide_inner")
                 inner_t1 = time.perf_counter()
                 ex_t0, ex_t1 = fut.result()
                 measured_exchange = ex_t1 - ex_t0
@@ -457,17 +507,22 @@ class _ClusterLBMBase:
                                             - max(inner_t0, ex_t0)))
             else:
                 with rec.phase("cluster.collide"):
-                    self._run_on_nodes("collide_phase")
+                    self._run_on_nodes("collide_phase",
+                                       span="cluster.collide")
                 if not self.config.timing_only:
+                    ex_t0 = time.perf_counter()
                     with rec.phase("cluster.exchange"):
                         self._exchange()
+                    self.tracer.add_span("cluster.exchange", ex_t0,
+                                         time.perf_counter(),
+                                         bytes=self._halo_bytes)
             for node in self.nodes:
                 node.charge_transfers()
             net_total = (self.switch.phase_time(self.schedule.round_bytes(),
                                                 self.decomp.n_nodes)
                          if self.decomp.n_nodes > 1 else 0.0)
             with rec.phase("cluster.finish"):
-                self._run_on_nodes("finish_step")
+                self._run_on_nodes("finish_step", span="cluster.finish")
             timing = StepTiming(
                 nodes=self.decomp.n_nodes,
                 compute_s=max(nd.compute_s for nd in self.nodes),
@@ -491,10 +546,18 @@ class _ClusterLBMBase:
         driver's :class:`KernelCounters` (seconds are summed across
         ranks, so multi-rank phases read like CPU time).
         """
+        self.tracer.begin_step(self.time_step)
+        t0 = time.perf_counter()
         with self.counters.phase("cluster.proc_step"):
             payloads = self._proc_backend.step(n)
-        for payload in payloads:
+        self.tracer.add_span("cluster.proc_step", t0, time.perf_counter(),
+                             steps=n)
+        for rank, payload in enumerate(payloads):
             self.counters.merge(payload["counters"])
+            spans = payload.get("spans")
+            if spans:
+                self.tracer.extend(
+                    spans, offset_s=self._proc_backend.trace_offset(rank))
         net_total = (self.switch.phase_time(self.schedule.round_bytes(),
                                             self.decomp.n_nodes)
                      if self.decomp.n_nodes > 1 else 0.0)

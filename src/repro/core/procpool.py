@@ -51,6 +51,7 @@ import numpy as np
 from repro.core.shm import RankSegments, segment_name, unique_token, unlink_segment_names
 from repro.gpu.specs import BusSpec, CPUSpec, GPUSpec
 from repro.perf.counters import KernelCounters
+from repro.perf.trace import Tracer
 
 #: Fallback start method order: fork is cheap and keeps tests fast on
 #: Linux; spawn is the portable fallback.
@@ -142,9 +143,16 @@ class _Worker:
         self.conn = conn
         self.barrier = barrier
         self.counters = KernelCounters()
+        #: Per-rank span recorder; off until the coordinator sends a
+        #: ("trace", True) command.  Spans are drained into every step
+        #: reply and re-based onto the coordinator clock on merge.
+        self.tracer = Tracer(enabled=False, rank=spec.rank)
         self.broken: str | None = None
         self.step_count = 0
         self.node = _build_node(spec)
+        solver = getattr(self.node, "solver", None)
+        if solver is not None and hasattr(solver, "tracer"):
+            solver.tracer = self.tracer
         # Attach own segments, then every peer's mailbox for unpacking.
         self.segs = RankSegments.attach(spec.seg_names, spec.sub_shape, spec.q)
         self.peer_mail: dict[int, RankSegments] = {spec.rank: self.segs}
@@ -203,15 +211,19 @@ class _Worker:
             raise
 
     def _step(self, n: int) -> dict:
-        node, rec = self.node, self.counters
+        node, rec, tracer = self.node, self.counters, self.tracer
         for _ in range(int(n)):
+            tracer.begin_step(self.step_count)
             node.begin_step()
-            with rec.phase("cluster.collide"):
+            with rec.phase("cluster.collide"), \
+                    tracer.span("cluster.collide"):
                 node.collide_phase()
-            with rec.phase("cluster.exchange"):
+            with rec.phase("cluster.exchange"), \
+                    tracer.span("cluster.exchange"):
                 self._exchange()
             node.charge_transfers()
-            with rec.phase("cluster.finish"):
+            with rec.phase("cluster.finish"), \
+                    tracer.span("cluster.finish"):
                 node.finish_step()
             self.step_count += 1
         reply = {
@@ -223,6 +235,8 @@ class _Worker:
             "counters": rec.summary(),
             "cur": self.step_count & 1,
         }
+        if tracer.enabled:
+            reply["spans"] = tracer.drain()
         rec.reset()
         return reply
 
@@ -242,6 +256,21 @@ class _Worker:
     def _initialize(self, rho, u) -> dict:
         self.node.solver.initialize(rho=rho, u=u)
         return {}
+
+    def _trace(self, enabled: bool) -> dict:
+        """Toggle span recording; replies with this process's clock.
+
+        The coordinator timestamps the command round-trip and uses the
+        returned ``perf_counter`` reading to estimate this worker's
+        clock offset (midpoint method), so merged spans land on the
+        coordinator timeline.  On Linux ``perf_counter`` is the shared
+        ``CLOCK_MONOTONIC``, making the offset ~0; the handshake keeps
+        the re-basing correct where it is not.
+        """
+        self.tracer.enabled = bool(enabled)
+        if not enabled:
+            self.tracer.clear()
+        return {"now": time.perf_counter()}
 
     def run(self) -> None:
         parent = os.getppid()
@@ -275,6 +304,8 @@ class _Worker:
                         payload = self._load()
                     elif cmd == "initialize":
                         payload = self._initialize(msg[1], msg[2])
+                    elif cmd == "trace":
+                        payload = self._trace(msg[1])
                     else:
                         raise ValueError(f"unknown command {cmd!r}")
                 except BrokenBarrierError:
@@ -498,6 +529,24 @@ class ProcessBackend:
 
     def initialize(self, rho, u) -> None:
         self._command(("initialize", rho, u))
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle span recording on every worker and sync their clocks.
+
+        Each worker replies with its own ``perf_counter`` reading; the
+        midpoint of the command round-trip estimates the per-worker
+        clock offset used to re-base drained spans onto the
+        coordinator timeline (error bounded by half the round-trip).
+        """
+        t_send = time.perf_counter()
+        payloads = self._command(("trace", bool(enabled)))
+        mid = 0.5 * (t_send + time.perf_counter())
+        self._trace_offsets = [mid - p["now"] for p in payloads]
+
+    def trace_offset(self, rank: int) -> float:
+        """Coordinator-clock offset for ``rank``'s drained spans."""
+        offsets = getattr(self, "_trace_offsets", None)
+        return offsets[rank] if offsets else 0.0
 
     def worker_pids(self) -> list[int | None]:
         return [p.pid for p in self.procs]

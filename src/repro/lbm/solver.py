@@ -26,6 +26,7 @@ from repro.lbm.streaming import (fill_ghosts_periodic, interior,
                                  pull_slice_table, shell_partition,
                                  stream_pull)
 from repro.perf.counters import KernelCounters
+from repro.perf.trace import NULL_TRACER
 
 
 class LBMSolver:
@@ -128,6 +129,10 @@ class LBMSolver:
         self._bounce_folded = False
         self._shell_parts: tuple[list, tuple] | None = None
         self.counters = KernelCounters()
+        #: Span tracer (see :mod:`repro.perf.trace`); the shared
+        #: disabled singleton until a driver or caller attaches a live
+        #: one, so un-traced steps pay only the no-op span calls.
+        self.tracer = NULL_TRACER
         if isinstance(self.collision, BGKCollision):
             self.collision.counters = self.counters
         self.time_step = 0
@@ -195,13 +200,16 @@ class LBMSolver:
     def collide(self) -> None:
         """Collision on interior fluid cells (in place)."""
         kern = self._sparse_kernel_for_phase()
-        if kern is not None:
-            self.kernel_used = "sparse"
-            kern.collide()
-            return
-        self.kernel_used = "split"
-        fi = self.f
-        self.collision(fi, mask=self.fluid)
+        kind = "sparse" if kern is not None else "split"
+        with self.tracer.span("solver.collide", step=self.time_step,
+                              kernel=kind):
+            if kern is not None:
+                self.kernel_used = "sparse"
+                kern.collide()
+                return
+            self.kernel_used = "split"
+            fi = self.f
+            self.collision(fi, mask=self.fluid)
 
     # -- split collide (boundary shell first, then inner core) ---------
     def _split_parts(self) -> tuple[list, tuple]:
@@ -232,21 +240,27 @@ class LBMSolver:
         (the paper's Sec-4.4 communication/computation overlap).
         """
         kern = self._sparse_kernel_for_phase()
-        if kern is not None:
-            self.kernel_used = "sparse"
-            kern.collide_shell()
-            return
-        self.kernel_used = "split"
-        for sl in self._split_parts()[0]:
-            self._collide_region(sl)
+        kind = "sparse" if kern is not None else "split"
+        with self.tracer.span("solver.collide_boundary",
+                              step=self.time_step, kernel=kind):
+            if kern is not None:
+                self.kernel_used = "sparse"
+                kern.collide_shell()
+                return
+            self.kernel_used = "split"
+            for sl in self._split_parts()[0]:
+                self._collide_region(sl)
 
     def collide_inner(self) -> None:
         """Collide the inner core (everything the shell excludes)."""
         kern = self._sparse_kernel_for_phase()
-        if kern is not None:
-            kern.collide_core()
-            return
-        self._collide_region(self._split_parts()[1])
+        kind = "sparse" if kern is not None else "split"
+        with self.tracer.span("solver.collide_inner",
+                              step=self.time_step, kernel=kind):
+            if kern is not None:
+                kern.collide_core()
+                return
+            self._collide_region(self._split_parts()[1])
 
     def collide_split(self) -> None:
         """Boundary-shell pass then inner-core pass; ≡ :meth:`collide`."""
@@ -255,6 +269,10 @@ class LBMSolver:
 
     def fill_ghosts(self) -> None:
         """Populate the ghost shell (periodic wrap or zero-gradient)."""
+        with self.tracer.span("solver.ghosts", step=self.time_step):
+            self._fill_ghosts()
+
+    def _fill_ghosts(self) -> None:
         if self.periodic:
             fill_ghosts_periodic(self.fg)
         else:
@@ -278,15 +296,18 @@ class LBMSolver:
         """
         kern = self._sparse_kernel_for_phase()
         rec = self.counters
-        if kern is not None:
-            self.kernel_used = "sparse"
-            kern.stream_bounce()
-            self._bounce_folded = True
-        else:
-            self.kernel_used = "split"
-            stream_pull(self.lattice, self.fg, out=self._fg_next,
-                        slices=self._pull_slices)
-            self.fg, self._fg_next = self._fg_next, self.fg
+        kind = "sparse" if kern is not None else "split"
+        with self.tracer.span("solver.stream", step=self.time_step,
+                              kernel=kind):
+            if kern is not None:
+                self.kernel_used = "sparse"
+                kern.stream_bounce()
+                self._bounce_folded = True
+            else:
+                self.kernel_used = "split"
+                stream_pull(self.lattice, self.fg, out=self._fg_next,
+                            slices=self._pull_slices)
+                self.fg, self._fg_next = self._fg_next, self.fg
         if rec is not None and rec.enabled:
             # One marker per step recording which hot path ran, so
             # cluster counter summaries show the per-rank selection.
@@ -294,12 +315,13 @@ class LBMSolver:
 
     def post_stream(self) -> None:
         """Bounce-back on solids, then user boundary handlers."""
-        if self._bounce_folded:
-            self._bounce_folded = False
-        elif self.solid.any():
-            self._bounce.apply(self.fg)
-        for b in self.boundaries:
-            b.apply(self.fg)
+        with self.tracer.span("solver.post_stream", step=self.time_step):
+            if self._bounce_folded:
+                self._bounce_folded = False
+            elif self.solid.any():
+                self._bounce.apply(self.fg)
+            for b in self.boundaries:
+                b.apply(self.fg)
 
     # ------------------------------------------------------------------
     def _fused_kernel_for_step(self) -> FusedStepKernel | None:
@@ -346,7 +368,9 @@ class LBMSolver:
                 kern = None
             if kern is not None:
                 self.kernel_used = "fused"
-                kern.step_once()
+                with self.tracer.span("solver.step", step=self.time_step,
+                                      kernel="fused"):
+                    kern.step_once()
             else:
                 self._step_phase_split()
             self.time_step += 1

@@ -35,6 +35,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.perf import calibration as cal
+from repro.perf.trace import NETWORK_RANK, NULL_TRACER, SIM_CLOCK
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,12 @@ class GigabitSwitch:
         self._lock = threading.Lock()
         self._port_free_at: dict[int, float] = {}
         self.contention_events = 0
+        #: Span tracer (:mod:`repro.perf.trace`).  When enabled,
+        #: :meth:`phase_time` records each scheduled exchange round as
+        #: a simulated-clock span, making the Fig-7 communication
+        #: schedule visible per step on the network track.
+        self.tracer = NULL_TRACER
+        self._trace_clock_s = 0.0
 
     # -- scheduled (round-based) path -----------------------------------
     def message_time(self, nbytes: int) -> float:
@@ -92,10 +99,24 @@ class GigabitSwitch:
         active = [r for r in rounds if r]
         if not active:
             return 0.0
+        tr = self.tracer
         t = cal.NET_PHASE_OVERHEAD_S
+        sim_t = self._trace_clock_s + t
         for r in active:
-            t += self.round_time(r).seconds
+            rt = self.round_time(r)
+            t += rt.seconds
+            if tr.enabled:
+                tr.add_span("net.round", sim_t, sim_t + rt.seconds,
+                            rank=NETWORK_RANK, clock=SIM_CLOCK,
+                            pairs=rt.n_pairs, max_bytes=rt.max_bytes)
+                sim_t += rt.seconds
         t += cal.drift_penalty_s(nodes)
+        if tr.enabled:
+            tr.add_span("net.phase", self._trace_clock_s,
+                        self._trace_clock_s + t,
+                        rank=NETWORK_RANK, clock=SIM_CLOCK,
+                        rounds=len(active), nodes=nodes)
+            self._trace_clock_s += t
         return t
 
     # -- unscheduled baseline (Sec 4.3 ablation) --------------------------
@@ -146,7 +167,8 @@ class GigabitSwitch:
             return start, end
 
     def reset(self) -> None:
-        """Clear port reservations and counters."""
+        """Clear port reservations, counters and the trace clock."""
         with self._lock:
             self._port_free_at.clear()
             self.contention_events = 0
+            self._trace_clock_s = 0.0

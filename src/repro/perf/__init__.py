@@ -18,12 +18,18 @@ of *time decompositions* measured on 2004 hardware.  This package holds
   trade-off;
 * :mod:`repro.perf.counters` — per-phase wall-time and allocation
   counters for this reproduction's own numeric hot paths (wired into
-  the reference solver and both cluster drivers).
+  the reference solver and both cluster drivers);
+* :mod:`repro.perf.trace` — span-based step tracing across ranks,
+  backends and the simulated network (Chrome trace-event / JSONL
+  export, overlap-efficiency and load-imbalance analytics in
+  :mod:`repro.perf.report`).
 """
 
 from repro.perf import calibration
 from repro.perf.counters import KernelCounters, PhaseStat
 from repro.perf.metrics import cells_per_second, efficiency, speedup
+from repro.perf.trace import NULL_TRACER, SpanEvent, Tracer
 
 __all__ = ["calibration", "cells_per_second", "efficiency", "speedup",
-           "KernelCounters", "PhaseStat"]
+           "KernelCounters", "PhaseStat",
+           "NULL_TRACER", "SpanEvent", "Tracer"]

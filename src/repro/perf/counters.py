@@ -93,6 +93,12 @@ class KernelCounters:
         coordinator merges them here, so multi-process runs report the
         same phase names as in-process runs.  Seconds add up across
         ranks (CPU-time-like for concurrent phases).
+
+        When this counter is *disabled* the summary is dropped, exactly
+        like :meth:`add` — the coordinator's ``enabled`` flag is the
+        single switch for the whole aggregate, so workers that recorded
+        stats anyway (their flag is independent) do not resurrect
+        profiling output the coordinator opted out of.
         """
         if not self.enabled:
             return
@@ -130,10 +136,17 @@ class KernelCounters:
         }
 
     def report(self) -> str:
-        """Formatted table, one line per phase."""
-        lines = [f"{'phase':<24} {'calls':>8} {'total ms':>10} "
+        """Formatted table, one line per phase.
+
+        The phase column widens to the longest recorded name so the
+        numeric columns stay aligned (dotted span names such as
+        ``cluster.collide_boundary`` exceed the old fixed width).
+        """
+        width = max([len("phase")] + [len(n) for n in self.stats])
+        lines = [f"{'phase':<{width}} {'calls':>8} {'total ms':>10} "
                  f"{'mean ms':>10} {'allocs':>8}"]
         for name, st in sorted(self.stats.items()):
-            lines.append(f"{name:<24} {st.calls:>8d} {st.seconds * 1e3:>10.3f} "
+            lines.append(f"{name:<{width}} {st.calls:>8d} "
+                         f"{st.seconds * 1e3:>10.3f} "
                          f"{st.mean_s * 1e3:>10.4f} {st.allocs:>8d}")
         return "\n".join(lines)
