@@ -1,0 +1,149 @@
+"""AA-pattern kernel + measured-autotune overhead benchmark.
+
+The swap-free AA kernel (:mod:`repro.lbm.aa`) halves the streaming
+working set by keeping a single distribution array; its payoff shows
+on the dense reference case once the double-buffered fused sweep no
+longer fits in cache.  This suite records, on the 64^3 dense domain,
+
+* ``reference_full_step_aa`` — the AA kernel's Mcells/s,
+* ``aa_speedup`` — AA over the fused double-buffered kernel, measured
+  in the same run (the acceptance floor is 1.2x),
+* ``autotune_overhead`` — the measured autotuner's one-off probe cost
+  (:func:`repro.lbm.autotune.choose_kernel` on a cold cache) as a
+  fraction of a 100-step run at the chosen kernel (< 5%),
+
+into ``BENCH_kernels.json`` so ``check_regression.py`` guards both the
+AA throughput and the probe staying cheap.
+
+Entry points:
+
+* ``python benchmarks/bench_aa.py`` — print the comparison and merge
+  the entries into the repo-root ``BENCH_kernels.json``.
+* :func:`run_aa_benchmarks` — called by the regression guard's
+  ``--suite aa`` / ``--suite all`` sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # allow `python benchmarks/bench_aa.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Dense reference domain: large enough that the fused kernel's two
+#: full distribution arrays overrun the last-level cache while the AA
+#: kernel's single array still benefits from its slab blocking.
+SHAPE = (64, 64, 64)
+#: Steps in the autotune-overhead denominator run.
+OVERHEAD_RUN_STEPS = 100
+
+
+def _throughput_mcells(solver, steps: int, repeats: int) -> float:
+    """Best-of-``repeats`` Mcells/s over ``steps``-step batches."""
+    solver.step(2)  # warm up (even pair: AA returns to canonical layout)
+    cells = float(np.prod(solver.shape))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        solver.step(steps)
+        best = min(best, (time.perf_counter() - t0) / steps)
+    return cells / best / 1e6
+
+
+def run_aa_benchmarks(steps: int = 8, repeats: int = 3,
+                      shape=SHAPE) -> dict:
+    """Measure AA vs fused plus the autotune probe cost; bench entries."""
+    from repro.lbm import LBMSolver, clear_autotune_cache
+    from repro.lbm.autotune import choose_kernel
+
+    steps += steps & 1  # AA pairs phases; keep batches on even counts
+    results: dict[str, dict] = {}
+    mc = {}
+    for kind in ("fused", "aa"):
+        solver = LBMSolver(shape, tau=0.7, kernel=kind)
+        mc[kind] = _throughput_mcells(solver, steps, repeats)
+    results["reference_full_step_aa"] = {"mcells_per_s": round(mc["aa"], 3)}
+    results["aa_speedup"] = {"ratio": round(mc["aa"] / mc["fused"], 3)}
+
+    # Autotune overhead: cold-cache probe time vs a 100-step run at the
+    # kernel the probe selected.
+    clear_autotune_cache()
+    tuned = LBMSolver(shape, tau=0.7, kernel="auto", autotune="measured")
+    t0 = time.perf_counter()
+    choice = choose_kernel(tuned)
+    probe_s = time.perf_counter() - t0
+    tuned.step(2)  # warm the selected kernel's workspace
+    t0 = time.perf_counter()
+    tuned.step(OVERHEAD_RUN_STEPS)
+    run_s = time.perf_counter() - t0
+    results["autotune_overhead"] = {
+        "ratio": round(probe_s / run_s, 4),
+        "probe_ms": round(probe_s * 1e3, 2),
+        "run_steps": OVERHEAD_RUN_STEPS,
+        "chosen": choice.kernel,
+    }
+    return results
+
+
+def comparison_lines(results: dict) -> str:
+    aa = results["reference_full_step_aa"]["mcells_per_s"]
+    ratio = results["aa_speedup"]["ratio"]
+    ov = results["autotune_overhead"]
+    return "\n".join([
+        f"  aa {aa:7.3f} Mcells/s on {SHAPE} (aa/fused {ratio:.2f}x)",
+        f"  autotune probe {ov['probe_ms']:.1f} ms = {ov['ratio']:.1%} of a "
+        f"{ov['run_steps']}-step run (picked {ov['chosen']!r})",
+    ])
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernels.json"),
+                    help="BENCH json to merge the entries into (if it exists)")
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+    results = run_aa_benchmarks(steps=args.steps, repeats=args.repeats)
+    for name, entry in sorted(results.items()):
+        val = entry.get("mcells_per_s", entry.get("ratio"))
+        print(f"  {name:36s} {val}")
+    print(comparison_lines(results))
+    out = Path(args.out)
+    if out.exists():
+        data = json.loads(out.read_text())
+        data.setdefault("results", {}).update(results)
+        out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"merged into {out}")
+    return 0
+
+
+# -- pytest-benchmark entry points -------------------------------------
+
+
+def test_reference_step_aa(benchmark):
+    from repro.lbm import LBMSolver
+    solver = LBMSolver(SHAPE, tau=0.7, kernel="aa")
+    solver.step(2)
+    benchmark(lambda: solver.step(2))
+
+
+def test_reference_step_fused_64(benchmark):
+    from repro.lbm import LBMSolver
+    solver = LBMSolver(SHAPE, tau=0.7, kernel="fused")
+    solver.step(2)
+    benchmark(lambda: solver.step(2))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,18 +14,24 @@ Options::
     --suite NAME      which recording suites to run: ``kernels`` (the
                       bench_fused sweep: fused + cluster backends +
                       overlap), ``sparse`` (the urban dense-vs-sparse
-                      sweep), ``trace`` (traced vs untraced cluster
-                      stepping), or ``all`` (default: kernels)
+                      sweep), ``aa`` (the AA-pattern kernel + autotune
+                      overhead sweep), ``trace`` (traced vs untraced
+                      cluster stepping), or ``all`` (default: kernels)
     --update          merge the fresh numbers into the baseline and exit 0
 
 Baseline entries the selected suite did not measure are *skipped*, not
 failed: the baseline accumulates entries from several recording suites
 (``bench_fused``/``bench_procpool``/``bench_overlap``/``bench_sparse``/
-``bench_trace``),
+``bench_aa``/``bench_trace``),
 and a partial run must only guard what it actually re-measured.  Use
 ``--suite all`` to opt into the full sweep that covers every entry.
 ``--update`` likewise merges into the existing baseline instead of
 overwriting it, so refreshing one suite keeps the others' entries.
+
+The converse is an error: a throughput entry the suite *measured* that
+has no baseline key in ``BENCH_kernels.json`` fails the guard with the
+missing keys listed (run ``--update`` once to record them) — a stale
+baseline must not silently stop guarding new kernels.
 
 The baseline is machine-specific: refresh it with ``--update`` when the
 benchmark host changes, and commit the result so the perf trajectory
@@ -48,7 +54,7 @@ try:  # allow `python benchmarks/check_regression.py` without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SUITES = ("kernels", "sparse", "trace", "all")
+SUITES = ("kernels", "sparse", "aa", "trace", "all")
 
 
 def run_suites(suite: str, steps: int, repeats: int) -> dict:
@@ -64,6 +70,9 @@ def run_suites(suite: str, steps: int, repeats: int) -> dict:
     if suite in ("sparse", "all"):
         from bench_sparse import run_sparse_benchmarks
         results.update(run_sparse_benchmarks(steps=steps, repeats=repeats))
+    if suite in ("aa", "all"):
+        from bench_aa import run_aa_benchmarks
+        results.update(run_aa_benchmarks(steps=steps, repeats=repeats))
     if suite in ("trace", "all"):
         from bench_trace import run_trace_benchmarks
         results.update(run_trace_benchmarks(steps=steps, repeats=repeats))
@@ -76,7 +85,9 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
 
     Only the *intersection* of baseline and fresh entries is compared;
     baseline entries the fresh run did not measure are reported as
-    skipped (other suites own them), never failed.
+    skipped (other suites own them), never failed.  Fresh throughput
+    entries with *no* baseline key fail with the missing keys listed
+    (``--update`` records them) — never with a raw ``KeyError``.
     """
     failures = []
     skipped = []
@@ -90,7 +101,12 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
         if fresh_entry is None:
             skipped.append(name)
             continue
-        fresh_v = fresh_entry["mcells_per_s"]
+        fresh_v = fresh_entry.get("mcells_per_s")
+        if fresh_v is None:
+            failures.append(
+                f"{name}: fresh run recorded no 'mcells_per_s' (got keys "
+                f"{sorted(fresh_entry)})")
+            continue
         drop = (base_v - fresh_v) / base_v if base_v > 0 else 0.0
         status = "FAIL" if drop > threshold else "ok"
         print(f"  {name:36s} base {base_v:9.3f}  fresh {fresh_v:9.3f} "
@@ -99,9 +115,13 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
             failures.append(
                 f"{name}: {base_v:.3f} -> {fresh_v:.3f} Mcells/s "
                 f"({drop:.1%} drop > {threshold:.0%} threshold)")
-    for name in sorted(set(fresh_results) - set(base_results)):
-        if fresh_results[name].get("mcells_per_s") is not None:
-            print(f"  {name:36s} new entry (no baseline yet)")
+    missing = [name for name in sorted(set(fresh_results) - set(base_results))
+               if fresh_results[name].get("mcells_per_s") is not None]
+    if missing:
+        print(f"  missing baseline keys: {', '.join(missing)}")
+        failures.append(
+            f"baseline has no entry for measured kernel(s): "
+            f"{', '.join(missing)} — run with --update to record them")
     if skipped:
         print(f"  skipped (not measured by this suite): {', '.join(skipped)}")
     return failures

@@ -12,6 +12,7 @@
     python -m repro trace             # traced cluster step -> Perfetto JSON + analytics
     python -m repro check-procs       # process-backend equivalence + leak gate
     python -m repro check-sparse      # sparse-kernel equivalence gate
+    python -m repro check-aa          # AA-pattern kernel equivalence gate
     python -m repro check-trace       # trace schema + no-op overhead gate
     python -m repro verify            # tier-1 tests + backend gates + regression guard
 
@@ -105,10 +106,15 @@ def _cmd_cost(args) -> None:
 
 
 def _kernel_report_lines(cluster) -> list[str]:
-    """Per-rank kernel choice / local occupancy rows for timing output."""
-    return [f"  rank {row['rank']:>3}: kernel {row['kernel']:<9} "
-            f"solid {row['solid_fraction']:.1%}"
-            for row in cluster.kernel_report()]
+    """Per-rank kernel choice / occupancy / reason rows for timing output."""
+    lines = []
+    for row in cluster.kernel_report():
+        line = (f"  rank {row['rank']:>3}: kernel {row['kernel']:<9} "
+                f"solid {row['solid_fraction']:.1%}")
+        if row.get("reason"):
+            line += f"  ({row['reason']})"
+        lines.append(line)
+    return lines
 
 
 def _cmd_dispersion(args) -> None:
@@ -221,6 +227,27 @@ def _cmd_check_sparse(args) -> int:
     return 0
 
 
+def _cmd_check_aa(args) -> int:
+    """AA-kernel gate: the swap-free two-phase kernel is bit-identical
+    to the reference on a voxelized-city mask after every step
+    (macroscopic fields always, distributions via the odd-parity
+    reconstruction), runs on one distribution array (no back buffer),
+    and the cluster drivers' forward/reverse halo protocol reproduces
+    the reference bits on the serial and processes backends."""
+    from repro.lbm.aa import run_aa_equivalence_check
+
+    report = run_aa_equivalence_check(steps=args.steps)
+    print(f"aa kernel OK: bit-identical to the reference on a "
+          f"{report['occupancy']:.0%}-solid city mask over "
+          f"{args.steps} steps, single distribution array")
+    for backend, rows in report["backends"].items():
+        print(f"  backend {backend}:")
+        for row in rows:
+            print(f"    rank {row['rank']:>3}: kernel {row['kernel']:<9} "
+                  f"solid {row['solid_fraction']:.1%}")
+    return 0
+
+
 def _cmd_check_trace(args) -> int:
     """Trace gate: traced runs bit-identical to untraced on the serial
     and processes backends, one span track per rank, schema-valid
@@ -256,6 +283,8 @@ def _cmd_verify(args) -> int:
          [sys.executable, "-m", "repro", "check-procs"]),
         ("sparse-kernel equivalence",
          [sys.executable, "-m", "repro", "check-sparse"]),
+        ("aa-kernel equivalence",
+         [sys.executable, "-m", "repro", "check-aa"]),
         ("trace gate",
          [sys.executable, "-m", "repro", "check-trace"]),
     ]
@@ -325,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "mixed-kernel cluster backends)")
     sp.add_argument("--steps", type=int, default=3,
                     help="steps to compare (default 3)")
+    sp = sub.add_parser("check-aa",
+                        help="AA-pattern kernel equivalence gate on a "
+                             "voxelized-city mask (single-domain + "
+                             "cluster forward/reverse halo protocol)")
+    sp.add_argument("--steps", type=int, default=4,
+                    help="steps to compare (default 4, must be even)")
     sp = sub.add_parser("verify",
                         help="run the tier-1 tests, the process-backend "
                              "and sparse-kernel gates and the kernel "
@@ -359,6 +394,8 @@ def main(argv=None) -> int:
         return _cmd_check_procs(args)
     elif cmd == "check-sparse":
         return _cmd_check_sparse(args)
+    elif cmd == "check-aa":
+        return _cmd_check_aa(args)
     elif cmd == "check-trace":
         return _cmd_check_trace(args)
     elif cmd == "verify":

@@ -142,16 +142,24 @@ class ClusterConfig:
         ``overlap=False`` (the split collide visits the same cells with
         the same arithmetic, and the exchange touches only border/ghost
         layers the inner pass never reads).
-    kernel / sparse_threshold:
+    kernel / sparse_threshold / autotune:
         Per-rank hot-path selection, forwarded to every CPU rank's
         :class:`~repro.lbm.LBMSolver`.  Under the default ``"auto"``
-        each rank independently picks the sparse fluid-compacted kernel
-        (:class:`~repro.lbm.SparseStepKernel`) when its *local* solid
-        fraction reaches ``sparse_threshold``, and the dense phase-split
-        path otherwise — the per-subdomain dense/sparse choice of the
-        patch-based schemes, with the halo protocol unchanged either
-        way.  Every choice is bit-identical; :meth:`kernel_report` and
-        the ``kernel.*`` counters record what each rank ran.
+        each rank picks its own kernel; with ``autotune="measured"``
+        (the cluster default) the choice comes from a short
+        micro-benchmark of every eligible candidate on the rank's
+        actual sub-domain (:mod:`repro.lbm.autotune`), while
+        ``autotune="heuristic"`` keeps the pure solid-fraction rule:
+        the sparse fluid-compacted kernel
+        (:class:`~repro.lbm.SparseStepKernel`) when the *local* solid
+        fraction reaches ``sparse_threshold``, the dense phase-split
+        path otherwise.  ``kernel="aa"`` forces the swap-free
+        AA-pattern kernel on every rank (CPU numeric ranks only;
+        requires a fully periodic domain because the driver plays the
+        role of the periodic fold: forward halo exchange after even
+        phases, reverse ghost scatter exchange after odd phases).
+        Every choice is bit-identical; :meth:`kernel_report` and the
+        ``kernel.*`` counters record what each rank ran and why.
     """
 
     sub_shape: tuple[int, int, int]
@@ -174,12 +182,23 @@ class ClusterConfig:
     backend_timeout_s: float = 60.0
     kernel: str = "auto"
     sparse_threshold: float = 0.5
+    autotune: str = "measured"
 
     def __post_init__(self) -> None:
-        if self.kernel not in ("auto", "fused", "sparse", "split"):
+        if self.kernel not in ("auto", "fused", "sparse", "split", "aa"):
             raise ValueError(
-                f"kernel must be 'auto', 'fused', 'sparse' or 'split', "
-                f"got {self.kernel!r}")
+                f"kernel must be 'auto', 'fused', 'sparse', 'split' or "
+                f"'aa', got {self.kernel!r}")
+        if self.autotune not in ("heuristic", "measured"):
+            raise ValueError(
+                f"autotune must be 'heuristic' or 'measured', "
+                f"got {self.autotune!r}")
+        if self.kernel == "aa" and not all(self.periodic):
+            raise ValueError(
+                "kernel='aa' requires a fully periodic domain: the "
+                "reverse (odd-step) exchange folds ghost-scattered "
+                "populations back onto wrap images and has no "
+                "zero-gradient analogue")
         if not 0.0 <= float(self.sparse_threshold) <= 1.0:
             raise ValueError(
                 f"sparse_threshold must be within [0, 1], "
@@ -287,20 +306,26 @@ class _ClusterLBMBase:
             "bus": cfg.bus,
             "kernel": cfg.kernel,
             "sparse_threshold": cfg.sparse_threshold,
+            "autotune": cfg.autotune,
         }
 
     def kernel_report(self) -> list[dict]:
         """Per-rank hot-path choice and local solid occupancy.
 
-        One row per rank — ``{"rank", "kernel", "solid_fraction"}`` —
-        for the timing summary: which kernel the rank's last step ran
-        (``"sparse"``, ``"split"``, ``"fused"``, ``"gpu"``, or
-        ``"unstepped"``/``"model"`` before the first numeric step) and
-        the rank-local solid fraction that drove the selection.
+        One row per rank — ``{"rank", "kernel", "solid_fraction",
+        "reason", "rates"}`` — for the timing summary: which kernel the
+        rank's last step ran (``"aa"``, ``"sparse"``, ``"split"``,
+        ``"fused"``, ``"gpu"``, or ``"unstepped"``/``"model"`` before
+        the first numeric step), the rank-local solid fraction, *why*
+        it was selected (forced / heuristic threshold / measured
+        probe), and — for measured autotuning — the probe's MLUPS per
+        candidate kernel (None otherwise).
         """
         return [{"rank": getattr(node, "rank", i),
                  "kernel": getattr(node, "kernel_used", "n/a"),
-                 "solid_fraction": float(getattr(node, "solid_fraction", 0.0))}
+                 "solid_fraction": float(getattr(node, "solid_fraction", 0.0)),
+                 "reason": getattr(node, "kernel_reason", None),
+                 "rates": getattr(node, "kernel_rates", None)}
                 for i, node in enumerate(self.nodes)]
 
     # -- tracing ----------------------------------------------------------
@@ -414,21 +439,10 @@ class _ClusterLBMBase:
         messages.
         """
         cfg = self.config
-        if self._border_bufs is None:
-            # Preallocate the per-(rank, axis, direction) border layers
-            # once; each exchange refills them in place instead of
-            # rebuilding a dict of fresh copies every axis phase.
-            sub = cfg.sub_shape
-            self._border_bufs = []
-            for _ in self.nodes:
-                per_axis = {}
-                for axis in range(3):
-                    face = (19,) + tuple(s + 2 for a, s in enumerate(sub)
-                                         if a != axis)
-                    per_axis[axis] = {-1: np.empty(face, dtype=np.float32),
-                                      1: np.empty(face, dtype=np.float32)}
-                self._border_bufs.append(per_axis)
-            self.counters.alloc("exchange.border_bufs", 6 * len(self.nodes))
+        self._ensure_border_bufs()
+        if cfg.kernel == "aa" and (self.time_step & 1):
+            self._exchange_reverse()
+            return
         for axis in range(3):
             borders = {rank: node.read_borders(axis,
                                                out=self._border_bufs[rank][axis])
@@ -445,6 +459,54 @@ class _ClusterLBMBase:
                     else:
                         node.write_ghost(axis, direction,
                                          borders[peer][-direction])
+
+    def _ensure_border_bufs(self) -> None:
+        """Preallocate the per-(rank, axis, direction) face buffers.
+
+        Each exchange refills them in place instead of rebuilding a
+        dict of fresh copies every axis phase.  The reverse (AA) path
+        reuses the same buffers for ghost planes — identical shapes.
+        """
+        if self._border_bufs is not None:
+            return
+        sub = self.config.sub_shape
+        self._border_bufs = []
+        for _ in self.nodes:
+            per_axis = {}
+            for axis in range(3):
+                face = (19,) + tuple(s + 2 for a, s in enumerate(sub)
+                                     if a != axis)
+                per_axis[axis] = {-1: np.empty(face, dtype=np.float32),
+                                  1: np.empty(face, dtype=np.float32)}
+            self._border_bufs.append(per_axis)
+        self.counters.alloc("exchange.border_bufs", 6 * len(self.nodes))
+
+    def _exchange_reverse(self) -> None:
+        """Odd-step AA exchange: scatter ghost planes back to owners.
+
+        After an AA odd phase each rank's ghost shell holds the
+        post-collision populations its border cells pushed *outward*
+        (``a_i(x + c_i)`` landing outside the sub-domain).  Those
+        locations belong to the neighbouring rank, so the data flow is
+        the mirror image of :meth:`_exchange`: ghost planes are read,
+        and the face-*crossing* link slots are folded onto the
+        neighbour's border layer (the distributed analogue of
+        :func:`repro.lbm.streaming.fold_ghosts_periodic`).  Sequential
+        axis order relays edge/corner contributions through the rims
+        exactly like the forward path's two-hop diagonal routing.
+        """
+        for axis in range(3):
+            ghosts = {rank: node.read_ghost_planes(
+                          axis, out=self._border_bufs[rank][axis])
+                      for rank, node in enumerate(self.nodes)}
+            for rank, node in enumerate(self.nodes):
+                for direction in (-1, 1):
+                    peer = self.decomp.neighbor(rank, axis, direction)
+                    source = rank if peer is None else peer
+                    # peer is None only on a periodic self-wrap here
+                    # (ClusterConfig rejects kernel='aa' otherwise).
+                    node.write_border_crossing(axis, direction,
+                                               ghosts[source][-direction])
 
     def _overlap_capable(self) -> bool:
         """Whether this step may run the executed-overlap protocol."""
@@ -607,6 +669,13 @@ class GPUClusterLBM(_ClusterLBMBase):
 
     node_kind = "gpu"
 
+    def __init__(self, config: ClusterConfig) -> None:
+        if config.kernel == "aa":
+            raise ValueError(
+                "kernel='aa' is CPU-only: the simulated GPU pipeline "
+                "has no AA halo protocol (use CPUClusterLBM)")
+        super().__init__(config)
+
     def _make_node(self, rank: int, solid):
         bc = self._node_boundary_config(rank)
         return GPUNode(rank, self.config.sub_shape, self.config.tau, solid=solid,
@@ -657,13 +726,24 @@ class CPUClusterLBM(_ClusterLBMBase):
                        inlet=bc["inlet"], outflow=bc["outflow"],
                        force=self.config.force,
                        kernel=self.config.kernel,
-                       sparse_threshold=self.config.sparse_threshold)
+                       sparse_threshold=self.config.sparse_threshold,
+                       autotune=self.config.autotune)
 
     def _node_distributions(self, node) -> np.ndarray:
         return node.solver.f.copy()
 
     def load_global_distributions(self, f: np.ndarray) -> None:
-        """Scatter a global distribution field to the nodes."""
+        """Scatter a global distribution field to the nodes.
+
+        Under ``kernel="aa"`` the ranks hold the rotated mid-pair
+        layout at odd parity, so loading canonical distributions is
+        only defined on even step counts (same as the reference
+        solver's in-place layout after an even number of steps).
+        """
+        if self.config.kernel == "aa" and (self.time_step & 1):
+            raise ValueError(
+                "cannot load distributions at odd AA parity; step to an "
+                "even step count first")
         parts = self.decomp.scatter_field(f)
         if self._proc_backend is not None:
             self._numeric_nodes()

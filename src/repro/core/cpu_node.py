@@ -30,7 +30,8 @@ class CPUNode:
                  face_dirs=(), edge_dirs=(), timing_only: bool = False,
                  cpu_spec: CPUSpec = XEON_2_4, inlet=None, outflow=None,
                  force=None, use_sse: bool = False, kernel: str = "auto",
-                 sparse_threshold: float = 0.5) -> None:
+                 sparse_threshold: float = 0.5,
+                 autotune: str = "heuristic") -> None:
         self.rank = rank
         self.sub_shape = tuple(int(s) for s in sub_shape)
         self.tau = float(tau)
@@ -54,7 +55,23 @@ class CPUNode:
             self.solver = LBMSolver(self.sub_shape, tau, solid=solid,
                                     boundaries=bcs, force=force, periodic=False,
                                     kernel=kernel,
-                                    sparse_threshold=sparse_threshold)
+                                    sparse_threshold=sparse_threshold,
+                                    autotune=autotune)
+            # The cluster driver steps this solver phase by phase
+            # (collide / exchange / stream), which rules the
+            # whole-step-only kernels (fused, AA single-domain stepping)
+            # out of ``kernel="auto"`` selection.
+            self.solver.phase_driven = True
+            if kernel == "aa":
+                # Forced AA: the driver owns the halo (forward exchange
+                # on even steps, reverse scatter exchange on odd steps),
+                # so the kernel may run without a periodic domain.
+                from repro.lbm.aa import AAStepKernel
+                self.solver.aa_halo_managed = True
+                if not AAStepKernel.eligible(self.solver):
+                    raise ValueError(
+                        "kernel='aa' on a cluster rank requires a plain "
+                        "BGK sub-domain without inlet/outflow boundaries")
         self.compute_s = 0.0
         self.agp_s = 0.0           # always 0: no GPU on this path
         self.overlap_window_s = 0.0
@@ -71,6 +88,16 @@ class CPUNode:
         if self.solver is None:
             return "model"
         return self.solver.kernel_used or "unstepped"
+
+    @property
+    def kernel_reason(self) -> str | None:
+        """Why the hot path was selected (heuristic vs measured probe)."""
+        return None if self.solver is None else self.solver.kernel_reason
+
+    @property
+    def kernel_rates(self) -> dict | None:
+        """Measured probe MLUPS per candidate (measured autotune only)."""
+        return None if self.solver is None else self.solver.kernel_rates
 
     # -- geometry ---------------------------------------------------------
     @property
@@ -170,6 +197,57 @@ class CPUNode:
         sl = [slice(None)] * 4
         sl[1 + axis] = idx
         self.solver.fg[tuple(sl)] = data
+
+    def read_ghost_planes(self, axis: int,
+                          out: dict[int, np.ndarray] | None = None,
+                          ) -> dict[int, np.ndarray]:
+        """Copy both ghost planes along ``axis`` (AA reverse exchange).
+
+        After an AA odd phase the ghost shell holds post-collision
+        populations scattered by border cells; they belong to the
+        neighbouring sub-domain and are shipped there instead of being
+        received (the mirror image of :meth:`read_borders`).
+        """
+        res: dict[int, np.ndarray] = {} if out is None else out
+        for direction in (-1, 1):
+            side = "low" if direction == -1 else "high"
+            idx = self._layer_index(axis, side, ghost=True)
+            sl = [slice(None)] * 4
+            sl[1 + axis] = idx
+            layer = self.solver.fg[tuple(sl)]
+            if out is None:
+                res[direction] = layer.copy()
+            else:
+                np.copyto(res[direction], layer)
+        return res
+
+    def write_border_crossing(self, axis: int, direction: int,
+                              data: np.ndarray) -> None:
+        """Fold a neighbour's ghost plane onto this rank's border layer.
+
+        Only the link slots that actually cross the shared face
+        (``c_i[axis] == -direction`` for the border at side
+        ``direction``) are written — the rest of the border layer holds
+        this rank's own just-scattered populations and must survive.
+        Mirrors :func:`repro.lbm.streaming.fold_ghosts_periodic`.
+        """
+        slots = self._crossing_slots(axis, direction)
+        side = "low" if direction == -1 else "high"
+        idx = self._layer_index(axis, side, ghost=False)
+        sl: list = [slice(None)] * 4
+        sl[0] = slots
+        sl[1 + axis] = idx
+        self.solver.fg[tuple(sl)] = data[slots]
+
+    def _crossing_slots(self, axis: int, direction: int) -> np.ndarray:
+        cache = getattr(self, "_crossing_slot_cache", None)
+        if cache is None:
+            cache = self._crossing_slot_cache = {}
+        key = (axis, direction)
+        if key not in cache:
+            c = self.solver.lattice.c
+            cache[key] = np.flatnonzero(c[:, axis] == -direction)
+        return cache[key]
 
     def fill_ghost_zero_gradient(self, axis: int, direction: int) -> None:
         side = "low" if direction == -1 else "high"

@@ -95,6 +95,7 @@ class WorkerSpec:
     q: int = 19
     kernel: str = "auto"                # per-rank hot-path selection
     sparse_threshold: float = 0.5
+    autotune: str = "heuristic"         # "heuristic" | "measured"
 
 
 class RankProxy:
@@ -105,7 +106,8 @@ class RankProxy:
     """
 
     __slots__ = ("rank", "compute_s", "agp_s", "overlap_window_s",
-                 "kernel_used", "solid_fraction")
+                 "kernel_used", "solid_fraction", "kernel_reason",
+                 "kernel_rates")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
@@ -114,6 +116,8 @@ class RankProxy:
         self.overlap_window_s = 0.0
         self.kernel_used = "unstepped"
         self.solid_fraction = 0.0
+        self.kernel_reason: str | None = None
+        self.kernel_rates: dict | None = None
 
 
 def _build_node(spec: WorkerSpec):
@@ -132,7 +136,8 @@ def _build_node(spec: WorkerSpec):
                    cpu_spec=spec.cpu_spec, use_sse=spec.use_sse,
                    inlet=spec.inlet, outflow=spec.outflow, force=spec.force,
                    kernel=spec.kernel,
-                   sparse_threshold=spec.sparse_threshold)
+                   sparse_threshold=spec.sparse_threshold,
+                   autotune=spec.autotune)
 
 
 class _Worker:
@@ -174,12 +179,22 @@ class _Worker:
         fg0, fg1 = self.segs.fg_bufs
         solver = self.node.solver
         fg0[...] = solver.fg
-        fg1[...] = solver._fg_next
         solver.fg = fg0
+        if self.spec.kernel == "aa":
+            # The AA kernel is single-array: leave the lazy back
+            # buffer unallocated (its absence is asserted by the
+            # check-aa gate); the second shared buffer serves only as
+            # the staging area for odd-parity gathers.
+            return
+        buf = solver._fg_next_buf
+        fg1[...] = buf if buf is not None else 0.0
         solver._fg_next = fg1
 
     # -- halo exchange over shared mailboxes ----------------------------
     def _exchange(self) -> None:
+        if self.spec.kernel == "aa" and (self.step_count & 1):
+            self._exchange_reverse()
+            return
         node, spec = self.node, self.spec
         slot = self.step_count & 1
         own_mail = self.segs.mail
@@ -197,6 +212,36 @@ class _Worker:
                         node.fill_ghost_zero_gradient(axis, direction)
                 else:
                     node.write_ghost(
+                        axis, direction,
+                        self.peer_mail[peer].mail[axis][-direction][slot])
+
+    def _exchange_reverse(self) -> None:
+        """Odd-step AA exchange: ghost planes travel back to owners.
+
+        Mirror image of :meth:`_exchange` (see
+        ``_ClusterLBMBase._exchange_reverse``): each rank mails its two
+        ghost planes — holding the populations its border cells just
+        scattered outward — and after the barrier folds the neighbours'
+        (or, on a periodic self-wrap, its own) opposite ghost planes
+        onto its border layers, crossing link slots only.  The same
+        double-buffered slots and one-barrier-per-axis cadence apply.
+        """
+        node, spec = self.node, self.spec
+        slot = self.step_count & 1
+        own_mail = self.segs.mail
+        for axis in range(3):
+            node.read_ghost_planes(axis,
+                                   out={-1: own_mail[axis][-1][slot],
+                                        1: own_mail[axis][1][slot]})
+            self._barrier_wait()
+            for direction in (-1, 1):
+                peer = spec.neighbors[(axis, direction)]
+                if peer is None:
+                    # ClusterConfig guarantees full periodicity for AA.
+                    node.write_border_crossing(
+                        axis, direction, own_mail[axis][-direction][slot])
+                else:
+                    node.write_border_crossing(
                         axis, direction,
                         self.peer_mail[peer].mail[axis][-direction][slot])
 
@@ -232,6 +277,8 @@ class _Worker:
             "overlap_window_s": node.overlap_window_s,
             "kernel_used": getattr(node, "kernel_used", "n/a"),
             "solid_fraction": float(getattr(node, "solid_fraction", 0.0)),
+            "kernel_reason": getattr(node, "kernel_reason", None),
+            "kernel_rates": getattr(node, "kernel_rates", None),
             "counters": rec.summary(),
             "cur": self.step_count & 1,
         }
@@ -243,6 +290,16 @@ class _Worker:
     def _gather(self) -> dict:
         if self.spec.node_kind == "gpu":
             self.segs.stage[...] = self.node.solver.distributions()
+        elif self.spec.kernel == "aa" and (self.step_count & 1):
+            # Odd AA parity: the single shared array holds the rotated
+            # mid-pair layout.  Stage the canonical read-only
+            # reconstruction into the (otherwise unused) spare buffer
+            # so the coordinator reads ordinary distributions.
+            solver = self.node.solver
+            fg1 = self.segs.fg_bufs[1]
+            inner = (slice(None),) + tuple(slice(1, -1)
+                                           for _ in solver.shape)
+            fg1[inner] = solver.f
         else:
             # CPU distributions already live in the shared fg buffers.
             pass
@@ -495,6 +552,8 @@ class ProcessBackend:
             proxy.overlap_window_s = payload["overlap_window_s"]
             proxy.kernel_used = payload.get("kernel_used", "n/a")
             proxy.solid_fraction = payload.get("solid_fraction", 0.0)
+            proxy.kernel_reason = payload.get("kernel_reason")
+            proxy.kernel_rates = payload.get("kernel_rates")
         return payloads
 
     def gather_parts(self) -> list[np.ndarray]:

@@ -17,6 +17,8 @@ from repro.lbm.lattice import D2Q9, D3Q19, Lattice
 from repro.lbm.equilibrium import equilibrium
 from repro.lbm.macroscopic import macroscopic, density, momentum
 from repro.lbm.collision import BGKCollision, viscosity_to_tau, tau_to_viscosity
+from repro.lbm.aa import AAStepKernel
+from repro.lbm.autotune import KernelChoice, choose_kernel, clear_autotune_cache
 from repro.lbm.fused import FusedStepKernel
 from repro.lbm.sparse import SparseStepKernel
 from repro.lbm.mrt import MRTCollision, mrt_matrix
@@ -50,6 +52,10 @@ __all__ = [
     "stream_periodic",
     "stream_pull",
     "pull_slice_table",
+    "AAStepKernel",
+    "KernelChoice",
+    "choose_kernel",
+    "clear_autotune_cache",
     "FusedStepKernel",
     "SparseStepKernel",
     "BounceBackNodes",

@@ -1,0 +1,190 @@
+"""Measured per-domain kernel autotuning for ``kernel="auto"``.
+
+The solid-fraction heuristic the solver shipped with picks a *plausible*
+kernel, but the GPGPU tuning literature (Habich et al., arXiv:1112.0850;
+Calore et al., arXiv:1703.00185) is unambiguous that the best
+kernel/layout choice is machine- and sub-domain-dependent: the
+crossover between dense, sparse-compacted and AA-pattern streaming
+moves with obstacle geometry, grid shape and cache sizes.  This module
+replaces guessing with a short micro-benchmark.
+
+``choose_kernel(solver)`` probes every *eligible* candidate kernel
+(``aa``, ``fused``, ``sparse``, ``split``) for a few warm-up plus timed
+steps on (a crop of) the solver's actual domain — same dtype, same
+solid mask, same relaxation time — and picks the fastest.  Decisions
+are cached per ``(shape, dtype, solid-fraction bucket, candidate set,
+periodicity, phase-driven)`` so a cluster with many same-shaped ranks
+(or repeated runs in one process) probes once per distinct
+configuration, not once per rank.
+
+Determinism: micro-benchmarks jitter, so the raw argmax would flap on
+near ties.  The winner is instead the *first* kernel in a fixed
+priority order (:data:`PRIORITY` — most memory-frugal first) whose
+measured rate is within :data:`MARGIN` of the best; only a decisive
+(>8%) win can displace an earlier-priority kernel.  All candidates are
+bit-identical, so a flapped choice can never change physics — only the
+wall clock.
+
+Probe cost is bounded by :data:`PROBE_MAX_CELLS`: over-size domains are
+probed on a corner crop (halving the longest axis until under the
+bound), which preserves the solid-geometry character that drives the
+dense/sparse crossover while keeping the probe a few percent of a
+100-step run (recorded as ``autotune_overhead`` in the benchmarks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Probe crops the domain (halving the longest axis) until at or under
+#: this many cells.
+PROBE_MAX_CELLS = 48000
+#: Un-timed steps per candidate (kernel construction, cache warm-up).
+WARM_STEPS = 2
+#: Timed steps per candidate (even so the AA pair cadence is complete).
+TIMED_STEPS = 2
+#: A candidate must beat the best rate times this to displace an
+#: earlier-priority kernel.
+MARGIN = 0.92
+#: Tie-break order: prefer the smaller-working-set kernel.
+PRIORITY = ("aa", "fused", "sparse", "split")
+#: Sparse compaction only pays once a real fraction of sites is solid;
+#: below this the candidate is not even probed.
+SPARSE_PROBE_MIN_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class KernelChoice:
+    """A resolved autotune decision."""
+    kernel: str
+    reason: str
+    #: Measured MLUPS per candidate (empty when no probe was needed).
+    rates: dict[str, float] = field(default_factory=dict)
+    probed: bool = False
+
+
+_CACHE: dict[tuple, KernelChoice] = {}
+
+
+def clear_autotune_cache() -> None:
+    """Drop all cached decisions (tests / benchmark isolation)."""
+    _CACHE.clear()
+
+
+def still_eligible(solver, kind: str) -> bool:
+    """Whether a previously chosen kernel can still run on ``solver``.
+
+    Re-checked every step because eligibility can drift after the probe
+    (e.g. a boundary handler appended post-construction).
+    """
+    from repro.lbm.aa import AAStepKernel
+    from repro.lbm.fused import FusedStepKernel
+    from repro.lbm.sparse import SparseStepKernel
+    if kind == "split":
+        return True
+    if kind == "fused":
+        return (solver.fused and not solver.phase_driven
+                and FusedStepKernel.eligible(solver))
+    if kind == "sparse":
+        return SparseStepKernel.eligible(solver)
+    if kind == "aa":
+        return (not solver.phase_driven and AAStepKernel.eligible(solver))
+    return False
+
+
+def candidate_kernels(solver) -> tuple[str, ...]:
+    """Eligible probe candidates for ``solver``, in priority order.
+
+    ``split`` is always a candidate (it is every kernel's fallback).
+    Whole-step-only kernels (``fused``, ``aa``) are excluded when the
+    solver is phase-driven by a cluster driver, and ``fused=False``
+    keeps its historic meaning as an escape hatch to phase-split.
+    ``sparse`` is considered only once the solid fraction could
+    plausibly pay for compaction (:data:`SPARSE_PROBE_MIN_FRACTION`).
+    """
+    from repro.lbm.sparse import SparseStepKernel
+    cands = [k for k in ("aa", "fused") if still_eligible(solver, k)]
+    if (SparseStepKernel.eligible(solver)
+            and solver.solid_fraction >= SPARSE_PROBE_MIN_FRACTION):
+        cands.append("sparse")
+    cands.append("split")
+    return tuple(cands)
+
+
+def _probe_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Crop ``shape`` (halving the longest axis) to the probe budget."""
+    dims = list(shape)
+    while int(np.prod(dims)) > PROBE_MAX_CELLS:
+        ax = int(np.argmax(dims))
+        if dims[ax] <= 2:
+            break
+        dims[ax] = max(2, dims[ax] // 2)
+    return tuple(dims)
+
+
+def _cache_key(solver, cands: tuple[str, ...]) -> tuple:
+    bucket = int(round(solver.solid_fraction * 20))
+    return (solver.shape, str(solver.dtype), bucket, cands,
+            solver.periodic, solver.phase_driven)
+
+
+def _probe_rates(solver, cands: tuple[str, ...]) -> dict[str, float]:
+    """Measured MLUPS per candidate on a crop of the solver's domain."""
+    from repro.lbm.solver import LBMSolver
+    pshape = _probe_shape(solver.shape)
+    crop = tuple(slice(0, n) for n in pshape)
+    solid = np.ascontiguousarray(solver.solid[crop])
+    cells = float(np.prod(pshape))
+    rates: dict[str, float] = {}
+    for cand in cands:
+        probe = LBMSolver(pshape, tau=solver.collision.tau, solid=solid,
+                          periodic=True, dtype=solver.dtype, kernel=cand,
+                          sparse_threshold=solver.sparse_threshold,
+                          autotune="heuristic")
+        probe.counters.enabled = False
+        probe.step(WARM_STEPS)
+        t0 = time.perf_counter()
+        probe.step(TIMED_STEPS)
+        dt = time.perf_counter() - t0
+        rates[cand] = cells * TIMED_STEPS / max(dt, 1e-9) / 1e6
+    return rates
+
+
+def choose_kernel(solver) -> KernelChoice:
+    """Resolve the measured kernel choice for ``solver`` (cached).
+
+    Single-candidate configurations (e.g. non-BGK collision, or a
+    phase-driven rank whose solid fraction rules sparse out) skip the
+    probe entirely — the autotuner never costs anything when there is
+    no decision to make.
+    """
+    cands = candidate_kernels(solver)
+    rec = solver.counters
+    live = rec is not None and rec.enabled
+    if len(cands) == 1:
+        return KernelChoice(cands[0],
+                            f"measured: only candidate is {cands[0]!r}")
+    key = _cache_key(solver, cands)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        if live:
+            rec.add("autotune.cached", 0.0)
+        return cached
+    if live:
+        with rec.phase("autotune.probe"):
+            rates = _probe_rates(solver, cands)
+    else:
+        rates = _probe_rates(solver, cands)
+    best = max(rates.values())
+    winner = next(k for k in PRIORITY
+                  if k in rates and rates[k] >= MARGIN * best)
+    detail = ", ".join(f"{k}={rates[k]:.1f}" for k in rates)
+    choice = KernelChoice(
+        winner, f"measured: probe on {_probe_shape(solver.shape)} "
+                f"picked {winner!r} (MLUPS: {detail})",
+        rates=rates, probed=True)
+    _CACHE[key] = choice
+    return choice

@@ -55,6 +55,36 @@ from repro.lbm.lattice import Lattice
 from repro.lbm.streaming import interior, pull_slice_table
 
 
+def build_solid_padded(solver, pshape) -> np.ndarray:
+    """Solid mask on the padded grid, ghost shell included.
+
+    Ghost cells are marked solid exactly when their source interior
+    cell is solid, mirroring the solver's ghost fill (periodic wrap
+    or zero-gradient edge copy, same axis order), so kernels that
+    relax the full padded field and restore solids afterwards keep
+    pre-collision values on every solid *image* too.  Shared by the
+    fused and AA kernels.
+    """
+    D = len(pshape)
+    sp = np.zeros(pshape, dtype=bool)
+    sp[tuple(slice(1, -1) for _ in range(D))] = solver.solid
+    for ax in range(D):
+        n = sp.shape[ax]
+        lo = [slice(None)] * D
+        src = [slice(None)] * D
+        if solver.periodic:
+            lo[ax], src[ax] = 0, n - 2
+            sp[tuple(lo)] = sp[tuple(src)]
+            lo[ax], src[ax] = n - 1, 1
+            sp[tuple(lo)] = sp[tuple(src)]
+        else:
+            lo[ax], src[ax] = 0, 1
+            sp[tuple(lo)] = sp[tuple(src)]
+            lo[ax], src[ax] = n - 1, n - 2
+            sp[tuple(lo)] = sp[tuple(src)]
+    return sp
+
+
 class FusedStepKernel:
     """Single-pass collide+stream kernel bound to one ``LBMSolver``.
 
@@ -125,31 +155,8 @@ class FusedStepKernel:
 
     @staticmethod
     def _build_solid_padded(solver, pshape) -> np.ndarray:
-        """Solid mask on the padded grid, ghost shell included.
-
-        Ghost cells are marked solid exactly when their source interior
-        cell is solid, mirroring the solver's ghost fill (periodic wrap
-        or zero-gradient edge copy, same axis order), so the restore
-        step keeps pre-collision values on every solid *image* too.
-        """
-        D = len(pshape)
-        sp = np.zeros(pshape, dtype=bool)
-        sp[tuple(slice(1, -1) for _ in range(D))] = solver.solid
-        for ax in range(D):
-            n = sp.shape[ax]
-            lo = [slice(None)] * D
-            src = [slice(None)] * D
-            if solver.periodic:
-                lo[ax], src[ax] = 0, n - 2
-                sp[tuple(lo)] = sp[tuple(src)]
-                lo[ax], src[ax] = n - 1, 1
-                sp[tuple(lo)] = sp[tuple(src)]
-            else:
-                lo[ax], src[ax] = 0, 1
-                sp[tuple(lo)] = sp[tuple(src)]
-                lo[ax], src[ax] = n - 1, n - 2
-                sp[tuple(lo)] = sp[tuple(src)]
-        return sp
+        """See :func:`build_solid_padded` (kept as a method for callers)."""
+        return build_solid_padded(solver, pshape)
 
     # ------------------------------------------------------------------
     def _moments(self) -> None:

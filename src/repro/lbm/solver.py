@@ -70,19 +70,33 @@ class LBMSolver:
         fluid-compacted kernel (:class:`~repro.lbm.sparse.SparseStepKernel`)
         when the solid fraction reaches ``sparse_threshold`` and the
         fused dense kernel otherwise (phase-split when ``fused=False``
-        or the configuration is ineligible); ``"fused"``, ``"sparse"``
-        and ``"split"`` force one path (ineligible configurations still
-        fall back to ``"split"``).  All paths are bit-identical.
+        or the configuration is ineligible); ``"fused"``, ``"sparse"``,
+        ``"aa"`` (swap-free two-phase AA pattern,
+        :class:`~repro.lbm.aa.AAStepKernel`) and ``"split"`` force one
+        path (ineligible configurations still fall back to
+        ``"split"``).  All paths are bit-identical (AA after every pair
+        of steps on the raw distributions, every step on macroscopic
+        fields and the reconstructed ``f`` view).
     sparse_threshold:
         Solid fraction at or above which ``kernel="auto"`` selects the
         sparse kernel (default 0.5).
+    autotune:
+        How ``kernel="auto"`` decides: ``"heuristic"`` (default) keeps
+        the solid-fraction threshold rule above; ``"measured"``
+        micro-benchmarks the eligible candidate kernels on (a crop of)
+        this solver's actual domain at first step and picks the fastest
+        (see :mod:`repro.lbm.autotune`), caching the decision per
+        (shape, solid-fraction bucket, candidate set).  The selection
+        reason and measured rates are exposed as ``kernel_reason`` /
+        ``kernel_rates``.
     """
 
     def __init__(self, shape, tau: float, lattice: Lattice = D3Q19,
                  collision: str | object = "bgk", solid=None, boundaries=(),
                  force=None, periodic: bool = True, dtype=np.float32,
                  fused: bool = True, kernel: str = "auto",
-                 sparse_threshold: float = 0.5) -> None:
+                 sparse_threshold: float = 0.5,
+                 autotune: str = "heuristic") -> None:
         self.lattice = lattice
         self.shape = tuple(int(s) for s in shape)
         if len(self.shape) != lattice.D:
@@ -110,13 +124,20 @@ class LBMSolver:
 
         padded = (lattice.Q,) + tuple(s + 2 for s in self.shape)
         self.fg = np.zeros(padded, dtype=self.dtype)
-        self._fg_next = np.zeros(padded, dtype=self.dtype)
+        #: Spare streaming buffer, allocated on first use (see the
+        #: ``_fg_next`` property) so the swap-free AA kernel keeps a
+        #: single-array distribution working set.
+        self._fg_next_buf: np.ndarray | None = None
         self._pull_slices = pull_slice_table(lattice, padded[1:])
         self.fused = bool(fused)
-        if kernel not in ("auto", "fused", "sparse", "split"):
-            raise ValueError(f"kernel must be 'auto', 'fused', 'sparse' or "
-                             f"'split', got {kernel!r}")
+        if kernel not in ("auto", "fused", "sparse", "split", "aa"):
+            raise ValueError(f"kernel must be 'auto', 'fused', 'sparse', "
+                             f"'split' or 'aa', got {kernel!r}")
         self.kernel = kernel
+        if autotune not in ("heuristic", "measured"):
+            raise ValueError(f"autotune must be 'heuristic' or 'measured', "
+                             f"got {autotune!r}")
+        self.autotune = autotune
         self.sparse_threshold = float(sparse_threshold)
         self.solid_fraction = float(self.solid.mean()) if self.solid.size else 0.0
         #: Which hot path actually ran ("fused" | "sparse" | "split");
@@ -124,6 +145,23 @@ class LBMSolver:
         self.kernel_used: str | None = None
         self._fused_kernel: FusedStepKernel | None = None
         self._sparse_kernel = None
+        self._aa_kernel = None
+        #: Why the current kernel was selected — "forced ...",
+        #: "heuristic: ..." or "measured: ..." — and, for measured
+        #: autotuning, the probe's MLUPS per candidate kernel.
+        self.kernel_reason: str | None = None
+        self.kernel_rates: dict[str, float] | None = None
+        self._reason_kind: str | None = None
+        self._autotune_choice = None
+        #: Set True by the cluster drivers: the solver is stepped
+        #: through its split phase entry points, which removes the
+        #: whole-step-only kernels (fused, aa) from the measured
+        #: autotune candidate set.
+        self.phase_driven = False
+        #: Set True by a cluster driver that takes over the AA halo
+        #: protocol (forward exchange after even phases, reverse ghost
+        #: fold-back after odd phases).
+        self.aa_halo_managed = False
         #: Set by the sparse stream (bounce-back is folded into its
         #: gather table) so post_stream skips the dense swap.
         self._bounce_folded = False
@@ -141,11 +179,36 @@ class LBMSolver:
     # ------------------------------------------------------------------
     @property
     def f(self) -> np.ndarray:
-        """Interior (unpadded) view of the distributions."""
+        """Interior (unpadded) distributions in canonical layout.
+
+        A live view of the padded array, except at odd parity under the
+        AA kernel, where the single array holds the rotated mid-pair
+        layout: there a read-only canonical reconstruction is returned
+        (bit-identical to the reference solver's state, see
+        :meth:`repro.lbm.aa.AAStepKernel.reconstruct`).
+        """
+        if self._aa_kernel is not None and (self.time_step & 1):
+            return self._aa_kernel.reconstruct()
         return self.fg[(slice(None),) + interior(self.lattice.D)]
+
+    @property
+    def _fg_next(self) -> np.ndarray:
+        """Spare streaming buffer, allocated lazily on first access."""
+        buf = self._fg_next_buf
+        if buf is None:
+            buf = self._fg_next_buf = np.zeros_like(self.fg)
+        return buf
+
+    @_fg_next.setter
+    def _fg_next(self, value: np.ndarray) -> None:
+        self._fg_next_buf = value
 
     def initialize(self, rho: float | np.ndarray = 1.0, u=None) -> None:
         """Set distributions to equilibrium at ``(rho, u)``."""
+        # Reset the step counter first: under the AA kernel at odd
+        # parity ``self.f`` returns a read-only reconstruction, and a
+        # reset solver starts canonical at step 0 by definition.
+        self.time_step = 0
         lat = self.lattice
         if np.isscalar(rho) and (u is None or np.asarray(u).ndim == 1):
             uvec = np.zeros(lat.D) if u is None else np.asarray(u, dtype=np.float64)
@@ -156,31 +219,65 @@ class LBMSolver:
             u_arr = (np.zeros((lat.D,) + self.shape, dtype=self.dtype) if u is None
                      else np.asarray(u, dtype=self.dtype))
             self.f[...] = equilibrium(lat, rho_arr, u_arr)
-        self.time_step = 0
 
     # -- kernel selection ----------------------------------------------
+    def _note_selection(self, kind: str, reason_parts) -> str:
+        """Record ``kernel_reason`` once per selection change."""
+        if kind != self._reason_kind:
+            self._reason_kind = kind
+            self.kernel_reason = "".join(reason_parts)
+        return kind
+
     def _select_kernel(self) -> str:
         """Resolve which hot path this step should run.
 
         Re-checked every step (boundary handlers may be appended after
         construction).  ``"auto"`` honours the legacy ``fused`` switch
-        — ``fused=False`` keeps the historic phase-split behaviour —
-        and picks sparse only when the local solid fraction reaches
-        ``sparse_threshold``, the per-rank selection rule the cluster
-        drivers rely on.
+        — ``fused=False`` keeps the historic phase-split behaviour.
+        With ``autotune="heuristic"`` it picks sparse exactly when the
+        local solid fraction reaches ``sparse_threshold`` (the per-rank
+        selection rule the cluster drivers historically relied on);
+        with ``autotune="measured"`` it defers to the cached measured
+        probe (:mod:`repro.lbm.autotune`), falling back to the
+        heuristic if the configuration drifted since the probe.
         """
+        from repro.lbm.aa import AAStepKernel
         from repro.lbm.sparse import SparseStepKernel
         if self.kernel == "split":
-            return "split"
-        if self.kernel == "sparse":
-            return "sparse" if SparseStepKernel.eligible(self) else "split"
-        if self.kernel == "fused":
-            return "fused" if FusedStepKernel.eligible(self) else "split"
+            return self._note_selection("split", ("forced kernel='split'",))
+        if self.kernel in ("sparse", "fused", "aa"):
+            kern_cls = {"sparse": SparseStepKernel, "fused": FusedStepKernel,
+                        "aa": AAStepKernel}[self.kernel]
+            if kern_cls.eligible(self):
+                return self._note_selection(
+                    self.kernel, ("forced kernel=", repr(self.kernel)))
+            return self._note_selection(
+                "split", ("forced kernel=", repr(self.kernel),
+                          " ineligible; fell back to split"))
+        if self.autotune == "measured":
+            from repro.lbm import autotune
+            choice = self._autotune_choice
+            if choice is None:
+                choice = self._autotune_choice = autotune.choose_kernel(self)
+                self.kernel_rates = choice.rates
+            if autotune.still_eligible(self, choice.kernel):
+                return self._note_selection(choice.kernel, (choice.reason,))
+            # Configuration drifted since the probe (e.g. a boundary
+            # handler was appended): fall through to the heuristic.
         if not self.fused or not FusedStepKernel.eligible(self):
-            return "split"
+            return self._note_selection(
+                "split", ("heuristic: fused kernel disabled or ineligible",))
         if self.solid_fraction >= self.sparse_threshold:
-            return "sparse"
-        return "fused"
+            return self._note_selection(
+                "sparse", ("heuristic: solid_fraction ",
+                           format(self.solid_fraction, ".3f"),
+                           " >= sparse_threshold ",
+                           format(self.sparse_threshold, "g")))
+        return self._note_selection(
+            "fused", ("heuristic: solid_fraction ",
+                      format(self.solid_fraction, ".3f"),
+                      " < sparse_threshold ",
+                      format(self.sparse_threshold, "g")))
 
     def _sparse_kernel_for_phase(self):
         """The sparse kernel when selected, else None (dense phases run).
@@ -196,9 +293,38 @@ class LBMSolver:
             self._sparse_kernel = SparseStepKernel(self)
         return self._sparse_kernel
 
+    def _aa_kernel_for_phase(self):
+        """The AA kernel when selected, else None (classic phases run).
+
+        Like the sparse hook, this lets the cluster drivers keep their
+        collide/exchange/finish phase protocol: under AA the collide
+        phases run the parity-appropriate in-place AA phase and the
+        stream phase is a no-op (streaming happened in place).
+        """
+        if self._select_kernel() != "aa":
+            return None
+        if self._aa_kernel is None:
+            from repro.lbm.aa import AAStepKernel
+            self._aa_kernel = AAStepKernel(self)
+        return self._aa_kernel
+
+    def _aa_even(self) -> bool:
+        """True when the step being computed runs the AA even phase."""
+        return (self.time_step & 1) == 0
+
     # -- step phases (reused by the distributed driver) ----------------
     def collide(self) -> None:
         """Collision on interior fluid cells (in place)."""
+        akern = self._aa_kernel_for_phase()
+        if akern is not None:
+            self.kernel_used = "aa"
+            with self.tracer.span("solver.collide", step=self.time_step,
+                                  kernel="aa"):
+                if self._aa_even():
+                    akern.even_phase(None)
+                else:
+                    akern.odd_phase(None)
+            return
         kern = self._sparse_kernel_for_phase()
         kind = "sparse" if kern is not None else "split"
         with self.tracer.span("solver.collide", step=self.time_step,
@@ -239,6 +365,22 @@ class LBMSolver:
         the halo exchange while the inner core is still colliding
         (the paper's Sec-4.4 communication/computation overlap).
         """
+        akern = self._aa_kernel_for_phase()
+        if akern is not None:
+            # AA phases are location-owned (a region reads and writes
+            # exactly the slots its own sites own), so the shell/core
+            # split stays hazard-free in either parity and the comm
+            # overlap works unchanged.
+            self.kernel_used = "aa"
+            even = self._aa_even()
+            with self.tracer.span("solver.collide_boundary",
+                                  step=self.time_step, kernel="aa"):
+                for sl in self._split_parts()[0]:
+                    if even:
+                        akern.even_phase(sl)
+                    else:
+                        akern.odd_phase(sl)
+            return
         kern = self._sparse_kernel_for_phase()
         kind = "sparse" if kern is not None else "split"
         with self.tracer.span("solver.collide_boundary",
@@ -253,6 +395,16 @@ class LBMSolver:
 
     def collide_inner(self) -> None:
         """Collide the inner core (everything the shell excludes)."""
+        akern = self._aa_kernel_for_phase()
+        if akern is not None:
+            even = self._aa_even()
+            with self.tracer.span("solver.collide_inner",
+                                  step=self.time_step, kernel="aa"):
+                if even:
+                    akern.even_phase(self._split_parts()[1])
+                else:
+                    akern.odd_phase(self._split_parts()[1])
+            return
         kern = self._sparse_kernel_for_phase()
         kind = "sparse" if kern is not None else "split"
         with self.tracer.span("solver.collide_inner",
@@ -273,6 +425,17 @@ class LBMSolver:
             self._fill_ghosts()
 
     def _fill_ghosts(self) -> None:
+        if (self._aa_kernel is not None and not self._aa_even()
+                and self._select_kernel() == "aa"):
+            # Odd AA phase: the scatter pushed border populations into
+            # the ghost shell — fold them back onto their wrap image
+            # instead of filling (the forward fill only serves the even
+            # phase's gather).  Periodic-only; cluster drivers with
+            # ``aa_halo_managed`` run their reverse exchange instead.
+            if not self.periodic:
+                raise RuntimeError("AA ghost fold requires a periodic domain")
+            self._aa_kernel.fold_ghosts()
+            return
         if self.periodic:
             fill_ghosts_periodic(self.fg)
         else:
@@ -294,8 +457,22 @@ class LBMSolver:
         compact gather tables with bounce-back folded into the solid
         destinations, and flags ``post_stream`` to skip the dense swap.
         """
-        kern = self._sparse_kernel_for_phase()
         rec = self.counters
+        akern = self._aa_kernel_for_phase()
+        if akern is not None:
+            # Streaming already happened in place (reversed writes on
+            # even phases, forward scatter on odd ones); the stream
+            # phase only settles the bounce-back bookkeeping: after an
+            # even phase the reversed write *is* the bounce, after an
+            # odd phase post_stream applies the usual solid swap.
+            with self.tracer.span("solver.stream", step=self.time_step,
+                                  kernel="aa"):
+                self.kernel_used = "aa"
+                self._bounce_folded = self._aa_even()
+            if rec is not None and rec.enabled:
+                rec.add("kernel.aa", 0.0)
+            return
+        kern = self._sparse_kernel_for_phase()
         kind = "sparse" if kern is not None else "split"
         with self.tracer.span("solver.stream", step=self.time_step,
                               kernel=kind):
@@ -362,7 +539,20 @@ class LBMSolver:
     def step(self, n: int = 1) -> None:
         """Advance ``n`` LBM time steps."""
         for _ in range(n):
-            if self._select_kernel() == "fused":
+            selected = self._select_kernel()
+            if selected == "aa":
+                if not self.periodic:
+                    raise RuntimeError(
+                        "AA single-domain stepping requires a periodic "
+                        "domain (cluster drivers manage the halo instead)")
+                akern = self._aa_kernel_for_phase()
+                self.kernel_used = "aa"
+                with self.tracer.span("solver.step", step=self.time_step,
+                                      kernel="aa"):
+                    akern.step_once()
+                self.time_step += 1
+                continue
+            if selected == "fused":
                 kern = self._fused_kernel_for_step()
             else:
                 kern = None

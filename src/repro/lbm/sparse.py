@@ -372,6 +372,7 @@ def run_sparse_equivalence_check(shape=(24, 20, 4), steps: int = 3,
     for backend in backends:
         cfg = ClusterConfig(sub_shape=sub, arrangement=(2, 2, 1), tau=0.7,
                             solid=solid, backend=backend,
+                            autotune="heuristic",
                             sparse_threshold=threshold)
         with CPUClusterLBM(cfg) as cluster:
             cluster.load_global_distributions(f0)

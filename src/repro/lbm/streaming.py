@@ -152,3 +152,36 @@ def fill_ghosts_periodic(f: np.ndarray) -> None:
         lo[ax] = n - 1
         hi[ax] = 1
         f[tuple(lo)] = f[tuple(hi)]
+
+
+def fold_ghosts_periodic(lattice: Lattice, fg: np.ndarray) -> None:
+    """Fold ghost-plane *crossing* populations onto their wrap image.
+
+    The inverse of :func:`fill_ghosts_periodic`, used by the AA-pattern
+    kernel (:mod:`repro.lbm.aa`): its odd-phase scatter pushes
+    post-collision populations of border cells into the ghost shell
+    (``a_i(x + c_i)`` with ``x + c_i`` outside the interior).  On a
+    periodic domain those locations are images of interior cells on the
+    opposite side, so per axis the two ghost planes are copied back onto
+    the adjacent far-side interior layers — but only for the link slots
+    that actually cross that face (``c_i[ax] == +1`` for the high ghost,
+    ``-1`` for the low ghost); the remaining slots of a ghost plane hold
+    stale fill data that must not leak inward.
+
+    Axes are processed sequentially over the full plane extent, so
+    edge/corner contributions relay through the rims exactly like the
+    fill handles diagonals (and like the cluster's two-hop routing).
+    """
+    for ax in range(fg.ndim - 1):
+        n = fg.shape[1 + ax]
+        lo_slots = np.flatnonzero(lattice.c[:, ax] == -1)
+        hi_slots = np.flatnonzero(lattice.c[:, ax] == 1)
+        for slots, ghost, image in ((hi_slots, n - 1, 1),
+                                    (lo_slots, 0, n - 2)):
+            src: list = [slice(None)] * fg.ndim
+            dst: list = [slice(None)] * fg.ndim
+            src[0] = slots
+            dst[0] = slots
+            src[1 + ax] = ghost
+            dst[1 + ax] = image
+            fg[tuple(dst)] = fg[tuple(src)]

@@ -1,0 +1,209 @@
+"""AA-pattern (swap-free, two-phase) kernel: equivalence + contracts.
+
+The AA kernel streams in place on a single distribution array: even
+steps collide pointwise with reversed-direction writes, odd steps
+gather-collide-scatter through neighbour cells.  These tests pin the
+contracts the rest of the repo relies on:
+
+* bit-identical macroscopic fields after *every* step and bit-identical
+  distributions after every step (odd parity via the read-only
+  reconstruction) against the phase-split reference;
+* exactly one full-size distribution array (the lazy back buffer stays
+  unallocated);
+* the cluster drivers' forward/reverse halo protocol reproduces the
+  reference bits with the periodic fold replaced by real exchanges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM, GPUClusterLBM
+from repro.lbm import AAStepKernel, LBMSolver
+from repro.lbm.lattice import D3Q19
+from repro.lbm.boundaries import OutflowBoundary
+
+SHAPE = (16, 12, 6)
+
+
+def _city(shape=SHAPE):
+    from repro.urban.city import times_square_like
+    from repro.urban.voxelize import voxelize_city
+    return voxelize_city(times_square_like(seed=7), shape,
+                         resolution_m=24.0, ground_layers=2)
+
+
+def _pair(shape=SHAPE, solid=None, seed=0, **kwargs):
+    """(reference split solver, AA solver) on identical initial state."""
+    rng = np.random.default_rng(seed)
+    u0 = (0.02 * rng.standard_normal((3,) + shape)).astype(np.float32)
+    if solid is not None:
+        u0[:, solid] = 0
+    solvers = []
+    for kernel in ("split", "aa"):
+        s = LBMSolver(shape, tau=0.7, solid=solid, kernel=kernel, **kwargs)
+        s.initialize(rho=np.ones(shape, np.float32), u=u0)
+        solvers.append(s)
+    return solvers
+
+
+class TestSingleDomain:
+    def test_bit_identical_every_step(self):
+        solid = _city()
+        ref, aa = _pair(solid=solid)
+        for step in range(1, 7):
+            ref.step(1)
+            aa.step(1)
+            assert aa.kernel_used == "aa"
+            assert np.array_equal(aa.f, ref.f), f"f diverged at step {step}"
+            rho_r, u_r = ref.macroscopic()
+            rho_a, u_a = aa.macroscopic()
+            assert np.array_equal(rho_a, rho_r)
+            assert np.array_equal(u_a, u_r)
+
+    def test_bit_identical_with_force(self):
+        ref, aa = _pair(force=(1e-5, 0.0, 0.0))
+        ref.step(4)
+        aa.step(4)
+        assert np.array_equal(aa.f, ref.f)
+
+    def test_single_distribution_array(self):
+        _, aa = _pair(solid=_city())
+        aa.step(4)
+        # The swap-free kernel must never touch the lazy back buffer.
+        assert aa._fg_next_buf is None
+        assert aa._aa_kernel is not None
+
+    def test_workspace_allocs_counted(self):
+        _, aa = _pair(solid=_city())
+        aa.step(2)
+        summary = aa.counters.summary()
+        assert summary["aa.workspace"]["allocs"] == 10  # 9 scratch + solid
+        _, aa_fluid = _pair()
+        aa_fluid.step(2)
+        summary = aa_fluid.counters.summary()
+        assert summary["aa.workspace"]["allocs"] == 9
+
+    def test_odd_parity_reconstruction_read_only(self):
+        _, aa = _pair()
+        aa.step(1)
+        f = aa.f
+        assert not f.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            f[...] = 0.0
+        aa.step(1)          # back to even parity: writable live view
+        assert aa.f.flags.writeable
+
+    def test_phase_driven_split_pipeline_matches(self):
+        """Driving the AA solver phase by phase (the cluster protocol
+        shape) is bit-identical to whole steps."""
+        solid = _city()
+        ref, aa = _pair(solid=solid)
+        for _ in range(4):
+            ref.step(1)
+            aa.collide()
+            aa.fill_ghosts()   # forward fill (even) / ghost fold (odd)
+            aa.stream()
+            aa.post_stream()
+            aa.time_step += 1
+            assert np.array_equal(aa.f, ref.f)
+
+    def test_forced_aa_ineligible_falls_back_to_split(self):
+        s = LBMSolver(SHAPE, tau=0.7, periodic=False, kernel="aa",
+                      boundaries=[OutflowBoundary(D3Q19, 0, "low")])
+        s.initialize(rho=np.ones(SHAPE, np.float32), u=None)
+        s.step(1)
+        assert s.kernel_used == "split"
+        assert "ineligible" in s.kernel_reason
+
+    def test_eligibility_rules(self):
+        s = LBMSolver(SHAPE, tau=0.7)
+        assert AAStepKernel.eligible(s)
+        bounded = LBMSolver(SHAPE, tau=0.7, periodic=False)
+        assert not AAStepKernel.eligible(bounded)
+        bounded.aa_halo_managed = True      # a cluster driver owns the halo
+        assert AAStepKernel.eligible(bounded)
+
+    def test_counters_mark_aa_kernel(self):
+        _, aa = _pair()
+        aa.step(2)
+        summary = aa.counters.summary()
+        assert "kernel.aa" in summary
+        assert "aa.even" in summary and "aa.odd" in summary
+
+
+class TestCluster:
+    def _reference(self, shape, solid, seed=0):
+        rng = np.random.default_rng(seed)
+        u0 = (0.02 * rng.standard_normal((3,) + shape)).astype(np.float32)
+        u0[:, solid] = 0
+        ref = LBMSolver(shape, tau=0.7, solid=solid, kernel="split")
+        ref.initialize(rho=np.ones(shape, np.float32), u=u0)
+        return ref
+
+    @pytest.mark.parametrize("backend,workers", [("serial", 1),
+                                                 ("threads", 4)])
+    def test_cluster_aa_matches_reference(self, backend, workers):
+        shape = (16, 12, 6)
+        solid = _city(shape)
+        ref = self._reference(shape, solid)
+        f0 = ref.f.copy()
+        cfg = ClusterConfig(sub_shape=(8, 6, 6), arrangement=(2, 2, 1),
+                            tau=0.7, solid=solid, backend=backend,
+                            max_workers=workers, kernel="aa")
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            for step in range(1, 6):     # both parities, every step count
+                ref.step(1)
+                cluster.step(1)
+                assert np.array_equal(cluster.gather_distributions(), ref.f), \
+                    f"cluster AA diverged at step {step} ({backend})"
+            kinds = {row["kernel"] for row in cluster.kernel_report()}
+        assert kinds == {"aa"}
+
+    def test_cluster_aa_no_overlap_identical(self):
+        shape = (16, 12, 6)
+        solid = _city(shape)
+        ref = self._reference(shape, solid)
+        f0 = ref.f.copy()
+        ref.step(3)
+        cfg = ClusterConfig(sub_shape=(8, 6, 6), arrangement=(2, 2, 1),
+                            tau=0.7, solid=solid, overlap=False, kernel="aa")
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(3)
+            assert np.array_equal(cluster.gather_distributions(), ref.f)
+
+    def test_load_at_odd_parity_rejected(self):
+        cfg = ClusterConfig(sub_shape=(6, 6, 4), arrangement=(2, 1, 1),
+                            tau=0.7, kernel="aa")
+        with CPUClusterLBM(cfg) as cluster:
+            f0 = cluster.gather_distributions().copy()
+            cluster.load_global_distributions(f0)
+            cluster.step(1)
+            with pytest.raises(ValueError, match="odd AA parity"):
+                cluster.load_global_distributions(f0)
+            cluster.step(1)              # even again: loading works
+            cluster.load_global_distributions(f0)
+
+    def test_gpu_cluster_rejects_aa(self):
+        cfg = ClusterConfig(sub_shape=(6, 6, 4), arrangement=(2, 1, 1),
+                            tau=0.7, kernel="aa")
+        with pytest.raises(ValueError, match="CPU-only"):
+            GPUClusterLBM(cfg)
+
+    def test_aa_requires_fully_periodic(self):
+        with pytest.raises(ValueError, match="periodic"):
+            ClusterConfig(sub_shape=(6, 6, 4), arrangement=(2, 1, 1),
+                          tau=0.7, kernel="aa",
+                          periodic=(True, True, False))
+
+
+def test_gate_runs():
+    """The check-aa gate itself (serial backend; processes is covered
+    by the CLI gate to keep the tier-1 suite fast)."""
+    from repro.lbm.aa import run_aa_equivalence_check
+    report = run_aa_equivalence_check(steps=2, backends=("serial",))
+    assert report["occupancy"] > 0
+    assert set(report["backends"]) == {"serial"}

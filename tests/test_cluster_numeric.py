@@ -178,7 +178,7 @@ class TestSolidHeavyCity:
                              kernel="split")
         cfg = ClusterConfig(sub_shape=self.SUB, arrangement=self.ARR,
                             tau=0.7, solid=solid, backend=backend,
-                            max_workers=workers,
+                            max_workers=workers, autotune="heuristic",
                             sparse_threshold=self._mixing_threshold(solid))
         with CPUClusterLBM(cfg) as cluster:
             cluster.load_global_distributions(f0)
@@ -214,6 +214,7 @@ class TestSolidHeavyCity:
         threshold = self._mixing_threshold(solid)
         cfg = ClusterConfig(sub_shape=self.SUB, arrangement=self.ARR,
                             tau=0.7, solid=solid, overlap=False,
+                            autotune="heuristic",
                             sparse_threshold=threshold)
         with CPUClusterLBM(cfg) as cluster:
             cluster.load_global_distributions(f0)
