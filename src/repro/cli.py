@@ -14,6 +14,7 @@
     python -m repro check-sparse      # sparse-kernel equivalence gate
     python -m repro check-aa          # AA-pattern kernel equivalence gate
     python -m repro check-trace       # trace schema + no-op overhead gate
+    python -m repro check-balance     # weighted-decomposition load-balance gate
     python -m repro verify            # tier-1 tests + backend gates + regression guard
 
 All output comes from the same row generators the benchmark harness
@@ -264,6 +265,27 @@ def _cmd_check_trace(args) -> int:
     return 0
 
 
+def _cmd_check_balance(args) -> int:
+    """Load-balance gate: the occupancy-weighted cuts (and the
+    trace-driven rebalance closing the loop) must beat uniform cuts
+    and land under the imbalance target on a voxelized-city run, while
+    staying bit-identical to the single-domain reference."""
+    from repro.core.balance import run_balance_check
+
+    report = run_balance_check(steps=args.steps, threshold=args.threshold)
+    print(f"balance OK: {report['shape']} on {report['arrangement']} ranks, "
+          f"target max/mean <= {report['threshold']:.2f}")
+    for backend, info in report["backends"].items():
+        path = " -> ".join(f"{h:.2f}" for h in info["imbalance_history"])
+        print(f"  backend {backend}: imbalance uniform "
+              f"{info['imbalance_uniform']:.2f}, weighted+rebalance "
+              f"{path} ({info['rebalances']} rebalance(s), "
+              f"bit-identical fields)")
+        print(f"    weighted x-cuts {info['weighted_cuts'][0]}  "
+              f"rebalanced x-cuts {info['rebalanced_cuts'][0]}")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     """The repo's single verification gate: tier-1 pytest, the
     process-backend equivalence/leak gate, then the kernel-throughput
@@ -287,6 +309,8 @@ def _cmd_verify(args) -> int:
          [sys.executable, "-m", "repro", "check-aa"]),
         ("trace gate",
          [sys.executable, "-m", "repro", "check-trace"]),
+        ("load-balance gate",
+         [sys.executable, "-m", "repro", "check-balance"]),
     ]
     if not args.skip_bench:
         stages.append(
@@ -360,6 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "cluster forward/reverse halo protocol)")
     sp.add_argument("--steps", type=int, default=4,
                     help="steps to compare (default 4, must be even)")
+    sp = sub.add_parser("check-balance",
+                        help="weighted-decomposition gate: occupancy "
+                             "cuts + trace-driven rebalance beat "
+                             "uniform cuts under the imbalance target, "
+                             "bit-identical to the reference")
+    sp.add_argument("--steps", type=int, default=8,
+                    help="steps per segment (default 8)")
+    sp.add_argument("--threshold", type=float, default=1.1,
+                    help="max/mean busy-time imbalance target "
+                         "(default 1.1)")
     sp = sub.add_parser("verify",
                         help="run the tier-1 tests, the process-backend "
                              "and sparse-kernel gates and the kernel "
@@ -398,6 +432,8 @@ def main(argv=None) -> int:
         return _cmd_check_aa(args)
     elif cmd == "check-trace":
         return _cmd_check_trace(args)
+    elif cmd == "check-balance":
+        return _cmd_check_balance(args)
     elif cmd == "verify":
         return _cmd_verify(args)
     elif cmd == "report":

@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.cpu_node import CPUNode
-from repro.core.decomposition import BlockDecomposition, arrange_nodes_2d
+from repro.core.decomposition import (BlockDecomposition, arrange_nodes_2d,
+                                      weighted_cuts)
 from repro.core.gpu_node import GPUNode
 from repro.core.halo import HaloPlan
 from repro.core.procpool import ProcessBackend
@@ -160,6 +161,19 @@ class ClusterConfig:
         phases, reverse ghost scatter exchange after odd phases).
         Every choice is bit-identical; :meth:`kernel_report` and the
         ``kernel.*`` counters record what each rank ran and why.
+    decomposition / cuts:
+        How the global lattice is cut into per-rank blocks.
+        ``decomposition="uniform"`` (default) keeps the paper's equal
+        boxes.  ``"weighted"`` sizes the per-axis cuts by the
+        occupancy cost model (:mod:`repro.core.balance`), so
+        mostly-solid sparse ranks get bigger blocks and dense ranks
+        smaller ones.  ``cuts`` pins explicit per-axis block extents
+        (three sequences matching the arrangement and summing to the
+        global extents) and overrides ``decomposition`` — this is how
+        :meth:`rebalance` re-cuts from measured busy time.  Any cut
+        layout is bit-identical to the single-domain reference (the
+        cut positions are shared per axis, so neighbouring face shapes
+        always match and the halo protocol is unchanged).
     """
 
     sub_shape: tuple[int, int, int]
@@ -183,8 +197,35 @@ class ClusterConfig:
     kernel: str = "auto"
     sparse_threshold: float = 0.5
     autotune: str = "measured"
+    decomposition: str = "uniform"
+    cuts: tuple | None = None
 
     def __post_init__(self) -> None:
+        if self.decomposition not in ("uniform", "weighted"):
+            raise ValueError(
+                f"decomposition must be 'uniform' or 'weighted', "
+                f"got {self.decomposition!r}")
+        if self.cuts is not None:
+            if len(self.cuts) != 3:
+                raise ValueError("cuts must have one sequence per axis")
+            norm = []
+            for axis, (c, s, a) in enumerate(zip(self.cuts, self.global_shape,
+                                                 self.arrangement)):
+                c = tuple(int(x) for x in c)
+                if len(c) != a:
+                    raise ValueError(
+                        f"cuts axis {axis}: {len(c)} blocks for "
+                        f"arrangement extent {a}")
+                if any(x < 2 for x in c):
+                    raise ValueError(
+                        f"cuts axis {axis}: block extents must be >= 2 "
+                        f"(ghost layers), got {c}")
+                if sum(c) != s:
+                    raise ValueError(
+                        f"cuts axis {axis}: {c} sums to {sum(c)}, "
+                        f"expected global extent {s}")
+                norm.append(c)
+            self.cuts = tuple(norm)
         if self.kernel not in ("auto", "fused", "sparse", "split", "aa"):
             raise ValueError(
                 f"kernel must be 'auto', 'fused', 'sparse', 'split' or "
@@ -255,8 +296,9 @@ class _ClusterLBMBase:
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self.decomp = BlockDecomposition(config.global_shape, config.arrangement,
-                                         periodic=config.periodic)
-        self.plan = HaloPlan(config.sub_shape)
+                                         periodic=config.periodic,
+                                         cuts=self._resolve_cuts(config))
+        self.plan = HaloPlan(self.decomp.max_block_shape())
         self.schedule = CommSchedule(self.decomp, self.plan)
         self.switch = config.switch if config.switch is not None else GigabitSwitch()
         solids = (self.decomp.scatter_field(config.solid)
@@ -281,6 +323,18 @@ class _ClusterLBMBase:
         self._comm_executor: ThreadPoolExecutor | None = None
         self._border_bufs: list[dict[int, dict[int, np.ndarray]]] | None = None
 
+    @staticmethod
+    def _resolve_cuts(config: ClusterConfig):
+        """Explicit cuts win; otherwise the occupancy-weighted model
+        (when opted in) sizes the per-axis cuts; otherwise uniform."""
+        if config.cuts is not None:
+            return config.cuts
+        if config.decomposition == "weighted":
+            from repro.core.balance import occupancy_cost_field
+            cost = occupancy_cost_field(config.global_shape, config.solid)
+            return weighted_cuts(cost, config.arrangement, min_extent=2)
+        return None
+
     def _worker_spec_args(self, rank: int, solid) -> dict:
         """The per-rank construction kwargs shipped to a worker process
         (everything :meth:`_make_node` would have used, minus the
@@ -288,7 +342,7 @@ class _ClusterLBMBase:
         cfg = self.config
         bc = self._node_boundary_config(rank)
         return {
-            "sub_shape": cfg.sub_shape,
+            "sub_shape": self.decomp.block_shape(rank),
             "tau": cfg.tau,
             "periodic": cfg.periodic,
             "neighbors": {(axis, direction):
@@ -313,20 +367,137 @@ class _ClusterLBMBase:
         """Per-rank hot-path choice and local solid occupancy.
 
         One row per rank — ``{"rank", "kernel", "solid_fraction",
-        "reason", "rates"}`` — for the timing summary: which kernel the
-        rank's last step ran (``"aa"``, ``"sparse"``, ``"split"``,
-        ``"fused"``, ``"gpu"``, or ``"unstepped"``/``"model"`` before
-        the first numeric step), the rank-local solid fraction, *why*
-        it was selected (forced / heuristic threshold / measured
-        probe), and — for measured autotuning — the probe's MLUPS per
-        candidate kernel (None otherwise).
+        "reason", "rates", "block", "cells"}`` — for the timing
+        summary: which kernel the rank's last step ran (``"aa"``,
+        ``"sparse"``, ``"split"``, ``"fused"``, ``"gpu"``, or
+        ``"unstepped"``/``"model"`` before the first numeric step), the
+        rank-local solid fraction, *why* it was selected (forced /
+        heuristic threshold / measured probe), for measured autotuning
+        the probe's MLUPS per candidate kernel (None otherwise), and
+        the rank's block shape and cell count (unequal under weighted
+        cuts — the load balancer's output).
         """
         return [{"rank": getattr(node, "rank", i),
                  "kernel": getattr(node, "kernel_used", "n/a"),
                  "solid_fraction": float(getattr(node, "solid_fraction", 0.0)),
                  "reason": getattr(node, "kernel_reason", None),
-                 "rates": getattr(node, "kernel_rates", None)}
+                 "rates": getattr(node, "kernel_rates", None),
+                 "block": self.decomp.block_shape(i),
+                 "cells": self.decomp.blocks[i].cells}
                 for i, node in enumerate(self.nodes)]
+
+    def balance_report(self) -> dict:
+        """Chosen cuts plus predicted vs measured per-rank cost.
+
+        Returns ``{"cuts", "uniform", "rows", "predicted_imbalance",
+        "measured_imbalance"}``: per-rank block/cells/kernel with the
+        occupancy-model predicted cost share (refined by the
+        autotuner's measured kernel rates when a rank probed), and —
+        when tracing is on and steps have run — the measured busy-time
+        imbalance from :func:`repro.perf.report.trace_imbalance_rows`.
+        """
+        from repro.core.balance import (imbalance, occupancy_cost_field,
+                                        predicted_rank_costs)
+        from repro.perf.report import trace_imbalance_rows
+
+        cost = occupancy_cost_field(self.config.global_shape,
+                                    self.config.solid)
+        predicted = predicted_rank_costs(self.decomp, cost)
+        rows = self.kernel_report()
+        for row, pred in zip(rows, predicted):
+            rate = (row["rates"] or {}).get(row["kernel"])
+            if rate:
+                # The probe measured this rank's kernel throughput:
+                # cells / MLUPS predicts its step seconds directly.
+                pred = row["cells"] / (float(rate) * 1e6)
+            row["predicted_cost"] = float(pred)
+        measured_rows, summary = trace_imbalance_rows(self.tracer)
+        busy = {r["rank"]: r["busy_ms"] for r in measured_rows}
+        for row in rows:
+            row["busy_ms"] = busy.get(row["rank"])
+        return {
+            "cuts": self.decomp.cuts,
+            "uniform": self.decomp.uniform,
+            "rows": rows,
+            "predicted_imbalance": imbalance(
+                [r["predicted_cost"] for r in rows]),
+            "measured_imbalance": (summary["max_over_mean"]
+                                   if measured_rows else None),
+        }
+
+    def rebalance_cuts(self, busy_s=None) -> tuple:
+        """The re-cut the measured busy time asks for (no rebuild).
+
+        ``busy_s`` maps rank -> busy seconds; when omitted it is taken
+        from this driver's own trace
+        (:func:`~repro.perf.report.trace_imbalance_rows`), which
+        requires :meth:`enable_tracing` before stepping.
+        """
+        from repro.core.balance import (measured_cost_field,
+                                        occupancy_cost_field)
+        from repro.perf.report import trace_imbalance_rows
+
+        if busy_s is None:
+            rows, _ = trace_imbalance_rows(self.tracer)
+            busy_s = {r["rank"]: r["busy_ms"] / 1e3 for r in rows}
+            if len(busy_s) < self.decomp.n_nodes:
+                raise ValueError(
+                    "no measured busy time for every rank: call "
+                    "enable_tracing() and step() first, or pass busy_s")
+        # Occupancy gives the intra-block cost shape; the measured busy
+        # time sets each block's total, so the re-cut extrapolates
+        # sensibly when a boundary moves into denser/emptier terrain.
+        base = occupancy_cost_field(self.config.global_shape,
+                                    self.config.solid)
+        cost = measured_cost_field(self.decomp, busy_s, base=base)
+        return weighted_cuts(cost, self.decomp.arrangement, min_extent=2)
+
+    def rebalance(self, busy_s=None):
+        """Re-cut the decomposition from measured cost and carry on.
+
+        The feedback half of the load-balance loop: take the measured
+        per-rank busy time (from the attached tracer by default), build
+        the cost-density field, compute new per-axis cuts, and — when
+        they differ from the current ones — gather the distributions,
+        build a fresh driver with ``cuts`` pinned, reload the state and
+        shut this driver down.  Returns ``(driver, info)`` where
+        ``driver`` is ``self`` when the cuts are already optimal.
+        ``info`` records old/new cuts and the measured imbalance that
+        drove the decision.  Under ``kernel="aa"`` only even step
+        parities can rebalance (canonical layout requirement).
+        """
+        from dataclasses import replace
+
+        from repro.perf.report import trace_imbalance_rows
+
+        if self.config.timing_only:
+            raise RuntimeError("rebalance needs numeric state; "
+                               "timing_only drivers have none")
+        if self.config.kernel == "aa" and (self.time_step & 1):
+            raise ValueError(
+                "cannot rebalance at odd AA parity; step to an even "
+                "step count first")
+        _, summary = trace_imbalance_rows(self.tracer)
+        new_cuts = self.rebalance_cuts(busy_s=busy_s)
+        info = {
+            "old_cuts": self.decomp.cuts,
+            "new_cuts": new_cuts,
+            "measured_imbalance": summary["max_over_mean"],
+            "changed": new_cuts != self.decomp.cuts,
+        }
+        if not info["changed"]:
+            return self, info
+        f = self.gather_distributions()
+        time_step = self.time_step
+        traced = self.tracer.enabled
+        successor = type(self)(replace(self.config, cuts=new_cuts))
+        self.shutdown()
+        successor.load_global_distributions(f)
+        successor.time_step = time_step
+        if traced:
+            # Fresh tracer: post-rebalance measurements start clean.
+            successor.enable_tracing()
+        return successor, info
 
     # -- tracing ----------------------------------------------------------
     def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
@@ -466,12 +637,15 @@ class _ClusterLBMBase:
         Each exchange refills them in place instead of rebuilding a
         dict of fresh copies every axis phase.  The reverse (AA) path
         reuses the same buffers for ghost planes — identical shapes.
+        Under non-uniform cuts the buffers are per-rank sized; the
+        shared per-axis cut positions guarantee a neighbour's opposite
+        face buffer always matches.
         """
         if self._border_bufs is not None:
             return
-        sub = self.config.sub_shape
         self._border_bufs = []
-        for _ in self.nodes:
+        for rank in range(len(self.nodes)):
+            sub = self.decomp.block_shape(rank)
             per_axis = {}
             for axis in range(3):
                 face = (19,) + tuple(s + 2 for a, s in enumerate(sub)
@@ -678,7 +852,8 @@ class GPUClusterLBM(_ClusterLBMBase):
 
     def _make_node(self, rank: int, solid):
         bc = self._node_boundary_config(rank)
-        return GPUNode(rank, self.config.sub_shape, self.config.tau, solid=solid,
+        return GPUNode(rank, self.decomp.block_shape(rank), self.config.tau,
+                       solid=solid,
                        face_dirs=list(self.decomp.face_neighbors(rank)),
                        edge_dirs=list(self.decomp.edge_neighbors(rank)),
                        timing_only=self.config.timing_only,
@@ -717,7 +892,8 @@ class CPUClusterLBM(_ClusterLBMBase):
 
     def _make_node(self, rank: int, solid):
         bc = self._node_boundary_config(rank)
-        return CPUNode(rank, self.config.sub_shape, self.config.tau, solid=solid,
+        return CPUNode(rank, self.decomp.block_shape(rank), self.config.tau,
+                       solid=solid,
                        face_dirs=list(self.decomp.face_neighbors(rank)),
                        edge_dirs=list(self.decomp.edge_neighbors(rank)),
                        timing_only=self.config.timing_only,

@@ -33,6 +33,21 @@ import numpy as np
 COMPRESS_BYTES_PER_S = 40e6
 DECOMPRESS_BYTES_PER_S = 120e6
 
+#: Wire-format sequence header on delta payloads (little-endian u64).
+_SEQ_HEADER_BYTES = 8
+
+
+class DeltaDesyncError(RuntimeError):
+    """Sender/receiver delta histories no longer match.
+
+    Delta mode is stateful: payload ``t`` decodes correctly only
+    against the reconstruction of payload ``t-1``.  A dropped,
+    duplicated or reordered message would otherwise corrupt every
+    subsequent field *silently* — the arithmetic keeps working on the
+    wrong base.  Each delta payload therefore carries a per-channel
+    sequence number and a mismatch raises this error instead.
+    """
+
 
 def _byte_transpose(raw: bytes) -> bytes:
     """Group float32 bytes by significance position (space coherence)."""
@@ -85,6 +100,8 @@ class HaloCompressor:
         self.mode = mode
         self.level = int(level)
         self._previous: dict = {}
+        self._tx_seq: dict = {}
+        self._rx_seq: dict = {}
         self.stats = CompressionStats()
 
     def compress(self, key, array: np.ndarray) -> bytes:
@@ -104,10 +121,14 @@ class HaloCompressor:
             else:
                 payload_arr = arr
             self._previous[key] = arr.copy()
+            seq = self._tx_seq.get(key, 0)
+            self._tx_seq[key] = seq + 1
+            header = seq.to_bytes(_SEQ_HEADER_BYTES, "little")
             raw_payload = payload_arr.tobytes()
+            out = header + zlib.compress(_byte_transpose(raw_payload),
+                                         self.level)
         else:
-            raw_payload = raw
-        out = zlib.compress(_byte_transpose(raw_payload), self.level)
+            out = zlib.compress(_byte_transpose(raw), self.level)
         self.stats.compressed_bytes += len(out)
         return out
 
@@ -115,6 +136,17 @@ class HaloCompressor:
         """Decode one halo message (must mirror the sender's history)."""
         if self.mode == "none":
             return np.frombuffer(payload, dtype=np.float32).reshape(shape).copy()
+        if self.mode == "delta":
+            seq = int.from_bytes(payload[:_SEQ_HEADER_BYTES], "little")
+            expected = self._rx_seq.get(key, 0)
+            if seq != expected:
+                raise DeltaDesyncError(
+                    f"delta channel {key!r}: received sequence {seq}, "
+                    f"expected {expected} — a halo message was "
+                    "dropped, duplicated or reordered; the decoded "
+                    "field would silently diverge")
+            self._rx_seq[key] = expected + 1
+            payload = payload[_SEQ_HEADER_BYTES:]
         raw = _byte_untranspose(zlib.decompress(payload))
         arr = np.frombuffer(raw, dtype=np.float32).reshape(shape).copy()
         if self.mode == "delta":

@@ -91,6 +91,7 @@ class WorkerSpec:
     bus: BusSpec
     seg_names: dict                     # own {"fg","mail","stage"} names
     mail_names: tuple                   # every rank's mailbox segment name
+    peer_sub_shapes: tuple              # every rank's block shape (may differ)
     barrier_timeout_s: float
     q: int = 19
     kernel: str = "auto"                # per-rank hot-path selection
@@ -159,13 +160,15 @@ class _Worker:
         if solver is not None and hasattr(solver, "tracer"):
             solver.tracer = self.tracer
         # Attach own segments, then every peer's mailbox for unpacking.
+        # Peer mailbox layouts follow the *peer's* block shape — equal
+        # to ours only under uniform cuts.
         self.segs = RankSegments.attach(spec.seg_names, spec.sub_shape, spec.q)
         self.peer_mail: dict[int, RankSegments] = {spec.rank: self.segs}
         for peer in sorted({p for p in spec.neighbors.values()
                             if p is not None and p != spec.rank}):
             self.peer_mail[peer] = RankSegments.attach(
                 {"fg": None, "mail": spec.mail_names[peer], "stage": None},
-                spec.sub_shape, spec.q)
+                spec.peer_sub_shapes[peer], spec.q)
         if spec.node_kind == "cpu":
             self._adopt_shared_fg()
 
@@ -418,14 +421,17 @@ class ProcessBackend:
         self.procs: list[mp.Process] = []
         self.conns = []
         self.proxies = [RankProxy(r) for r in range(self.n_ranks)]
-        sub_shape = specs_args[0]["sub_shape"]
+        # Per-rank block shapes: equal boxes historically, but weighted
+        # decomposition sizes each rank's segments independently.
+        sub_shapes = tuple(tuple(int(s) for s in a["sub_shape"])
+                           for a in specs_args)
         q = specs_args[0].get("q", 19)
         mail_names = tuple(segment_name(self.token, "mail", r)
                            for r in range(self.n_ranks))
         try:
             for rank in range(self.n_ranks):
                 self.segments.append(RankSegments.create(
-                    rank, sub_shape, q, self.token,
+                    rank, sub_shapes[rank], q, self.token,
                     with_fg=(node_kind == "cpu")))
             all_names = [seg.names[k] for seg in self.segments
                          for k in ("fg", "mail", "stage")]
@@ -436,6 +442,7 @@ class ProcessBackend:
                     rank=rank, n_ranks=self.n_ranks, node_kind=node_kind,
                     seg_names=self.segments[rank].names,
                     mail_names=mail_names,
+                    peer_sub_shapes=sub_shapes,
                     barrier_timeout_s=self.timeout_s, q=q, **args)
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(target=_worker_main,

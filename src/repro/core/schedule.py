@@ -103,10 +103,21 @@ class CommSchedule:
             raise ValueError("use naive_schedule() for the direct pattern")
         self.decomp = decomp
         self.plan = plan
+        self._plans: dict[tuple[int, int, int], HaloPlan] = {
+            plan.sub_shape: plan}
         self.steps: list[ScheduleStep] = []
         self._build()
         for s in self.steps:
             s.validate_disjoint()
+
+    def _plan_for(self, shape: tuple[int, int, int]) -> HaloPlan:
+        """Halo plan for one block shape (cached; non-uniform cuts make
+        message sizes pair-specific)."""
+        cached = self._plans.get(shape)
+        if cached is None:
+            cached = HaloPlan(shape, lattice=self.plan.lattice)
+            self._plans[shape] = cached
+        return cached
 
     def _piggyback_count(self, axis: int) -> int:
         """Edge lines piggybacked per face message along ``axis``.
@@ -127,23 +138,35 @@ class CommSchedule:
 
     def _build(self) -> None:
         arr = self.decomp.arrangement
+        uniform = self.decomp.uniform
         for axis in range(3):
             n = arr[axis]
             if n == 1:
                 continue
             piggy = self._piggyback_count(axis)
-            msg = self.plan.face_message(axis, +1, piggyback_edges=piggy)
+            # Uniform decompositions keep the caller-supplied plan (one
+            # message size per axis); non-uniform cuts price each pair
+            # from the lower block's shape — the face cross-section is
+            # shared with its neighbour by the per-axis cut positions.
+            msg = (self.plan.face_message(axis, +1, piggyback_edges=piggy)
+                   if uniform else None)
             for matching in _axis_matchings(n, self.decomp.periodic[axis]):
                 step = ScheduleStep(axis=axis)
                 for (ia, ib) in matching:
                     for coords_rest in self._perpendicular_coords(axis):
                         ca = self._insert(coords_rest, axis, ia)
                         cb = self._insert(coords_rest, axis, ib)
+                        lo = self.decomp.rank_of(ca)
+                        hi = self.decomp.rank_of(cb)
+                        if msg is not None:
+                            nbytes = msg.nbytes
+                        else:
+                            plan = self._plan_for(
+                                self.decomp.block_shape(lo))
+                            nbytes = plan.face_message(
+                                axis, +1, piggyback_edges=piggy).nbytes
                         step.pairs.append(ExchangePair(
-                            axis=axis,
-                            lo=self.decomp.rank_of(ca),
-                            hi=self.decomp.rank_of(cb),
-                            nbytes=msg.nbytes))
+                            axis=axis, lo=lo, hi=hi, nbytes=nbytes))
                 if step.pairs:
                     self.steps.append(step)
 

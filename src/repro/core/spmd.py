@@ -52,6 +52,11 @@ class SPMDClusterLBM:
     def __init__(self, decomp: BlockDecomposition, tau: float,
                  solid: np.ndarray | None = None,
                  f0: np.ndarray | None = None) -> None:
+        if decomp.sub_shape is None:
+            raise ValueError(
+                "SPMDClusterLBM requires uniform cuts (the rank program "
+                "indexes ghosts by a shared sub_shape); use the "
+                "coordinator drivers for weighted decompositions")
         self.decomp = decomp
         self.tau = float(tau)
         self.solids = (decomp.scatter_field(solid)

@@ -44,6 +44,10 @@ class DistributedThermalLBM:
                  kappa: float = 0.05, g_beta: float = 1e-4, t0: float = 0.0,
                  energy_coupling: float = 0.0,
                  solid: np.ndarray | None = None) -> None:
+        if decomp.sub_shape is None:
+            raise ValueError(
+                "ThermalClusterLBM requires uniform cuts; weighted "
+                "decompositions are a flow-cluster feature")
         self.decomp = decomp
         solids = (decomp.scatter_field(solid)
                   if solid is not None else [None] * decomp.n_nodes)

@@ -65,6 +65,20 @@ class KernelChoice:
     rates: dict[str, float] = field(default_factory=dict)
     probed: bool = False
 
+    def cost_density(self) -> float | None:
+        """Measured seconds-per-cell of the chosen kernel, or None.
+
+        This is the probe-rate signal the weighted decomposition
+        consumes (:func:`repro.core.balance.rates_cost_field`): a rank
+        whose chosen kernel probed at ``r`` MLUPS costs ``1 / (r *
+        1e6)`` seconds per lattice cell, so faster (sparse) ranks
+        attract proportionally more cells when cuts are sized.
+        """
+        rate = self.rates.get(self.kernel)
+        if not rate or rate <= 0.0:
+            return None
+        return 1.0 / (float(rate) * 1e6)
+
 
 _CACHE: dict[tuple, KernelChoice] = {}
 

@@ -55,12 +55,24 @@ class GigabitSwitch:
     effective_bytes_per_s:
         Achievable per-flow throughput (default: the calibrated
         TCP-over-1GbE value, far below the 125 MB/s line rate).
+    message_overhead_scale, phase_overhead_scale, drift_scale:
+        Multipliers on the calibrated per-message envelope overhead,
+        fixed per-phase overhead and free-running drift penalty.  The
+        GbE defaults are 1.0; faster fabrics (e.g. Myrinet's OS-bypass
+        stack) shrink these without replacing the timing structure, so
+        subclasses keep the base tracing behaviour.
     """
 
-    def __init__(self, effective_bytes_per_s: float | None = None) -> None:
+    def __init__(self, effective_bytes_per_s: float | None = None,
+                 message_overhead_scale: float = 1.0,
+                 phase_overhead_scale: float = 1.0,
+                 drift_scale: float = 1.0) -> None:
         self.effective_bytes_per_s = (
             cal.NET_EFFECTIVE_BYTES_PER_S if effective_bytes_per_s is None
             else float(effective_bytes_per_s))
+        self.message_overhead_scale = float(message_overhead_scale)
+        self.phase_overhead_scale = float(phase_overhead_scale)
+        self.drift_scale = float(drift_scale)
         # Port reservation state for the threaded point-to-point path.
         self._lock = threading.Lock()
         self._port_free_at: dict[int, float] = {}
@@ -75,7 +87,8 @@ class GigabitSwitch:
     # -- scheduled (round-based) path -----------------------------------
     def message_time(self, nbytes: int) -> float:
         """One message: envelope overhead + payload at effective rate."""
-        return cal.NET_STEP_OVERHEAD_S + nbytes / self.effective_bytes_per_s
+        return (self.message_overhead_scale * cal.NET_STEP_OVERHEAD_S
+                + nbytes / self.effective_bytes_per_s)
 
     def round_time(self, pair_bytes: list[int]) -> RoundTiming:
         """One schedule step: disjoint pairs exchange simultaneously.
@@ -100,7 +113,7 @@ class GigabitSwitch:
         if not active:
             return 0.0
         tr = self.tracer
-        t = cal.NET_PHASE_OVERHEAD_S
+        t = self.phase_overhead_scale * cal.NET_PHASE_OVERHEAD_S
         sim_t = self._trace_clock_s + t
         for r in active:
             rt = self.round_time(r)
@@ -110,7 +123,7 @@ class GigabitSwitch:
                             rank=NETWORK_RANK, clock=SIM_CLOCK,
                             pairs=rt.n_pairs, max_bytes=rt.max_bytes)
                 sim_t += rt.seconds
-        t += cal.drift_penalty_s(nodes)
+        t += self.drift_scale * cal.drift_penalty_s(nodes)
         if tr.enabled:
             tr.add_span("net.phase", self._trace_clock_s,
                         self._trace_clock_s + t,
@@ -144,8 +157,9 @@ class GigabitSwitch:
                 port_time[dst] = busy + self.message_time(nbytes) + extra
         if not port_time:
             return 0.0
-        return (cal.NET_PHASE_OVERHEAD_S + max(port_time.values()) + interruptions
-                + cal.drift_penalty_s(nodes))
+        return (self.phase_overhead_scale * cal.NET_PHASE_OVERHEAD_S
+                + max(port_time.values()) + interruptions
+                + self.drift_scale * cal.drift_penalty_s(nodes))
 
     # -- threaded point-to-point path -------------------------------------
     def reserve(self, dst: int, ready_s: float, nbytes: int) -> tuple[float, float]:

@@ -88,9 +88,17 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """Live span context: captures perf_counter on enter/exit."""
+    """Live span context: captures perf_counter on enter/exit.
 
-    __slots__ = ("_tracer", "_name", "_rank", "_step", "_meta", "_t0")
+    Also captures the calling thread's CPU time (``time.thread_time``)
+    as ``cpu_s`` metadata: on an oversubscribed host the wall-clock
+    span of a compute phase includes scheduler time slices given to
+    *other* ranks, while the thread-CPU delta is contention-immune —
+    the load-balance analytics prefer it when present.
+    """
+
+    __slots__ = ("_tracer", "_name", "_rank", "_step", "_meta", "_t0",
+                 "_cpu0")
 
     def __init__(self, tracer: "Tracer", name: str, rank: int, step: int,
                  meta: dict) -> None:
@@ -101,11 +109,13 @@ class _Span:
         self._meta = meta
 
     def __enter__(self):
+        self._cpu0 = time.thread_time()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
         t1 = time.perf_counter()
+        self._meta["cpu_s"] = time.thread_time() - self._cpu0
         self._tracer.events.append(SpanEvent(
             self._name, self._rank, self._step, self._t0, t1,
             WALL_CLOCK, self._meta))

@@ -33,25 +33,24 @@ from repro.perf import calibration as cal
 #: overheads of the TCP/GbE stack.
 MYRINET_EFFECTIVE_BYTES_PER_S = 8 * cal.NET_EFFECTIVE_BYTES_PER_S
 
+#: OS-bypass shrinks the fixed envelope/phase/drift overheads ~10x.
+MYRINET_OVERHEAD_SCALE = 0.1
+
 
 class MyrinetSwitch(GigabitSwitch):
-    """A low-latency SAN in place of the gigabit Ethernet switch."""
+    """A low-latency SAN in place of the gigabit Ethernet switch.
+
+    Purely a re-parameterisation of :class:`GigabitSwitch` — the base
+    class owns the timing structure *and* the span tracing, so a traced
+    Myrinet what-if emits the same ``net.round``/``net.phase`` spans
+    (and advances the simulated network clock) as the GbE baseline.
+    """
 
     def __init__(self) -> None:
-        super().__init__(effective_bytes_per_s=MYRINET_EFFECTIVE_BYTES_PER_S)
-
-    def message_time(self, nbytes: int) -> float:
-        return cal.NET_STEP_OVERHEAD_S / 10.0 + nbytes / self.effective_bytes_per_s
-
-    def phase_time(self, rounds, nodes):  # noqa: D102 - see base
-        active = [r for r in rounds if r]
-        if not active:
-            return 0.0
-        t = cal.NET_PHASE_OVERHEAD_S / 10.0
-        for r in active:
-            t += self.round_time(r).seconds
-        t += cal.drift_penalty_s(nodes) / 10.0
-        return t
+        super().__init__(effective_bytes_per_s=MYRINET_EFFECTIVE_BYTES_PER_S,
+                         message_overhead_scale=MYRINET_OVERHEAD_SCALE,
+                         phase_overhead_scale=MYRINET_OVERHEAD_SCALE,
+                         drift_scale=MYRINET_OVERHEAD_SCALE)
 
 
 def enhancement_speedups(nodes: int = 32, sub_shape=(80, 80, 80)) -> dict[str, float]:

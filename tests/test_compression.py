@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.compression import (CompressionStats, HaloCompressor,
+from repro.core.compression import (CompressionStats, DeltaDesyncError,
+                                    HaloCompressor,
                                     compression_whatif,
                                     measure_flow_halo_ratio)
 
@@ -94,3 +95,60 @@ class TestMeasuredRatio:
     def test_compression_helps_at_32_nodes(self):
         w = compression_whatif(nodes=32, ratio=0.15)
         assert w["worth_it"]
+
+
+class TestDeltaDesync:
+    """Dropped / duplicated / reordered delta messages must raise, not
+    silently decode against the wrong temporal base."""
+
+    def _payloads(self, rng, n=4):
+        codec = HaloCompressor(mode="delta")
+        arrays, payloads = [], []
+        a = rng.random((19, 6, 6)).astype(np.float32)
+        for _ in range(n):
+            a = a + (0.001 * rng.standard_normal(a.shape)).astype(np.float32)
+            arrays.append(a)
+            payloads.append(codec.compress("face", a))
+        return arrays, payloads
+
+    def test_skip_raises(self, rng):
+        arrays, payloads = self._payloads(rng)
+        codec = HaloCompressor(mode="delta")
+        assert np.array_equal(
+            codec.decompress("face", payloads[0], arrays[0].shape),
+            arrays[0])
+        with pytest.raises(DeltaDesyncError, match="expected 1"):
+            codec.decompress("face", payloads[2], arrays[2].shape)
+
+    def test_replay_raises(self, rng):
+        arrays, payloads = self._payloads(rng)
+        codec = HaloCompressor(mode="delta")
+        codec.decompress("face", payloads[0], arrays[0].shape)
+        codec.decompress("face", payloads[1], arrays[1].shape)
+        with pytest.raises(DeltaDesyncError, match="dropped, duplicated"):
+            codec.decompress("face", payloads[1], arrays[1].shape)
+
+    def test_reorder_raises(self, rng):
+        arrays, payloads = self._payloads(rng)
+        codec = HaloCompressor(mode="delta")
+        with pytest.raises(DeltaDesyncError):
+            codec.decompress("face", payloads[1], arrays[1].shape)
+
+    def test_channels_sequence_independently(self, rng):
+        codec = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        state = {k: rng.random((4, 4)).astype(np.float32)
+                 for k in ("a", "b")}
+        for step in range(3):
+            for key in ("a", "b"):
+                arr = state[key] = state[key] + (
+                    0.001 * rng.standard_normal((4, 4))).astype(np.float32)
+                out = rx.decompress(key, codec.compress(key, arr), arr.shape)
+                assert np.array_equal(out, arr), (key, step)
+
+    def test_plain_mode_has_no_sequencing(self, rng):
+        codec = HaloCompressor(mode="plain")
+        a = rng.random((4, 4)).astype(np.float32)
+        p = codec.compress("k", a)
+        for _ in range(2):     # replay is fine: the codec is stateless
+            assert np.array_equal(codec.decompress("k", p, a.shape), a)

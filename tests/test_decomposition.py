@@ -61,9 +61,20 @@ class TestBlocks:
         for r in range(d.n_nodes):
             assert d.rank_of(d.coords_of(r)) == r
 
-    def test_indivisible_shape_rejected(self):
-        with pytest.raises(ValueError, match="divisible"):
-            BlockDecomposition((10, 10, 10), (3, 1, 1))
+    def test_indivisible_shape_gets_near_equal_cuts(self):
+        """Non-divisible extents no longer hard-fail: the default cut
+        profile is near-equal with the remainder on the first blocks."""
+        d = BlockDecomposition((10, 10, 10), (3, 1, 1))
+        assert d.cuts[0] == (4, 3, 3)
+        assert d.sub_shape is None and not d.uniform
+        counts = np.zeros((10, 10, 10), dtype=int)
+        for b in d.blocks:
+            counts[b.slices] += 1
+        assert (counts == 1).all()
+
+    def test_too_small_shape_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            BlockDecomposition((2, 10, 10), (3, 1, 1))
 
     def test_scatter_gather_round_trip(self, rng):
         d = self._decomp()

@@ -128,3 +128,58 @@ class TestDriftPenalty:
     def test_monotone_above(self):
         assert (cal.drift_penalty_s(32) > cal.drift_penalty_s(30)
                 > cal.drift_penalty_s(28) > 0)
+
+
+class TestMyrinetSwitch:
+    """The Myrinet what-if is a re-parameterised GigabitSwitch: same
+    timing structure, same tracing (it used to bypass both)."""
+
+    def _myrinet(self):
+        from repro.perf.whatif import MyrinetSwitch
+        return MyrinetSwitch()
+
+    def test_scales_shrink_fixed_overheads(self):
+        sw = self._myrinet()
+        assert sw.message_overhead_scale == pytest.approx(0.1)
+        assert sw.phase_overhead_scale == pytest.approx(0.1)
+        assert sw.drift_scale == pytest.approx(0.1)
+        assert sw.message_time(FACE) < GigabitSwitch().message_time(FACE)
+
+    def test_no_overrides_left(self):
+        """The refactor's point: Myrinet must inherit the base methods,
+        so tracing and future timing changes apply to both fabrics."""
+        from repro.perf.whatif import MyrinetSwitch
+        for name in ("message_time", "phase_time", "round_time",
+                     "naive_time"):
+            assert name not in vars(MyrinetSwitch)
+
+    def test_traced_phase_emits_rounds_and_advances_clock(self):
+        from repro.perf.trace import SIM_CLOCK, Tracer
+        sw = self._myrinet()
+        sw.tracer = Tracer()
+        rounds = [[FACE, FACE], [FACE]]
+        t = sw.phase_time(rounds, nodes=4)
+        assert t > 0.0
+        names = [e.name for e in sw.tracer.events]
+        assert names.count("net.round") == 2
+        assert names.count("net.phase") == 1
+        assert all(e.clock == SIM_CLOCK for e in sw.tracer.events)
+        assert sw._trace_clock_s == pytest.approx(t)
+        phase = [e for e in sw.tracer.events if e.name == "net.phase"][0]
+        assert phase.t1 - phase.t0 == pytest.approx(t)
+        # A second phase starts where the first ended.
+        sw.phase_time(rounds, nodes=4)
+        assert sw._trace_clock_s == pytest.approx(2 * t)
+
+    def test_untraced_time_unchanged_by_tracing(self):
+        from repro.perf.trace import Tracer
+        rounds = [[FACE, 2 * FACE], [FACE]]
+        quiet = self._myrinet().phase_time(rounds, nodes=8)
+        traced_sw = self._myrinet()
+        traced_sw.tracer = Tracer()
+        assert traced_sw.phase_time(rounds, nodes=8) == quiet
+
+    def test_gbe_scales_default_to_unity(self):
+        sw = GigabitSwitch()
+        assert (sw.message_overhead_scale, sw.phase_overhead_scale,
+                sw.drift_scale) == (1.0, 1.0, 1.0)

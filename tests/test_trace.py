@@ -111,7 +111,11 @@ class TestSpanRecording:
             pass
         (e,) = tr.events
         assert e.rank == 3 and e.step == 11
-        assert e.meta == {"bytes": 64, "kernel": "fused"}
+        assert e.meta["bytes"] == 64 and e.meta["kernel"] == "fused"
+        # Live spans also record the thread-CPU delta for the
+        # contention-immune busy-time analytics.
+        assert e.meta["cpu_s"] >= 0.0
+        assert set(e.meta) == {"bytes", "kernel", "cpu_s"}
         assert e.clock == WALL_CLOCK
 
     def test_for_rank_views_share_events(self):
@@ -297,6 +301,52 @@ class TestAnalytics:
         tr.add_span("cluster.collide_inner", 0.002, 0.008, rank=0)
         (row,) = trace_overlap_rows(tr)
         assert row["efficiency"] == pytest.approx(0.6, abs=1e-6)
+
+
+    def test_kernel_attribution_tracks_changes(self):
+        """A rank that flips kernels mid-trace (e.g. after a rebalance
+        moved a cut across the sparse threshold) must not be labelled by
+        its last step alone: the row carries first/last and a marker."""
+        tr = Tracer()
+        for step, kern in enumerate(["dense", "dense", "sparse"]):
+            tr.begin_step(step)
+            tr.add_span("cluster.collide", 0.0, 0.001, rank=0, kernel=kern)
+            tr.add_span("cluster.collide", 0.0, 0.001, rank=1,
+                        kernel="sparse")
+        rows, _ = trace_imbalance_rows(tr)
+        flipped = next(r for r in rows if r["rank"] == 0)
+        steady = next(r for r in rows if r["rank"] == 1)
+        assert flipped["kernel"] == "dense->sparse"
+        assert flipped["kernel_first"] == "dense"
+        assert flipped["kernel_last"] == "sparse"
+        assert flipped["kernel_changed"] is True
+        assert steady["kernel"] == "sparse"
+        assert steady["kernel_changed"] is False
+
+    def test_busy_prefers_thread_cpu_over_wall(self):
+        """When compute spans carry ``cpu_s`` the busy column must sum
+        it (contention-immune) instead of unioning wall intervals."""
+        tr = Tracer()
+        tr.begin_step(0)
+        # Wall says 10 ms, but the thread only computed for 2 ms.
+        tr.add_span("cluster.collide", 0.0, 0.010, rank=0, cpu_s=0.002)
+        tr.add_span("cluster.collide", 0.0, 0.010, rank=1, cpu_s=0.004)
+        rows, summary = trace_imbalance_rows(tr)
+        busy = {r["rank"]: r["busy_ms"] for r in rows}
+        assert busy[0] == pytest.approx(2.0)
+        assert busy[1] == pytest.approx(4.0)
+        assert summary["max_over_mean"] == pytest.approx(4.0 / 3.0)
+
+    def test_busy_falls_back_to_wall_union(self):
+        """Spans without cpu_s (old traces, replayed JSON) keep the
+        wall-clock union semantics."""
+        tr = Tracer()
+        tr.begin_step(0)
+        tr.add_span("cluster.collide", 0.000, 0.004, rank=0)
+        tr.add_span("cluster.finish", 0.003, 0.006, rank=0)  # overlaps
+        rows, _ = trace_imbalance_rows(tr)
+        (row,) = rows
+        assert row["busy_ms"] == pytest.approx(6.0)
 
 
 class TestKernelCountersSatellites:
