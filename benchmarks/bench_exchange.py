@@ -1,0 +1,147 @@
+"""Merged vs per-face halo-wire benchmark.
+
+Measures the same numeric multi-node step under both wire protocols —
+``ClusterConfig.wire="merged"`` (one message per neighbor per exchange
+phase, five streaming links over the full padded cross-section in one
+contiguous buffer) and ``wire="perface"`` (the legacy full-face wire)
+— and records the throughput, the measured exchange-phase time, the
+per-step message counts, and the modeled network time the switch
+assigns to each envelope pattern.
+
+Entry points:
+
+* ``python benchmarks/bench_exchange.py`` — print the comparison and
+  merge the entries into the repo-root ``BENCH_kernels.json`` if it
+  exists.
+* :func:`run_exchange_benchmarks` — called by
+  ``check_regression.py --suite exchange`` so the merged wire is
+  regression-guarded like any other kernel.
+
+Both wires are bit-identical (pinned by ``tests/test_exchange.py`` and
+``python -m repro check-exchange``); only the envelope count and the
+packing path differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # allow `python benchmarks/bench_exchange.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+# Large enough that the 5-link merged pack vs the 19-link legacy ghost
+# copy moves real memory; small enough for the regression-guard budget.
+SUB_SHAPE = (24, 24, 24)
+ARRANGEMENT = (2, 2, 1)
+WIRES = ("merged", "perface")
+ENTRY_NAMES = {"merged": "exchange_merged", "perface": "exchange_perface"}
+
+
+def measure_wire(wire: str, sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
+                 steps: int = 2, repeats: int = 3) -> dict:
+    """Throughput + exchange-phase time of one wire protocol."""
+    from repro.core import ClusterConfig, CPUClusterLBM
+
+    cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement,
+                        tau=0.7, backend="serial", wire=wire)
+    with CPUClusterLBM(cfg) as cluster:
+        cluster.step(1)  # warm up wire buffers / plans
+        cluster.counters.reset()
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cluster.step(steps)
+            best = min(best, (time.perf_counter() - t0) / steps)
+        cells = cluster.cells_total()
+        exch = cluster.counters.stats.get("cluster.exchange")
+        msgs = cluster.counters.stats.get("comm.msgs")
+    return {
+        "mcells_per_s": cells / best / 1e6,
+        "exchange_ms_per_step": (exch.seconds / exch.calls * 1e3
+                                 if exch and exch.calls else 0.0),
+        "msgs_per_step": (msgs.value / msgs.calls
+                          if msgs and msgs.calls else None),
+    }
+
+
+def modeled_net_ms(wire: str, sub_shape=SUB_SHAPE,
+                   arrangement=ARRANGEMENT) -> float:
+    """Switch-modeled exchange-phase milliseconds for one wire."""
+    from repro.core.decomposition import BlockDecomposition
+    from repro.core.halo import HaloPlan
+    from repro.core.schedule import CommSchedule
+    from repro.net.switch import GigabitSwitch
+
+    shape = tuple(s * a for s, a in zip(sub_shape, arrangement))
+    decomp = BlockDecomposition(shape, arrangement,
+                                periodic=(True, True, True))
+    schedule = CommSchedule(decomp, HaloPlan(sub_shape), wire=wire)
+    sw = GigabitSwitch()
+    return sw.phase_time(schedule.round_bytes(), decomp.n_nodes,
+                         round_messages=schedule.round_messages()) * 1e3
+
+
+def run_exchange_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
+                            steps: int = 2, repeats: int = 3) -> dict:
+    """Measure both wires; returns bench-kernels result entries."""
+    results: dict[str, dict] = {}
+    measured: dict[str, dict] = {}
+    for wire in WIRES:
+        m = measure_wire(wire, sub_shape=sub_shape, arrangement=arrangement,
+                         steps=steps, repeats=repeats)
+        measured[wire] = m
+        entry = {"mcells_per_s": round(m["mcells_per_s"], 3),
+                 "exchange_ms_per_step": round(m["exchange_ms_per_step"], 4)}
+        if m["msgs_per_step"] is not None:
+            entry["msgs_per_step"] = round(m["msgs_per_step"], 1)
+        results[ENTRY_NAMES[wire]] = entry
+    merged_ms = measured["merged"]["exchange_ms_per_step"]
+    perface_ms = measured["perface"]["exchange_ms_per_step"]
+    results["exchange_merged_vs_perface"] = {
+        "exchange_speedup": round(perface_ms / merged_ms, 3)
+        if merged_ms > 0 else None,
+        "step_speedup": round(measured["merged"]["mcells_per_s"]
+                              / measured["perface"]["mcells_per_s"], 3),
+        "modeled_net_ms_merged": round(modeled_net_ms("merged", sub_shape,
+                                                      arrangement), 4),
+        "modeled_net_ms_perface": round(modeled_net_ms("perface", sub_shape,
+                                                       arrangement), 4),
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernels.json"),
+                    help="BENCH json to merge the entries into (if it exists)")
+    ap.add_argument("--steps", type=int, default=2)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+    results = run_exchange_benchmarks(steps=args.steps, repeats=args.repeats)
+    for name, entry in sorted(results.items()):
+        print(f"  {name:36s} {json.dumps(entry)}")
+    cmp_ = results["exchange_merged_vs_perface"]
+    print(f"exchange time merged vs per-face: "
+          f"{cmp_['exchange_speedup']}x faster "
+          f"(modeled net {cmp_['modeled_net_ms_merged']:.3f} vs "
+          f"{cmp_['modeled_net_ms_perface']:.3f} ms)")
+    out = Path(args.out)
+    if out.exists():
+        data = json.loads(out.read_text())
+        data.setdefault("results", {}).update(results)
+        out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"merged into {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,7 +58,8 @@ def _best_step_s(cluster, steps: int, repeats: int) -> tuple[float, float]:
 
 def run_overlap_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
                            steps: int = 2, repeats: int = 3,
-                           backend: str = "threads") -> dict:
+                           backend: str = "threads",
+                           wire: str = "merged") -> dict:
     """Measure both protocols; returns bench-kernels result entries.
 
     ``backend`` picks the cluster execution backend.  The committed
@@ -66,6 +67,8 @@ def run_overlap_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
     behaviour of ``max_workers=2``); under ``"processes"`` the executed
     overlap is ignored — each rank steps sequentially in its own
     process — so the pair mostly measures the process-backend floor.
+    ``wire`` picks the halo wire protocol (baseline entries use the
+    merged default; ``"perface"`` measures the legacy wire).
     """
     from repro.core import ClusterConfig, CPUClusterLBM
 
@@ -75,7 +78,7 @@ def run_overlap_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
                           ("cluster_step_overlapped", True)]:
         cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement,
                             tau=0.7, overlap=overlap, backend=backend,
-                            max_workers=MAX_WORKERS)
+                            max_workers=MAX_WORKERS, wire=wire)
         with CPUClusterLBM(cfg) as cluster:
             best, window = _best_step_s(cluster, steps, repeats)
             cells = cluster.cells_total()
@@ -101,6 +104,14 @@ def main(argv=None) -> int:
                     help="cluster execution backend for the overlap pair; "
                          "'all' measures every backend and prints a one-line "
                          "comparison (baseline entries use 'threads')")
+    wire_group = ap.add_mutually_exclusive_group()
+    wire_group.add_argument("--merged", dest="wire", action="store_const",
+                            const="merged", default="merged",
+                            help="merged halo wire (default; one message "
+                                 "per neighbor per phase)")
+    wire_group.add_argument("--per-face", dest="wire", action="store_const",
+                            const="perface",
+                            help="legacy per-face halo wire")
     args = ap.parse_args(argv)
     if args.steps < 1 or args.repeats < 1:
         ap.error("--steps and --repeats must be >= 1")
@@ -108,7 +119,8 @@ def main(argv=None) -> int:
         per_backend = {
             backend: run_overlap_benchmarks(steps=args.steps,
                                             repeats=args.repeats,
-                                            backend=backend)
+                                            backend=backend,
+                                            wire=args.wire)
             for backend in BACKENDS}
         results = per_backend["threads"]
         print("overlapped step, backends [Mcells/s]: " + " | ".join(
@@ -117,14 +129,15 @@ def main(argv=None) -> int:
     else:
         results = run_overlap_benchmarks(steps=args.steps,
                                          repeats=args.repeats,
-                                         backend=args.backend)
+                                         backend=args.backend,
+                                         wire=args.wire)
     for name, entry in sorted(results.items()):
         val = entry.get("mcells_per_s", entry.get("ratio"))
         print(f"  {name:36s} {val}")
     out = Path(args.out)
-    if args.backend not in ("threads", "all"):
+    if args.backend not in ("threads", "all") or args.wire != "merged":
         print(f"not merging into {out}: baseline entries are measured "
-              f"with backend='threads'")
+              f"with backend='threads' on the merged wire")
     elif out.exists():
         data = json.loads(out.read_text())
         data.setdefault("results", {}).update(results)

@@ -45,12 +45,13 @@ ARRANGEMENT = (2, 2, 1)
 
 
 def measure_backend(backend: str, sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
-                    steps: int = 2, repeats: int = 3) -> float:
+                    steps: int = 2, repeats: int = 3,
+                    wire: str = "merged") -> float:
     """Best per-step Mcells/s of one backend on the GPU-cluster workload."""
     from repro.core import ClusterConfig, GPUClusterLBM
 
     cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement, tau=0.7,
-                        backend=backend,
+                        backend=backend, wire=wire,
                         max_workers=4 if backend == "threads" else 1)
     with GPUClusterLBM(cfg) as cluster:
         cluster.step(1)  # warm up exchange buffers / worker pool
@@ -65,13 +66,13 @@ def measure_backend(backend: str, sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
 
 def run_backend_benchmarks(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
                            steps: int = 2, repeats: int = 3,
-                           backends=BACKENDS) -> dict:
+                           backends=BACKENDS, wire: str = "merged") -> dict:
     """Measure the requested backends; returns bench-kernels entries."""
     results: dict[str, dict] = {}
     for backend in backends:
         mc = measure_backend(backend, sub_shape=sub_shape,
                              arrangement=arrangement, steps=steps,
-                             repeats=repeats)
+                             repeats=repeats, wire=wire)
         results[ENTRY_NAMES[backend]] = {"mcells_per_s": round(mc, 3)}
     if "serial" in backends and "processes" in backends:
         results["procpool_speedup"] = {
@@ -105,18 +106,29 @@ def main(argv=None) -> int:
                     help="BENCH json to merge the entries into (if it exists)")
     ap.add_argument("--steps", type=int, default=2)
     ap.add_argument("--repeats", type=int, default=3)
+    wire_group = ap.add_mutually_exclusive_group()
+    wire_group.add_argument("--merged", dest="wire", action="store_const",
+                            const="merged", default="merged",
+                            help="merged halo wire (default; one message "
+                                 "per neighbor per phase)")
+    wire_group.add_argument("--per-face", dest="wire", action="store_const",
+                            const="perface",
+                            help="legacy per-face halo wire")
     args = ap.parse_args(argv)
     if args.steps < 1 or args.repeats < 1:
         ap.error("--steps and --repeats must be >= 1")
     backends = BACKENDS if args.backend == "all" else (args.backend,)
     results = run_backend_benchmarks(steps=args.steps, repeats=args.repeats,
-                                     backends=backends)
+                                     backends=backends, wire=args.wire)
     for name, entry in sorted(results.items()):
         val = entry.get("mcells_per_s", entry.get("ratio"))
         print(f"  {name:36s} {val}")
     print(comparison_line(results))
     out = Path(args.out)
-    if out.exists():
+    if args.wire != "merged":
+        print(f"not merging into {out}: baseline entries are measured "
+              f"on the merged wire")
+    elif out.exists():
         data = json.loads(out.read_text())
         data.setdefault("results", {}).update(results)
         out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

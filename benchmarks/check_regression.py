@@ -18,13 +18,14 @@ Options::
                       overhead sweep), ``trace`` (traced vs untraced
                       cluster stepping), ``balance`` (uniform vs
                       occupancy-weighted cuts on the mixed city
-                      domain), or ``all`` (default: kernels)
+                      domain), ``exchange`` (merged vs per-face halo
+                      wire), or ``all`` (default: kernels)
     --update          merge the fresh numbers into the baseline and exit 0
 
 Baseline entries the selected suite did not measure are *skipped*, not
 failed: the baseline accumulates entries from several recording suites
 (``bench_fused``/``bench_procpool``/``bench_overlap``/``bench_sparse``/
-``bench_aa``/``bench_trace``/``bench_balance``),
+``bench_aa``/``bench_trace``/``bench_balance``/``bench_exchange``),
 and a partial run must only guard what it actually re-measured.  Use
 ``--suite all`` to opt into the full sweep that covers every entry.
 ``--update`` likewise merges into the existing baseline instead of
@@ -56,7 +57,7 @@ try:  # allow `python benchmarks/check_regression.py` without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SUITES = ("kernels", "sparse", "aa", "trace", "balance", "all")
+SUITES = ("kernels", "sparse", "aa", "trace", "balance", "exchange", "all")
 
 
 def run_suites(suite: str, steps: int, repeats: int) -> dict:
@@ -81,6 +82,9 @@ def run_suites(suite: str, steps: int, repeats: int) -> dict:
     if suite in ("balance", "all"):
         from bench_balance import run_balance_benchmarks
         results.update(run_balance_benchmarks(steps=steps, repeats=repeats))
+    if suite in ("exchange", "all"):
+        from bench_exchange import run_exchange_benchmarks
+        results.update(run_exchange_benchmarks(steps=steps, repeats=repeats))
     meta["results"] = results
     return meta
 

@@ -15,6 +15,7 @@
     python -m repro check-aa          # AA-pattern kernel equivalence gate
     python -m repro check-trace       # trace schema + no-op overhead gate
     python -m repro check-balance     # weighted-decomposition load-balance gate
+    python -m repro check-exchange    # merged-wire message-count + equivalence gate
     python -m repro verify            # tier-1 tests + backend gates + regression guard
 
 All output comes from the same row generators the benchmark harness
@@ -286,6 +287,27 @@ def _cmd_check_balance(args) -> int:
     return 0
 
 
+def _cmd_check_exchange(args) -> int:
+    """Merged-wire gate: one message per neighbor per exchange phase
+    (asserted from executed per-message trace events), bit-identical to
+    the single-domain reference on every backend with compression on
+    and off, AA forward/reverse under merging, and compressed-channel
+    desync detection + resync recovery."""
+    from repro.core.wire import run_exchange_check
+
+    report = run_exchange_check(steps=args.steps)
+    m = report["messages"]
+    c = report["compression"]
+    print(f"exchange OK: merged wire sends {m['merged_per_step']} "
+          f"messages/step (one per neighbor per phase) vs "
+          f"{m['perface_per_step']} per-face, bit-identical on:")
+    for label in report["variants"]:
+        print(f"  {label}")
+    print(f"  compression: {c['messages']} messages, wire/raw ratio "
+          f"{c['ratio']:.3f}, desync recovery OK")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     """The repo's single verification gate: tier-1 pytest, the
     process-backend equivalence/leak gate, then the kernel-throughput
@@ -311,6 +333,8 @@ def _cmd_verify(args) -> int:
          [sys.executable, "-m", "repro", "check-trace"]),
         ("load-balance gate",
          [sys.executable, "-m", "repro", "check-balance"]),
+        ("merged-exchange gate",
+         [sys.executable, "-m", "repro", "check-exchange"]),
     ]
     if not args.skip_bench:
         stages.append(
@@ -394,6 +418,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--threshold", type=float, default=1.1,
                     help="max/mean busy-time imbalance target "
                          "(default 1.1)")
+    sp = sub.add_parser("check-exchange",
+                        help="merged-wire gate: one message per "
+                             "neighbor per phase, bit-identical with "
+                             "compression on/off, AA fwd/rev, desync "
+                             "recovery")
+    sp.add_argument("--steps", type=int, default=4,
+                    help="steps to compare (default 4, rounded even)")
     sp = sub.add_parser("verify",
                         help="run the tier-1 tests, the process-backend "
                              "and sparse-kernel gates and the kernel "
@@ -434,6 +465,8 @@ def main(argv=None) -> int:
         return _cmd_check_trace(args)
     elif cmd == "check-balance":
         return _cmd_check_balance(args)
+    elif cmd == "check-exchange":
+        return _cmd_check_exchange(args)
     elif cmd == "verify":
         return _cmd_verify(args)
     elif cmd == "report":

@@ -161,6 +161,31 @@ class ClusterConfig:
         phases, reverse ghost scatter exchange after odd phases).
         Every choice is bit-identical; :meth:`kernel_report` and the
         ``kernel.*`` counters record what each rank ran and why.
+    wire:
+        Halo wire protocol.  ``"merged"`` (default) gathers everything
+        bound for one neighbor — the five streaming links over the full
+        padded cross-section, rims included — into a single contiguous
+        buffer, so each exchange phase moves exactly one message per
+        neighbor (the paper's Sec-4.4 aggregation; the modeled switch
+        charges per-message overhead once per neighbor).  ``"perface"``
+        keeps the legacy full-plane protocol and models the
+        unaggregated message counts (face + piggybacked edge lines
+        charged separately), for comparison benchmarks.  Both are
+        bit-identical numerically.
+    compression:
+        Adaptive lossless compression of the merged wire payloads
+        (Sec 4.3's open question; requires ``wire="merged"``).
+        ``"off"`` (default) ships raw float32.  ``"adaptive"`` runs the
+        :class:`~repro.core.wire.AdaptiveCompressionController`: per
+        channel it probes the measured delta+transpose+DEFLATE ratio
+        against the modeled link bandwidth and engages the codec only
+        while ``compress + send + decompress < send`` (on the
+        calibrated gigabit link the 2004 DEFLATE loses, so it bypasses
+        — that *is* the adaptive answer).  ``"always"`` forces the
+        codec on every message.  Compression is lossless, so every
+        setting is bit-identical; decisions surface as ``comm.*``
+        counters.  The processes backend exchanges through shared
+        memory (no wire), so its controller never engages.
     decomposition / cuts:
         How the global lattice is cut into per-rank blocks.
         ``decomposition="uniform"`` (default) keeps the paper's equal
@@ -199,8 +224,21 @@ class ClusterConfig:
     autotune: str = "measured"
     decomposition: str = "uniform"
     cuts: tuple | None = None
+    wire: str = "merged"
+    compression: str = "off"
 
     def __post_init__(self) -> None:
+        if self.wire not in ("merged", "perface"):
+            raise ValueError(
+                f"wire must be 'merged' or 'perface', got {self.wire!r}")
+        if self.compression not in ("off", "adaptive", "always"):
+            raise ValueError(
+                f"compression must be 'off', 'adaptive' or 'always', "
+                f"got {self.compression!r}")
+        if self.compression != "off" and self.wire != "merged":
+            raise ValueError(
+                "compression rides the merged wire protocol; set "
+                "wire='merged' (the default) to enable it")
         if self.decomposition not in ("uniform", "weighted"):
             raise ValueError(
                 f"decomposition must be 'uniform' or 'weighted', "
@@ -299,7 +337,8 @@ class _ClusterLBMBase:
                                          periodic=config.periodic,
                                          cuts=self._resolve_cuts(config))
         self.plan = HaloPlan(self.decomp.max_block_shape())
-        self.schedule = CommSchedule(self.decomp, self.plan)
+        self.schedule = CommSchedule(self.decomp, self.plan,
+                                     wire=config.wire)
         self.switch = config.switch if config.switch is not None else GigabitSwitch()
         solids = (self.decomp.scatter_field(config.solid)
                   if config.solid is not None else [None] * self.decomp.n_nodes)
@@ -319,9 +358,25 @@ class _ClusterLBMBase:
         self.counters = KernelCounters()
         self.tracer = NULL_TRACER
         self._halo_bytes = 0
+        self._halo_msgs = 0
         self._executor: ThreadPoolExecutor | None = None
         self._comm_executor: ThreadPoolExecutor | None = None
         self._border_bufs: list[dict[int, dict[int, np.ndarray]]] | None = None
+        # Merged-wire state (built lazily on the first exchange): the
+        # per-rank HaloPlans (weighted cuts give each rank its own
+        # shapes), the static per-axis routing table and the
+        # preallocated per-neighbor wire buffers.
+        self._rank_plans: list[HaloPlan] | None = None
+        self._wire_routing: list[list[dict]] | None = None
+        self._wire_bufs: list[dict] | None = None
+        self._compressor = None
+        if (config.compression != "off" and not config.timing_only
+                and config.backend != "processes"):
+            from repro.core.wire import AdaptiveCompressionController
+            self._compressor = AdaptiveCompressionController(
+                policy=config.compression,
+                bandwidth_bytes_per_s=self.switch.effective_bytes_per_s,
+                counters=self.counters)
 
     @staticmethod
     def _resolve_cuts(config: ClusterConfig):
@@ -361,6 +416,7 @@ class _ClusterLBMBase:
             "kernel": cfg.kernel,
             "sparse_threshold": cfg.sparse_threshold,
             "autotune": cfg.autotune,
+            "wire": cfg.wire,
         }
 
     def kernel_report(self) -> list[dict]:
@@ -516,6 +572,8 @@ class _ClusterLBMBase:
         self.tracer = tracer if tracer is not None else Tracer()
         self.switch.tracer = self.tracer
         self._halo_bytes = sum(sum(rnd) for rnd in self.schedule.round_bytes())
+        self._halo_msgs = sum(sum(rnd)
+                              for rnd in self.schedule.round_messages())
         if self._proc_backend is not None:
             self._proc_backend.set_tracing(True)
         else:
@@ -608,10 +666,24 @@ class _ClusterLBMBase:
         ghost rims already received from earlier axes, so edge/corner
         data reaches second-nearest neighbours without direct diagonal
         messages.
+
+        Under ``wire="merged"`` (the default) each rank moves one
+        packed 5-link message per distinct neighbor per axis phase;
+        ``wire="perface"`` keeps the legacy full-plane protocol.
         """
         cfg = self.config
+        reverse = cfg.kernel == "aa" and (self.time_step & 1)
+        if cfg.wire == "merged":
+            if reverse:
+                mode = "aa_reverse"
+            elif cfg.kernel == "aa":
+                mode = "aa_forward"
+            else:
+                mode = "pull"
+            self._exchange_merged(mode)
+            return
         self._ensure_border_bufs()
-        if cfg.kernel == "aa" and (self.time_step & 1):
+        if reverse:
             self._exchange_reverse()
             return
         for axis in range(3):
@@ -630,6 +702,120 @@ class _ClusterLBMBase:
                     else:
                         node.write_ghost(axis, direction,
                                          borders[peer][-direction])
+
+    def _ensure_wire_state(self) -> None:
+        """Build the merged-wire routing table and buffers (once).
+
+        The topology is static, so everything is precomputed: one
+        :class:`HaloPlan` per rank (weighted cuts give unequal blocks;
+        neighbouring cross-sections still match because the cut
+        positions are shared per axis), and per (axis, rank) the
+        outgoing sends — ``(peer, sides)`` with both sides merged into
+        one message when the low and high neighbor are the same rank —
+        plus the periodic self-wraps and zero-gradient fills.  Wire
+        buffers are preallocated per (rank, axis, sides), so the
+        steady-state exchange allocates nothing.
+        """
+        if self._wire_routing is not None:
+            return
+        cfg = self.config
+        self._rank_plans = [HaloPlan(self.decomp.block_shape(rank))
+                            for rank in range(len(self.nodes))]
+        self._wire_routing = []
+        self._wire_bufs = [dict() for _ in range(len(self.nodes))]
+        n_bufs = 0
+        for axis in range(3):
+            per_rank = []
+            for rank in range(len(self.nodes)):
+                peers: dict[int, list[int]] = {}
+                wraps: list[int] = []
+                zeros: list[int] = []
+                for direction in (-1, 1):
+                    peer = self.decomp.neighbor(rank, axis, direction)
+                    if peer is None:
+                        if cfg.periodic[axis]:
+                            wraps.append(direction)
+                        else:
+                            zeros.append(direction)
+                    else:
+                        peers.setdefault(peer, []).append(direction)
+                sends = tuple((peer, tuple(sorted(dirs)))
+                              for peer, dirs in sorted(peers.items()))
+                entry = {"sends": sends, "wraps": tuple(sorted(wraps)),
+                         "zeros": tuple(zeros)}
+                per_rank.append(entry)
+                side_groups = [sides for _, sides in sends]
+                if entry["wraps"]:
+                    side_groups.append(entry["wraps"])
+                for sides in side_groups:
+                    key = (axis, sides)
+                    if key not in self._wire_bufs[rank]:
+                        m = self._rank_plans[rank].neighbor_manifest(
+                            axis, sides)
+                        self._wire_bufs[rank][key] = np.empty(
+                            m.total_floats, dtype=np.float32)
+                        n_bufs += 1
+            self._wire_routing.append(per_rank)
+        if n_bufs:
+            self.counters.alloc("exchange.wire_bufs", n_bufs)
+
+    def _exchange_merged(self, mode: str) -> None:
+        """One packed message per neighbor per axis phase (Sec 4.4).
+
+        Every rank packs all its outgoing per-neighbor buffers for the
+        axis *first* (preserving the snapshot semantics of the legacy
+        path — no ghost write happens before every border read), then
+        every message is delivered and unpacked.  Segments span the
+        full padded cross-section, so the two-hop diagonal routing
+        rides inside the merged buffers.  ``mode`` selects the link
+        sets: ``"pull"`` for the double-buffered kernels,
+        ``"aa_forward"``/``"aa_reverse"`` for the AA even/odd steps.
+        """
+        self._ensure_wire_state()
+        comp = self._compressor
+        rec = self.counters
+        msgs = 0
+        wire_bytes = 0
+        for axis in range(3):
+            routing = self._wire_routing[axis]
+            packed: dict[tuple[int, int], tuple] = {}
+            for rank, node in enumerate(self.nodes):
+                entry = routing[rank]
+                for peer, sides in entry["sends"]:
+                    m = self._rank_plans[rank].neighbor_manifest(
+                        axis, sides, mode)
+                    buf = node.read_packed(
+                        m, self._wire_bufs[rank][(axis, sides)])
+                    packed[(rank, peer)] = (m, buf)
+                if entry["wraps"]:
+                    m = self._rank_plans[rank].neighbor_manifest(
+                        axis, entry["wraps"], mode)
+                    buf = node.read_packed(
+                        m, self._wire_bufs[rank][(axis, entry["wraps"])])
+                    packed[(rank, rank)] = (m, buf)
+            for rank, node in enumerate(self.nodes):
+                entry = routing[rank]
+                for peer, _sides in entry["sends"]:
+                    m, buf = packed[(peer, rank)]
+                    msgs += 1
+                    if comp is not None and peer != rank:
+                        payload = comp.encode((peer, rank, axis), buf)
+                        wire_bytes += payload.wire_bytes
+                        buf = comp.decode((peer, rank, axis), payload.data,
+                                          buf.shape)
+                    else:
+                        wire_bytes += buf.nbytes
+                    node.write_packed(m, buf)
+                if entry["wraps"]:
+                    m, buf = packed[(rank, rank)]
+                    node.write_packed(m, buf)
+                for direction in entry["zeros"]:
+                    node.fill_ghost_zero_gradient(axis, direction)
+        if rec.enabled:
+            rec.metric("comm.msgs", msgs)
+            if comp is None:
+                # The controller records its own byte metrics.
+                rec.metric("comm.bytes_wire", wire_bytes, calls=msgs)
 
     def _ensure_border_bufs(self) -> None:
         """Preallocate the per-(rank, axis, direction) face buffers.
@@ -701,7 +887,8 @@ class _ClusterLBMBase:
             self._exchange()
         t1 = time.perf_counter()
         self.tracer.add_span("cluster.exchange", t0, t1,
-                             step=self.time_step, bytes=self._halo_bytes)
+                             step=self.time_step, bytes=self._halo_bytes,
+                             wire=self.config.wire, msgs=self._halo_msgs)
         return t0, t1
 
     def step(self, n: int = 1) -> StepTiming:
@@ -751,11 +938,15 @@ class _ClusterLBMBase:
                         self._exchange()
                     self.tracer.add_span("cluster.exchange", ex_t0,
                                          time.perf_counter(),
-                                         bytes=self._halo_bytes)
+                                         bytes=self._halo_bytes,
+                                         wire=self.config.wire,
+                                         msgs=self._halo_msgs)
             for node in self.nodes:
                 node.charge_transfers()
-            net_total = (self.switch.phase_time(self.schedule.round_bytes(),
-                                                self.decomp.n_nodes)
+            net_total = (self.switch.phase_time(
+                             self.schedule.round_bytes(),
+                             self.decomp.n_nodes,
+                             round_messages=self.schedule.round_messages())
                          if self.decomp.n_nodes > 1 else 0.0)
             with rec.phase("cluster.finish"):
                 self._run_on_nodes("finish_step", span="cluster.finish")
@@ -794,8 +985,10 @@ class _ClusterLBMBase:
             if spans:
                 self.tracer.extend(
                     spans, offset_s=self._proc_backend.trace_offset(rank))
-        net_total = (self.switch.phase_time(self.schedule.round_bytes(),
-                                            self.decomp.n_nodes)
+        net_total = (self.switch.phase_time(
+                         self.schedule.round_bytes(),
+                         self.decomp.n_nodes,
+                         round_messages=self.schedule.round_messages())
                      if self.decomp.n_nodes > 1 else 0.0)
         timing = StepTiming(
             nodes=self.decomp.n_nodes,

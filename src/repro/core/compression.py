@@ -7,8 +7,14 @@ coherence between computation steps."
 This module implements and evaluates exactly that:
 
 * **temporal delta prediction** — the border distributions change
-  slowly between steps, so transmitting ``f_t - f_{t-1}`` concentrates
-  the float32 bit patterns (data coherence between computation steps);
+  slowly between steps, so transmitting the difference against the
+  previous step concentrates the float32 bit patterns (data coherence
+  between computation steps).  The difference is taken between the raw
+  *bit patterns* (uint32, mod-2^32 wrap), not between float values:
+  float subtraction ``(a - p) + p`` is only bit-exact under
+  Sterbenz-like conditions, while the integer form round-trips exactly
+  for every input — a wire codec must never depend on the data being
+  friendly;
 * **spatial transposition** — grouping the 4 bytes of each float by
   significance across the face (space coherence) so the entropy coder
   sees long runs of near-identical exponent bytes;
@@ -117,7 +123,8 @@ class HaloCompressor:
         if self.mode == "delta":
             prev = self._previous.get(key)
             if prev is not None and prev.shape == arr.shape:
-                payload_arr = arr - prev
+                # Bit-space delta: exact for any floats (incl. inf/NaN).
+                payload_arr = arr.view(np.uint32) - prev.view(np.uint32)
             else:
                 payload_arr = arr
             self._previous[key] = arr.copy()
@@ -153,9 +160,60 @@ class HaloCompressor:
             rx_key = ("rx", key)
             prev = self._previous.get(rx_key)
             if prev is not None and prev.shape == arr.shape:
-                arr = arr + prev
+                bits = arr.view(np.uint32) + prev.view(np.uint32)
+                arr = bits.view(np.float32)
             self._previous[rx_key] = arr.copy()
         return arr
+
+    def resync(self, key=None) -> None:
+        """Recover a delta channel after a :class:`DeltaDesyncError`.
+
+        Drops the temporal-prediction base and re-keys the sequence
+        numbers (both directions) so the next payload is a full frame
+        with sequence 0 again.  Both endpoints must resync the same
+        channel — the protocol's recovery handshake is simply "on
+        desync, both sides call ``resync(key)`` and retransmit".  With
+        ``key=None`` every channel is reset (a full re-key, e.g. after
+        reconnecting a transport).
+        """
+        if key is None:
+            self._previous.clear()
+            self._tx_seq.clear()
+            self._rx_seq.clear()
+            return
+        self._previous.pop(key, None)
+        self._previous.pop(("rx", key), None)
+        self._tx_seq.pop(key, None)
+        self._rx_seq.pop(key, None)
+
+    def probe_ratio(self, key, array: np.ndarray) -> float:
+        """Measured compressed/raw ratio for this message *without*
+        committing channel state.
+
+        Adaptive controllers probe disengaged channels periodically; a
+        probe must not advance the delta history or sequence numbers,
+        or the next genuinely compressed message would desync the
+        receiver (which never saw the probe).
+        """
+        saved_prev = self._previous.get(key)
+        saved_has_prev = key in self._previous
+        saved_seq = self._tx_seq.get(key, 0)
+        saved_has_seq = key in self._tx_seq
+        saved_stats = (self.stats.raw_bytes, self.stats.compressed_bytes,
+                       self.stats.messages)
+        raw_nbytes = int(np.ascontiguousarray(array, np.float32).nbytes)
+        payload = self.compress(key, array)
+        if saved_has_prev:
+            self._previous[key] = saved_prev
+        else:
+            self._previous.pop(key, None)
+        if saved_has_seq:
+            self._tx_seq[key] = saved_seq
+        else:
+            self._tx_seq.pop(key, None)
+        (self.stats.raw_bytes, self.stats.compressed_bytes,
+         self.stats.messages) = saved_stats
+        return len(payload) / raw_nbytes if raw_nbytes else 1.0
 
     def cpu_seconds(self, nbytes_raw: int) -> float:
         """Modeled compress+decompress CPU cost for one message."""
@@ -163,6 +221,18 @@ class HaloCompressor:
             return 0.0
         return (nbytes_raw / COMPRESS_BYTES_PER_S
                 + nbytes_raw / DECOMPRESS_BYTES_PER_S)
+
+    def compress_seconds(self, nbytes_raw: int) -> float:
+        """Modeled sender-side DEFLATE CPU cost for one message."""
+        if self.mode == "none":
+            return 0.0
+        return nbytes_raw / COMPRESS_BYTES_PER_S
+
+    def decompress_seconds(self, nbytes_raw: int) -> float:
+        """Modeled receiver-side INFLATE CPU cost for one message."""
+        if self.mode == "none":
+            return 0.0
+        return nbytes_raw / DECOMPRESS_BYTES_PER_S
 
 
 def measure_flow_halo_ratio(steps: int = 8, sub=(12, 12, 8),

@@ -191,6 +191,27 @@ class CPUNode:
                 np.copyto(res[direction], layer)
         return res
 
+    def read_packed(self, manifest, out: np.ndarray) -> np.ndarray:
+        """Pack this rank's merged per-neighbor payload into ``out``.
+
+        ``manifest`` is a :class:`~repro.core.halo.NeighborManifest`;
+        the source layer (border for the forward modes, ghost shell for
+        ``aa_reverse``) and link slots follow from it.  Allocation-free
+        given a preallocated ``out``.
+        """
+        from repro.core.wire import pack_halo
+        return pack_halo(self.solver.fg, self.sub_shape, manifest, out)
+
+    def write_packed(self, manifest, buf: np.ndarray) -> None:
+        """Unpack a neighbor's merged payload into this rank's shell.
+
+        The sender's side-``s`` segment lands on this rank's side
+        ``-s``: the ghost layer for the forward modes, the border layer
+        (crossing fold) for ``aa_reverse``.
+        """
+        from repro.core.wire import unpack_halo
+        unpack_halo(self.solver.fg, self.sub_shape, manifest, buf)
+
     def write_ghost(self, axis: int, direction: int, data: np.ndarray) -> None:
         side = "low" if direction == -1 else "high"
         idx = self._layer_index(axis, side, ghost=True)

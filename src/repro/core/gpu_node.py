@@ -201,6 +201,38 @@ class GPUNode:
         side = "low" if direction == -1 else "high"
         self.solver.set_ghost_layer(data, axis, side)
 
+    def read_packed(self, manifest, out: np.ndarray) -> np.ndarray:
+        """Gather the merged per-neighbor payload from the textures.
+
+        Only the pull protocol exists on the GPU path (AA is a CPU
+        kernel), so the source is always the border layer; each segment
+        gathers its five streaming links straight into the wire buffer.
+        """
+        if manifest.mode != "pull":
+            raise ValueError("GPU ranks only run the pull exchange; "
+                             f"got manifest mode {manifest.mode!r}")
+        buf = out.reshape(-1)
+        for seg in manifest.segments:
+            side = "low" if seg.side == -1 else "high"
+            view = buf[seg.offset:seg.offset + seg.floats].reshape(
+                (len(seg.links),) + manifest.plane_shape)
+            self.solver.get_border_layer(manifest.axis, side, out=view,
+                                         links=seg.links)
+        return out
+
+    def write_packed(self, manifest, buf: np.ndarray) -> None:
+        """Scatter a received merged payload into the ghost texels."""
+        if manifest.mode != "pull":
+            raise ValueError("GPU ranks only run the pull exchange; "
+                             f"got manifest mode {manifest.mode!r}")
+        flat = buf.reshape(-1)
+        for seg in manifest.segments:
+            side = "low" if -seg.side == -1 else "high"
+            view = flat[seg.offset:seg.offset + seg.floats].reshape(
+                (len(seg.links),) + manifest.plane_shape)
+            self.solver.set_ghost_layer(view, manifest.axis, side,
+                                        links=seg.links)
+
     def fill_ghost_zero_gradient(self, axis: int, direction: int) -> None:
         """Global non-periodic boundary: copy own border outward."""
         side = "low" if direction == -1 else "high"

@@ -10,6 +10,31 @@ velocity along ``axis`` — five of the nineteen for any axis of D3Q19 —
 and one diagonal distribution per edge ghost line.  :class:`HaloPlan`
 enumerates those link sets and the message byte counts the network
 model charges.
+
+It also owns the **merged wire protocol** (Sec 4.4's "gather everything
+bound for one neighbor into a single message"): a
+:class:`NeighborManifest` lays out, for one neighbor along one axis,
+every payload segment that rank needs — the five streaming links over
+the *full padded cross-section*, so the rim lines that implement
+two-hop diagonal routing ride along in the same buffer — at fixed
+offsets in one contiguous array.  Packing and unpacking are pure
+index-table walks over the manifest, and both ends derive the same
+manifest deterministically, so no per-message framing is needed.
+
+Three manifest modes cover every exchange the cluster performs:
+
+``pull``
+    The forward exchange of the double-buffered kernels: the sender's
+    *border* layer feeds the receiver's *ghost* layer; side ``s``
+    carries the links with ``c[axis] == s``.
+``aa_forward``
+    The forward exchange on an odd AA step: after the even phase the
+    array is in reversed-slot layout, so side ``s`` carries the links
+    with ``c[axis] == -s`` instead.
+``aa_reverse``
+    The post-odd-phase write-back: the sender's *ghost* layer (holding
+    the odd scatter's overshoot) feeds the receiver's *border* layer;
+    side ``s`` carries the crossing links ``c[axis] == s``.
 """
 
 from __future__ import annotations
@@ -21,6 +46,52 @@ import numpy as np
 from repro.lbm.lattice import D3Q19, Lattice
 
 FLOAT_BYTES = 4
+
+#: Valid :meth:`HaloPlan.neighbor_manifest` modes.
+PACK_MODES = ("pull", "aa_forward", "aa_reverse")
+
+
+@dataclass(frozen=True)
+class PackSegment:
+    """One face payload inside a merged per-neighbor message.
+
+    ``links`` are the D3Q19 slots this segment carries (ascending, so
+    the order is deterministic on both ends) and ``offset``/``floats``
+    locate it inside the neighbor's contiguous buffer.
+    """
+
+    side: int               # sender-side direction (+-1) along the axis
+    links: tuple[int, ...]  # link slots carried, ascending
+    offset: int             # float offset of this segment in the buffer
+    floats: int             # len(links) * plane cells
+
+
+@dataclass(frozen=True)
+class NeighborManifest:
+    """Index table for one merged per-neighbor halo message.
+
+    All payloads a neighbor needs from this rank in one exchange phase
+    — one segment per face side riding in the message (two when both
+    axis directions map to the same peer) — laid out back to back in a
+    single contiguous float32 buffer.  Each segment spans the *padded*
+    cross-section of the axis (``plane_shape``), so edge/rim lines for
+    the sequential-axis two-hop diagonal routing are carried in the
+    same message rather than as separate edge sends.
+    """
+
+    mode: str
+    axis: int
+    segments: tuple[PackSegment, ...]
+    plane_shape: tuple[int, ...]  # padded cross-section (rim included)
+    total_floats: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.total_floats * FLOAT_BYTES
+
+    @property
+    def sides(self) -> tuple[int, ...]:
+        return tuple(seg.side for seg in self.segments)
 
 
 @dataclass(frozen=True)
@@ -63,6 +134,7 @@ class HaloPlan:
         # shared copies.
         self._face_links_cache: dict[tuple[int, int], np.ndarray] = {}
         self._edge_links_cache: dict[tuple[int, int, int, int], np.ndarray] = {}
+        self._manifest_cache: dict[tuple, NeighborManifest] = {}
 
     def face_links(self, axis: int, direction: int) -> np.ndarray:
         """Link indices streaming out of the ``(axis, direction)`` face
@@ -95,6 +167,76 @@ class HaloPlan:
             cached.flags.writeable = False
             self._edge_links_cache[key] = cached
         return cached
+
+    # -- merged per-neighbor wire protocol ------------------------------
+    def padded_face_shape(self, axis: int) -> tuple[int, ...]:
+        """Cross-section of one padded layer normal to ``axis``
+        (interior plus the two ghost rims of each remaining axis)."""
+        return tuple(s + 2 for a, s in enumerate(self.sub_shape)
+                     if a != axis)
+
+    def pack_links(self, axis: int, side: int, mode: str = "pull") -> np.ndarray:
+        """Link slots the ``(axis, side)`` payload carries under ``mode``.
+
+        Always five links for D3Q19; which five depends on the array
+        layout at exchange time (see the module docstring).  The
+        returned array is cached and read-only.
+        """
+        if mode == "pull" or mode == "aa_reverse":
+            return self.face_links(axis, side)
+        if mode == "aa_forward":
+            return self.face_links(axis, -side)
+        raise ValueError(f"mode must be one of {PACK_MODES}, got {mode!r}")
+
+    def neighbor_manifest(self, axis: int, sides, mode: str = "pull",
+                          ) -> NeighborManifest:
+        """The packing manifest for one neighbor along ``axis``.
+
+        ``sides`` names the face directions riding in the message —
+        usually one, both when the low and high neighbor are the same
+        rank (periodic extent-2 axes).  Segment order is deterministic
+        (side -1 first, links ascending) so sender and receiver agree
+        on the layout without any wire framing.
+        """
+        key = (int(axis), tuple(sorted(int(s) for s in sides)), str(mode))
+        cached = self._manifest_cache.get(key)
+        if cached is not None:
+            return cached
+        if mode not in PACK_MODES:
+            raise ValueError(f"mode must be one of {PACK_MODES}, got {mode!r}")
+        if not key[1] or any(s not in (-1, 1) for s in key[1]):
+            raise ValueError(f"sides must be a non-empty subset of (-1, 1), "
+                             f"got {sides!r}")
+        plane_shape = self.padded_face_shape(axis)
+        cells = int(np.prod(plane_shape))
+        segments: list[PackSegment] = []
+        offset = 0
+        for side in key[1]:
+            links = tuple(int(i) for i in self.pack_links(axis, side, mode))
+            floats = len(links) * cells
+            segments.append(PackSegment(side=side, links=links,
+                                        offset=offset, floats=floats))
+            offset += floats
+        manifest = NeighborManifest(mode=mode, axis=int(axis),
+                                    segments=tuple(segments),
+                                    plane_shape=plane_shape,
+                                    total_floats=offset)
+        self._manifest_cache[key] = manifest
+        return manifest
+
+    def wire_message_count(self, wire: str, piggyback_edges: int = 0) -> int:
+        """Messages one neighbor pair exchanges per axis phase.
+
+        ``"merged"`` pays per-message overhead once — the edge lines
+        ride inside the face buffer.  ``"perface"`` models the
+        unaggregated protocol: the face payload plus every piggybacked
+        edge line as its own message.
+        """
+        if wire == "merged":
+            return 1
+        if wire == "perface":
+            return 1 + int(piggyback_edges)
+        raise ValueError(f"wire must be 'merged' or 'perface', got {wire!r}")
 
     def face_cells(self, axis: int) -> int:
         """Interior cells of a face normal to ``axis``."""

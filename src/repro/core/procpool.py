@@ -97,6 +97,7 @@ class WorkerSpec:
     kernel: str = "auto"                # per-rank hot-path selection
     sparse_threshold: float = 0.5
     autotune: str = "heuristic"         # "heuristic" | "measured"
+    wire: str = "merged"                # halo wire: "merged" | "perface"
 
 
 class RankProxy:
@@ -162,13 +163,21 @@ class _Worker:
         # Attach own segments, then every peer's mailbox for unpacking.
         # Peer mailbox layouts follow the *peer's* block shape — equal
         # to ours only under uniform cuts.
-        self.segs = RankSegments.attach(spec.seg_names, spec.sub_shape, spec.q)
+        self.segs = RankSegments.attach(spec.seg_names, spec.sub_shape,
+                                        spec.q, spec.wire)
         self.peer_mail: dict[int, RankSegments] = {spec.rank: self.segs}
         for peer in sorted({p for p in spec.neighbors.values()
                             if p is not None and p != spec.rank}):
             self.peer_mail[peer] = RankSegments.attach(
                 {"fg": None, "mail": spec.mail_names[peer], "stage": None},
-                spec.peer_sub_shapes[peer], spec.q)
+                spec.peer_sub_shapes[peer], spec.q, spec.wire)
+        if spec.wire == "merged":
+            # Packing manifests: a neighbour's cross-section always
+            # matches ours under the tensor-product cuts, so this
+            # rank's own plan describes both outgoing and incoming
+            # merged payloads.
+            from repro.core.halo import HaloPlan
+            self.plan = HaloPlan(spec.sub_shape)
         if spec.node_kind == "cpu":
             self._adopt_shared_fg()
 
@@ -195,6 +204,9 @@ class _Worker:
 
     # -- halo exchange over shared mailboxes ----------------------------
     def _exchange(self) -> None:
+        if self.spec.wire == "merged":
+            self._exchange_merged()
+            return
         if self.spec.kernel == "aa" and (self.step_count & 1):
             self._exchange_reverse()
             return
@@ -217,6 +229,50 @@ class _Worker:
                     node.write_ghost(
                         axis, direction,
                         self.peer_mail[peer].mail[axis][-direction][slot])
+
+    def _exchange_merged(self) -> None:
+        """Merged-wire exchange: each mailbox *is* one neighbor message.
+
+        Per axis, each rank packs its two single-neighbor manifests
+        (five face links over the full padded cross-section — rims
+        included, so the two-hop diagonal routing still rides along)
+        into its own 5-link mailboxes, waits on the shared barrier,
+        then unpacks each neighbour's opposite mailbox through the
+        mirrored manifest.  The mode follows the kernel/parity exactly
+        like the coordinator backends: ``aa_reverse`` payloads are
+        ghost planes folded onto the receiver's border (crossing links
+        only — the manifest carries exactly those five), everything
+        else is borders into ghosts.  Same double-buffered slots and
+        one-barrier-per-axis cadence as the per-face wire.
+        """
+        node, spec = self.node, self.spec
+        if spec.kernel == "aa":
+            mode = "aa_reverse" if (self.step_count & 1) else "aa_forward"
+        else:
+            mode = "pull"
+        slot = self.step_count & 1
+        own_mail = self.segs.mail
+        plan = self.plan
+        for axis in range(3):
+            for direction in (-1, 1):
+                node.read_packed(
+                    plan.neighbor_manifest(axis, (direction,), mode),
+                    own_mail[axis][direction][slot])
+            self._barrier_wait()
+            for direction in (-1, 1):
+                peer = spec.neighbors[(axis, direction)]
+                if (peer is None and not spec.periodic[axis]
+                        and mode != "aa_reverse"):
+                    node.fill_ghost_zero_gradient(axis, direction)
+                    continue
+                # The peer at (axis, direction) packed its side
+                # -direction; a self-wrap reads this rank's own
+                # opposite mailbox (AA guarantees full periodicity).
+                mail = (own_mail if peer is None
+                        else self.peer_mail[peer].mail)
+                node.write_packed(
+                    plan.neighbor_manifest(axis, (-direction,), mode),
+                    mail[axis][-direction][slot])
 
     def _exchange_reverse(self) -> None:
         """Odd-step AA exchange: ghost planes travel back to owners.
@@ -426,13 +482,14 @@ class ProcessBackend:
         sub_shapes = tuple(tuple(int(s) for s in a["sub_shape"])
                            for a in specs_args)
         q = specs_args[0].get("q", 19)
+        wire = specs_args[0].get("wire", "merged")
         mail_names = tuple(segment_name(self.token, "mail", r)
                            for r in range(self.n_ranks))
         try:
             for rank in range(self.n_ranks):
                 self.segments.append(RankSegments.create(
                     rank, sub_shapes[rank], q, self.token,
-                    with_fg=(node_kind == "cpu")))
+                    with_fg=(node_kind == "cpu"), wire=wire))
             all_names = [seg.names[k] for seg in self.segments
                          for k in ("fg", "mail", "stage")]
             self._finalizer = weakref.finalize(

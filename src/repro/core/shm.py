@@ -19,14 +19,18 @@ Per-rank segments (all float32):
     skip this segment.
 
 ``mail``
-    The halo mailboxes: for each axis, ``(2 dirs, 2 slots, Q, *face)``
+    The halo mailboxes: for each axis, ``(2 dirs, 2 slots, L, *face)``
     where ``face`` is the padded cross-section perpendicular to the
-    axis.  ``dirs`` indexes the outgoing face (-1 -> 0, +1 -> 1) and
-    ``slots`` is double buffering by step parity: a rank may pack its
-    step-``t`` borders into slot ``t % 2`` while a slower neighbour is
-    still unpacking slot ``(t - 1) % 2``, which is what lets the
-    exchange run with a single barrier per axis (between pack and
-    unpack) and none between steps.
+    axis and ``L`` is the per-message link count — :data:`MAIL_LINKS`
+    (5) on the merged wire, where each mailbox *is* the neighbor's
+    single merged message (only the links streaming across the face
+    travel), or ``Q`` on the legacy per-face wire.  ``dirs`` indexes
+    the outgoing face (-1 -> 0, +1 -> 1) and ``slots`` is double
+    buffering by step parity: a rank may pack its step-``t`` borders
+    into slot ``t % 2`` while a slower neighbour is still unpacking
+    slot ``(t - 1) % 2``, which is what lets the exchange run with a
+    single barrier per axis (between pack and unpack) and none between
+    steps.
 
 ``stage``
     One unpadded block ``(Q, nx, ny, nz)`` used as a gather/load
@@ -53,6 +57,11 @@ SEGMENT_PREFIX = "reproshm"
 
 #: dtype of all shared lattice data (matches the solvers).
 SHM_DTYPE = np.dtype(np.float32)
+
+#: Links per merged-wire mailbox: only the five D3Q19 distributions
+#: streaming across a face cross the wire, so the merged mailboxes are
+#: 5/19ths the size of the per-face ones.
+MAIL_LINKS = 5
 
 
 def unique_token() -> str:
@@ -126,16 +135,29 @@ def padded_shape(sub_shape, q: int) -> tuple[int, ...]:
     return (q,) + tuple(int(s) + 2 for s in sub_shape)
 
 
-def face_shape(sub_shape, axis: int, q: int) -> tuple[int, ...]:
-    """One mailbox face: all links over the padded cross-section."""
-    return (q,) + tuple(int(s) + 2 for a, s in enumerate(sub_shape) if a != axis)
+def face_shape(sub_shape, axis: int, q: int,
+               links: int | None = None) -> tuple[int, ...]:
+    """One mailbox face: ``links`` link slots (default: all ``q``)
+    over the padded cross-section."""
+    return ((q if links is None else int(links),)
+            + tuple(int(s) + 2 for a, s in enumerate(sub_shape) if a != axis))
 
 
-def mailbox_nbytes(sub_shape, q: int) -> int:
+def mail_links(wire: str, q: int) -> int:
+    """Link slots per mailbox for one wire protocol."""
+    if wire == "merged":
+        return MAIL_LINKS
+    if wire == "perface":
+        return int(q)
+    raise ValueError(f"wire must be 'merged' or 'perface', got {wire!r}")
+
+
+def mailbox_nbytes(sub_shape, q: int, wire: str = "merged") -> int:
     """Total bytes of one rank's mailbox segment (3 axes x 2 dirs x 2 slots)."""
+    links = mail_links(wire, q)
     total = 0
     for axis in range(3):
-        total += 2 * 2 * int(np.prod(face_shape(sub_shape, axis, q)))
+        total += 2 * 2 * int(np.prod(face_shape(sub_shape, axis, q, links)))
     return total * SHM_DTYPE.itemsize
 
 
@@ -155,9 +177,11 @@ class RankSegments:
     """
 
     def __init__(self, sub_shape, q: int, names: dict[str, str | None],
-                 owner: bool) -> None:
+                 owner: bool, wire: str = "merged") -> None:
         self.sub_shape = tuple(int(s) for s in sub_shape)
         self.q = int(q)
+        self.wire = wire
+        self.links = mail_links(wire, self.q)
         self.names = dict(names)
         self.owner = bool(owner)
         self._segs: dict[str, shared_memory.SharedMemory] = {}
@@ -187,7 +211,7 @@ class RankSegments:
             return 2 * int(np.prod(padded_shape(self.sub_shape, self.q))) \
                 * SHM_DTYPE.itemsize
         if kind == "mail":
-            return mailbox_nbytes(self.sub_shape, self.q)
+            return mailbox_nbytes(self.sub_shape, self.q, self.wire)
         if kind == "stage":
             return self.q * int(np.prod(self.sub_shape)) * SHM_DTYPE.itemsize
         raise ValueError(f"unknown segment kind {kind!r}")
@@ -205,7 +229,7 @@ class RankSegments:
         out: dict[int, dict[int, np.ndarray]] = {}
         offset = 0
         for axis in range(3):
-            face = face_shape(self.sub_shape, axis, self.q)
+            face = face_shape(self.sub_shape, axis, self.q, self.links)
             per_dir = {}
             for direction in (-1, 1):
                 shape = (2,) + face    # (slot, Q, *face)
@@ -255,18 +279,18 @@ class RankSegments:
 
     @classmethod
     def create(cls, rank: int, sub_shape, q: int, token: str,
-               with_fg: bool) -> "RankSegments":
+               with_fg: bool, wire: str = "merged") -> "RankSegments":
         names = {
             "fg": segment_name(token, "fg", rank) if with_fg else None,
             "mail": segment_name(token, "mail", rank),
             "stage": segment_name(token, "stage", rank),
         }
-        return cls(sub_shape, q, names, owner=True)
+        return cls(sub_shape, q, names, owner=True, wire=wire)
 
     @classmethod
     def attach(cls, names: dict[str, str | None], sub_shape,
-               q: int) -> "RankSegments":
-        return cls(sub_shape, q, names, owner=False)
+               q: int, wire: str = "merged") -> "RankSegments":
+        return cls(sub_shape, q, names, owner=False, wire=wire)
 
 
 def unlink_segment_names(names) -> None:

@@ -33,6 +33,11 @@ from repro.net.simmpi import SimCluster
 _TAG = {(0, -1): 100, (0, 1): 101, (1, -1): 110, (1, 1): 111,
         (2, -1): 120, (2, 1): 121}
 
+#: Tag of a both-sides merged message (periodic extent-2 axes, where
+#: the low and high neighbour are the same rank and the two faces ride
+#: one wire buffer).
+_MERGED_TAG = {0: 102, 1: 112, 2: 122}
+
 
 class SPMDClusterLBM:
     """Run the decomposed LBM as an SPMD program on simulated ranks.
@@ -47,18 +52,42 @@ class SPMDClusterLBM:
         Optional global obstacle mask.
     f0:
         Optional global initial distributions.
+    wire:
+        ``"merged"`` (default) sends exactly one message per neighbor
+        per exchange phase — the five crossing links over the full
+        padded cross-section, rims included, in one contiguous buffer;
+        ``"perface"`` is the legacy full-face wire.
+    compression:
+        ``"off"`` (default), ``"adaptive"`` (probe the measured ratio
+        against the switch bandwidth, engage only when it pays), or
+        ``"always"`` (force the codec).  Requires the merged wire;
+        compressed frames travel as uint8 and the per-rank simulated
+        clocks are charged the modeled codec CPU.
     """
 
     def __init__(self, decomp: BlockDecomposition, tau: float,
                  solid: np.ndarray | None = None,
-                 f0: np.ndarray | None = None) -> None:
+                 f0: np.ndarray | None = None, wire: str = "merged",
+                 compression: str = "off") -> None:
         if decomp.sub_shape is None:
             raise ValueError(
                 "SPMDClusterLBM requires uniform cuts (the rank program "
                 "indexes ghosts by a shared sub_shape); use the "
                 "coordinator drivers for weighted decompositions")
+        if wire not in ("merged", "perface"):
+            raise ValueError(f"wire must be 'merged' or 'perface', got {wire!r}")
+        if compression not in ("off", "adaptive", "always"):
+            raise ValueError("compression must be 'off', 'adaptive' or "
+                             f"'always', got {compression!r}")
+        if compression != "off" and wire != "merged":
+            raise ValueError("compression requires the merged wire")
         self.decomp = decomp
         self.tau = float(tau)
+        self.wire = wire
+        self.compression = compression
+        #: Per-rank compression summaries from the last merged run
+        #: (``None`` entries when compression is off).
+        self.compression_summaries: list[dict | None] = []
         self.solids = (decomp.scatter_field(solid)
                        if solid is not None else [None] * decomp.n_nodes)
         self.f0_parts = decomp.scatter_field(f0) if f0 is not None else None
@@ -136,13 +165,153 @@ class SPMDClusterLBM:
             solver.time_step += 1
         return solver.f.copy(), comm.clock_s
 
+    # -- the per-rank program, merged wire ------------------------------------
+    def _build_routes(self, plan, rank: int) -> list[dict]:
+        """Per-axis wire routing for one rank, fixed for the run.
+
+        ``pairs`` are real neighbours: each carries the outgoing
+        manifest/tag (this rank's facing side) and the mirrored
+        incoming manifest/tag (the peer packed *its* facing side, which
+        is this rank's opposite — identical manifests under uniform
+        cuts).  A periodic extent-2 axis has one both-sides pair; a
+        periodic extent-1 axis self-wraps locally; a non-periodic edge
+        falls back to the zero-gradient ghost fill.
+        """
+        decomp = self.decomp
+        routes: list[dict] = []
+        for axis in range(3):
+            lo = decomp.neighbor(rank, axis, -1)
+            hi = decomp.neighbor(rank, axis, 1)
+            pairs: list[dict] = []
+            wrap = None
+            zeros: list[int] = []
+            if lo is not None and lo == hi:
+                m = plan.neighbor_manifest(axis, (-1, 1), "pull")
+                pairs.append({"peer": lo, "send_m": m, "recv_m": m,
+                              "send_tag": _MERGED_TAG[axis],
+                              "recv_tag": _MERGED_TAG[axis],
+                              "buf": np.empty(m.total_floats, np.float32)})
+            else:
+                for s, peer in ((-1, lo), (1, hi)):
+                    if peer is not None:
+                        sm = plan.neighbor_manifest(axis, (s,), "pull")
+                        rm = plan.neighbor_manifest(axis, (-s,), "pull")
+                        pairs.append({"peer": peer, "send_m": sm, "recv_m": rm,
+                                      "send_tag": _TAG[(axis, s)],
+                                      "recv_tag": _TAG[(axis, -s)],
+                                      "buf": np.empty(sm.total_floats,
+                                                      np.float32)})
+                    elif decomp.periodic[axis]:
+                        if wrap is None:
+                            m = plan.neighbor_manifest(axis, (-1, 1), "pull")
+                            wrap = {"m": m, "buf": np.empty(m.total_floats,
+                                                            np.float32)}
+                    else:
+                        zeros.append(s)
+            routes.append({"pairs": pairs, "wrap": wrap, "zeros": zeros})
+        return routes
+
+    def _rank_main_merged(self, comm, steps: int):
+        from repro.core.halo import HaloPlan
+        from repro.core.wire import (AdaptiveCompressionController,
+                                     pack_halo, unpack_halo)
+
+        decomp = self.decomp
+        rank = comm.rank
+        sub = decomp.sub_shape
+        solver = LBMSolver(sub, self.tau,
+                           solid=self.solids[rank], periodic=False)
+        if self.f0_parts is not None:
+            solver.f[...] = self.f0_parts[rank].astype(solver.dtype)
+        plan = HaloPlan(sub)
+        routes = self._build_routes(plan, rank)
+        comp = None
+        if self.compression != "off":
+            comp = AdaptiveCompressionController(
+                policy=self.compression,
+                bandwidth_bytes_per_s=comm._cluster.switch.effective_bytes_per_s)
+
+        def border(axis: int, direction: int) -> np.ndarray:
+            idx = 1 if direction == -1 else sub[axis]
+            return np.ascontiguousarray(np.take(solver.fg, idx, axis=1 + axis))
+
+        def set_ghost(axis: int, direction: int, data: np.ndarray) -> None:
+            idx = 0 if direction == -1 else sub[axis] + 1
+            sl = [slice(None)] * 4
+            sl[1 + axis] = idx
+            solver.fg[tuple(sl)] = data
+
+        def send_pair(axis: int, pair: dict) -> None:
+            pack_halo(solver.fg, sub, pair["send_m"], pair["buf"])
+            payload, meta = pair["buf"], None
+            if comp is not None:
+                wp = comp.encode((rank, pair["peer"], axis), pair["buf"])
+                if wp.compress_s:
+                    comm.compute(wp.compress_s)
+                payload = wp.data
+                if wp.compressed:
+                    meta = {"raw_bytes": wp.raw_bytes}
+            comm.Isend(payload, dest=pair["peer"], tag=pair["send_tag"],
+                       meta=meta)
+
+        def unpack_pair(axis: int, pair: dict, data: np.ndarray) -> None:
+            m = pair["recv_m"]
+            if comp is not None:
+                if data.dtype == np.uint8:
+                    comm.compute(comp.decompress_seconds(m.nbytes))
+                data = comp.decode((pair["peer"], rank, axis), data,
+                                   (m.total_floats,))
+            unpack_halo(solver.fg, sub, m, data)
+
+        def local_fills(axis: int) -> None:
+            r = routes[axis]
+            if r["wrap"] is not None:
+                pack_halo(solver.fg, sub, r["wrap"]["m"], r["wrap"]["buf"])
+                unpack_halo(solver.fg, sub, r["wrap"]["m"], r["wrap"]["buf"])
+            for s in r["zeros"]:
+                set_ghost(axis, s, border(axis, s))  # zero-gradient
+
+        for _ in range(steps):
+            # Same executed overlap as the per-face program: collide the
+            # boundary shell, fire axis 0 (one merged message per
+            # neighbor), collide the inner core while they fly, then
+            # complete the receives.  Later axes forward the rims just
+            # unpacked (two-hop diagonal routing) with blocking receives.
+            solver.collide_boundary()
+            pending = []
+            for pair in routes[0]["pairs"]:
+                send_pair(0, pair)
+                pending.append((pair, comm.Irecv(source=pair["peer"],
+                                                 tag=pair["recv_tag"])))
+            local_fills(0)
+            solver.collide_inner()
+            for pair, req in pending:
+                unpack_pair(0, pair, req.wait())
+            for axis in (1, 2):
+                for pair in routes[axis]["pairs"]:
+                    send_pair(axis, pair)
+                local_fills(axis)
+                for pair in routes[axis]["pairs"]:
+                    unpack_pair(axis, pair,
+                                comm.Recv(source=pair["peer"],
+                                          tag=pair["recv_tag"]))
+            solver.stream()
+            solver.post_stream()
+            solver.time_step += 1
+        return (solver.f.copy(), comm.clock_s,
+                None if comp is None else comp.summary())
+
     # -- driver ---------------------------------------------------------------
     def run(self, steps: int, cluster: SimCluster | None = None
             ) -> tuple[np.ndarray, list[float]]:
         """Execute ``steps`` on all ranks; returns (global f, clocks)."""
         cl = cluster if cluster is not None else SimCluster(
             self.decomp.n_nodes)
-        results = cl.run(self._rank_main, steps)
+        main = (self._rank_main_merged if self.wire == "merged"
+                else self._rank_main)
+        results = cl.run(main, steps)
         parts = [r[0] for r in results]
         clocks = [r[1] for r in results]
+        self.compression_summaries = [r[2] if len(r) > 2 else None
+                                      for r in results]
         return self.decomp.gather_field(parts), clocks

@@ -255,58 +255,69 @@ class GPULBMSolver:
         if self.mode != "padded":
             raise RuntimeError("ghost operations require mode='padded'")
 
-    def set_ghost_layer(self, f_ghost: np.ndarray, axis: int, side: str) -> None:
-        """Write a (19, ...) ghost face received from a neighbour.
+    def set_ghost_layer(self, f_ghost: np.ndarray, axis: int, side: str,
+                        links=None) -> None:
+        """Write a ghost face received from a neighbour.
 
         ``f_ghost`` has the shape of the corresponding face of the
         *padded* array excluding the two ghost rims of the other axes
-        being set separately — i.e. exactly ``(19,) + face_shape`` with
+        being set separately — i.e. exactly ``(L,) + face_shape`` with
         face_shape the full padded cross-section, allowing edge/corner
-        ghost texels to be included by the caller.
+        ghost texels to be included by the caller.  ``links`` selects
+        which distribution slots the rows of ``f_ghost`` carry (default:
+        all 19 in order) — the merged wire protocol ships only the five
+        streaming links per face.
         """
         self._check_padded()
         nx, ny, nz = self.shape
         full = {0: (ny + 2, nz + 2), 1: (nx + 2, nz + 2), 2: (nx + 2, ny + 2)}[axis]
-        if f_ghost.shape != (19,) + full:
-            raise ValueError(f"ghost face shape {f_ghost.shape} != {(19,) + full}")
+        link_ids = range(19) if links is None else list(links)
+        if f_ghost.shape != (len(link_ids),) + full:
+            raise ValueError(f"ghost face shape {f_ghost.shape} != "
+                             f"{(len(link_ids),) + full}")
         idx_along = 0 if side == "low" else (self.shape[axis] + 1)
-        for i in range(19):
-            s, ch = link_location(i)
+        for row, i in enumerate(link_ids):
+            s, ch = link_location(int(i))
             data = self.f_stacks[s].data
             if axis == 0:
-                data[:, :, idx_along, ch] = f_ghost[i].transpose(1, 0)
+                data[:, :, idx_along, ch] = f_ghost[row].transpose(1, 0)
             elif axis == 1:
-                data[:, idx_along, :, ch] = f_ghost[i].transpose(1, 0)
+                data[:, idx_along, :, ch] = f_ghost[row].transpose(1, 0)
             else:
-                data[idx_along, :, :, ch] = f_ghost[i].transpose(1, 0)
+                data[idx_along, :, :, ch] = f_ghost[row].transpose(1, 0)
 
     def get_border_layer(self, axis: int, side: str,
-                         out: np.ndarray | None = None) -> np.ndarray:
-        """Read the interior border face (19, full padded cross-section).
+                         out: np.ndarray | None = None,
+                         links=None) -> np.ndarray:
+        """Read the interior border face (L, full padded cross-section).
 
         Returns the post-collision distributions of the outermost
         interior layer, padded cross-section orientation matching
         :meth:`set_ghost_layer` so a neighbour can consume it directly.
         With ``out`` the face is gathered into the provided buffer
-        (allocation-free exchange path).
+        (allocation-free exchange path); ``links`` restricts the gather
+        to a subset of distribution slots (merged wire protocol).
         """
         self._check_padded()
         nx, ny, nz = self.shape
         full = {0: (ny + 2, nz + 2), 1: (nx + 2, nz + 2), 2: (nx + 2, ny + 2)}[axis]
+        link_ids = range(19) if links is None else list(links)
         if out is None:
-            out = np.empty((19,) + full, dtype=self.f_stacks[0].data.dtype)
-        elif out.shape != (19,) + full:
-            raise ValueError(f"border face shape {out.shape} != {(19,) + full}")
+            out = np.empty((len(link_ids),) + full,
+                           dtype=self.f_stacks[0].data.dtype)
+        elif out.shape != (len(link_ids),) + full:
+            raise ValueError(f"border face shape {out.shape} != "
+                             f"{(len(link_ids),) + full}")
         idx_along = 1 if side == "low" else self.shape[axis]
-        for i in range(19):
-            s, ch = link_location(i)
+        for row, i in enumerate(link_ids):
+            s, ch = link_location(int(i))
             data = self.f_stacks[s].data
             if axis == 0:
-                out[i] = data[:, :, idx_along, ch].transpose(1, 0)
+                out[row] = data[:, :, idx_along, ch].transpose(1, 0)
             elif axis == 1:
-                out[i] = data[:, idx_along, :, ch].transpose(1, 0)
+                out[row] = data[:, idx_along, :, ch].transpose(1, 0)
             else:
-                out[i] = data[idx_along, :, :, ch].transpose(1, 0)
+                out[row] = data[idx_along, :, :, ch].transpose(1, 0)
         return out
 
     # -- boundary-layer passes --------------------------------------------

@@ -85,38 +85,59 @@ class GigabitSwitch:
         self._trace_clock_s = 0.0
 
     # -- scheduled (round-based) path -----------------------------------
-    def message_time(self, nbytes: int) -> float:
-        """One message: envelope overhead + payload at effective rate."""
-        return (self.message_overhead_scale * cal.NET_STEP_OVERHEAD_S
+    def message_time(self, nbytes: int, messages: int = 1) -> float:
+        """One pair transfer: per-envelope overhead + payload at the
+        effective rate.  ``messages`` counts the wire envelopes the
+        bytes are split over (1 on the merged wire — the default keeps
+        the calibrated single-message expression bit-identical; the
+        per-face wire pays the envelope overhead once per face/edge
+        message)."""
+        if messages == 1:
+            return (self.message_overhead_scale * cal.NET_STEP_OVERHEAD_S
+                    + nbytes / self.effective_bytes_per_s)
+        return (messages * self.message_overhead_scale * cal.NET_STEP_OVERHEAD_S
                 + nbytes / self.effective_bytes_per_s)
 
-    def round_time(self, pair_bytes: list[int]) -> RoundTiming:
+    def round_time(self, pair_bytes: list[int],
+                   pair_messages: list[int] | None = None) -> RoundTiming:
         """One schedule step: disjoint pairs exchange simultaneously.
 
         The step ends when the slowest pair finishes; concurrent flows
         add straggler time (stall tails), which is the calibrated
-        per-pair term.
+        per-pair term.  ``pair_messages`` (parallel to ``pair_bytes``)
+        charges per-envelope overhead when a pair splits its bytes over
+        several messages; omitted, every pair is one envelope (the
+        original calibrated model, bit-identical).
         """
         if not pair_bytes:
             return RoundTiming(0, 0, 0.0)
         worst = max(pair_bytes)
-        secs = (self.message_time(worst)
-                + cal.NET_STRAGGLER_S_PER_PAIR * len(pair_bytes))
+        if pair_messages is None:
+            slowest = self.message_time(worst)
+        else:
+            slowest = max(self.message_time(b, m)
+                          for b, m in zip(pair_bytes, pair_messages))
+        secs = slowest + cal.NET_STRAGGLER_S_PER_PAIR * len(pair_bytes)
         return RoundTiming(len(pair_bytes), worst, secs)
 
-    def phase_time(self, rounds: list[list[int]], nodes: int) -> float:
+    def phase_time(self, rounds: list[list[int]], nodes: int,
+                   round_messages: list[list[int]] | None = None) -> float:
         """A full exchange phase: ``rounds`` is a list of per-step
-        pair-byte lists.  Adds the fixed phase overhead and, beyond the
-        calibrated drift-free node count, the free-running drift
-        penalty of Table 1's 28-32 node rows."""
-        active = [r for r in rounds if r]
-        if not active:
+        pair-byte lists (``round_messages``, when given, the parallel
+        per-pair envelope counts).  Adds the fixed phase overhead and,
+        beyond the calibrated drift-free node count, the free-running
+        drift penalty of Table 1's 28-32 node rows."""
+        if round_messages is None:
+            paired = [(r, None) for r in rounds if r]
+        else:
+            paired = [(r, m) for r, m in zip(rounds, round_messages) if r]
+        if not paired:
             return 0.0
         tr = self.tracer
         t = self.phase_overhead_scale * cal.NET_PHASE_OVERHEAD_S
         sim_t = self._trace_clock_s + t
-        for r in active:
-            rt = self.round_time(r)
+        for r, m in paired:
+            rt = self.round_time(r, m)
             t += rt.seconds
             if tr.enabled:
                 tr.add_span("net.round", sim_t, sim_t + rt.seconds,
@@ -128,7 +149,7 @@ class GigabitSwitch:
             tr.add_span("net.phase", self._trace_clock_s,
                         self._trace_clock_s + t,
                         rank=NETWORK_RANK, clock=SIM_CLOCK,
-                        rounds=len(active), nodes=nodes)
+                        rounds=len(paired), nodes=nodes)
             self._trace_clock_s += t
         return t
 

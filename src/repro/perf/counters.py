@@ -22,16 +22,27 @@ from dataclasses import dataclass
 
 @dataclass
 class PhaseStat:
-    """Accumulated statistics for one named phase."""
+    """Accumulated statistics for one named phase.
+
+    ``value`` is a free numeric accumulator for non-time metrics
+    (payload bytes, message counts, compression ratios); phases that
+    only time calls leave it at 0.
+    """
 
     calls: int = 0
     seconds: float = 0.0
     allocs: int = 0
+    value: float = 0.0
 
     @property
     def mean_s(self) -> float:
         """Mean wall time per call (0 if never called)."""
         return self.seconds / self.calls if self.calls else 0.0
+
+    @property
+    def mean_value(self) -> float:
+        """Mean accumulated value per call (0 if never called)."""
+        return self.value / self.calls if self.calls else 0.0
 
 
 class KernelCounters:
@@ -73,6 +84,21 @@ class KernelCounters:
             st = self.stats[name] = PhaseStat()
         st.allocs += n
 
+    def metric(self, name: str, value: float, calls: int = 1) -> None:
+        """Accumulate a numeric metric (bytes, messages, ratios).
+
+        Metrics share the phase table so they merge across processes and
+        show up in the same report; ``calls`` counts the contributing
+        events so per-event means stay available.
+        """
+        if not self.enabled:
+            return
+        st = self.stats.get(name)
+        if st is None:
+            st = self.stats[name] = PhaseStat()
+        st.calls += calls
+        st.value += value
+
     @contextmanager
     def phase(self, name: str):
         """Context manager timing one phase (no-op when disabled)."""
@@ -109,6 +135,7 @@ class KernelCounters:
             st.calls += int(entry.get("calls", 0))
             st.seconds += float(entry.get("seconds", 0.0))
             st.allocs += int(entry.get("allocs", 0))
+            st.value += float(entry.get("value", 0.0))
 
     # -- inspection -----------------------------------------------------
     def reset(self) -> None:
@@ -131,6 +158,7 @@ class KernelCounters:
                 "seconds": st.seconds,
                 "mean_ms": st.mean_s * 1e3,
                 "allocs": st.allocs,
+                "value": st.value,
             }
             for name, st in sorted(self.stats.items())
         }
@@ -143,10 +171,17 @@ class KernelCounters:
         ``cluster.collide_boundary`` exceed the old fixed width).
         """
         width = max([len("phase")] + [len(n) for n in self.stats])
-        lines = [f"{'phase':<{width}} {'calls':>8} {'total ms':>10} "
-                 f"{'mean ms':>10} {'allocs':>8}"]
+        has_values = any(st.value for st in self.stats.values())
+        header = (f"{'phase':<{width}} {'calls':>8} {'total ms':>10} "
+                  f"{'mean ms':>10} {'allocs':>8}")
+        if has_values:
+            header += f" {'value':>14}"
+        lines = [header]
         for name, st in sorted(self.stats.items()):
-            lines.append(f"{name:<{width}} {st.calls:>8d} "
-                         f"{st.seconds * 1e3:>10.3f} "
-                         f"{st.mean_s * 1e3:>10.4f} {st.allocs:>8d}")
+            line = (f"{name:<{width}} {st.calls:>8d} "
+                    f"{st.seconds * 1e3:>10.3f} "
+                    f"{st.mean_s * 1e3:>10.4f} {st.allocs:>8d}")
+            if has_values:
+                line += f" {st.value:>14.1f}"
+            lines.append(line)
         return "\n".join(lines)

@@ -187,15 +187,20 @@ class Tracer:
 
     def message(self, src: int, dst: int, tag: int, nbytes: int,
                 start_s: float, end_s: float, step: int | None = None,
-                name: str = "mpi.msg") -> None:
-        """Record one simulated-network message (simulated-clock span)."""
+                name: str = "mpi.msg", **meta) -> None:
+        """Record one simulated-network message (simulated-clock span).
+
+        ``nbytes`` is what actually crossed the wire; extra keyword
+        arguments extend the metadata (compressed sends attach
+        ``raw_bytes`` so bytes-on-wire vs payload stays auditable).
+        """
         if not self.enabled:
             return
         self.events.append(SpanEvent(
             name, NETWORK_RANK, self.step if step is None else step,
             float(start_s), float(end_s), SIM_CLOCK,
             {"src": int(src), "dst": int(dst), "tag": int(tag),
-             "bytes": int(nbytes)}))
+             "bytes": int(nbytes), **meta}))
 
     def for_rank(self, rank: int) -> "Tracer":
         """A view with a different default rank, sharing this event list.

@@ -75,7 +75,8 @@ class TestThreadedMatchesReference:
 class TestExchangeBuffers:
     def test_border_buffers_allocated_once(self, rng):
         f0 = _initial_state(rng)
-        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7,
+                            wire="perface")
         cluster = CPUClusterLBM(cfg)
         cluster.load_global_distributions(f0)
         cluster.step(1)
@@ -91,6 +92,24 @@ class TestExchangeBuffers:
         # alloc counter recorded the one-time buffer build
         assert (cluster.counters.stats["exchange.border_bufs"].allocs
                 == 6 * len(cluster.nodes))
+        cluster.shutdown()
+
+    def test_wire_buffers_allocated_once(self, rng):
+        """The merged wire preallocates per-neighbor buffers the same
+        way the per-face path preallocates face buffers."""
+        f0 = _initial_state(rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARR, tau=0.7)
+        cluster = CPUClusterLBM(cfg)
+        cluster.load_global_distributions(f0)
+        cluster.step(1)
+        bufs = cluster._wire_bufs
+        assert bufs is not None
+        buf_ids = {id(b) for per_rank in bufs for b in per_rank.values()}
+        cluster.step(3)
+        assert cluster._wire_bufs is bufs
+        after = {id(b) for per_rank in bufs for b in per_rank.values()}
+        assert after == buf_ids
+        assert cluster.counters.stats["exchange.wire_bufs"].allocs == len(buf_ids)
         cluster.shutdown()
 
     def test_cluster_counters_record_phases(self, rng):

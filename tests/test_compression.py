@@ -152,3 +152,122 @@ class TestDeltaDesync:
         p = codec.compress("k", a)
         for _ in range(2):     # replay is fine: the codec is stateless
             assert np.array_equal(codec.decompress("k", p, a.shape), a)
+
+
+class TestResyncRecovery:
+    """DeltaDesyncError must be recoverable: both ends call resync()
+    and the channel keeps working with exact round-trips."""
+
+    def _stream(self, rng, tx, rx, key, n=3, start=None):
+        a = rng.random((5, 6)).astype(np.float32) if start is None else start
+        for step in range(n):
+            a = a + (0.001 * rng.standard_normal(a.shape)).astype(np.float32)
+            out = rx.decompress(key, tx.compress(key, a), a.shape)
+            assert np.array_equal(out, a), step
+        return a
+
+    def test_resync_recovers_after_skip(self, rng):
+        tx = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        a = self._stream(rng, tx, rx, "face")
+        tx.compress("face", a + 1)            # dropped on the floor
+        with pytest.raises(DeltaDesyncError):
+            rx.decompress("face", tx.compress("face", a + 2), a.shape)
+        tx.resync("face")
+        rx.resync("face")
+        self._stream(rng, tx, rx, "face", start=a + 3)
+
+    def test_resync_single_channel_leaves_others(self, rng):
+        tx = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        a = self._stream(rng, tx, rx, "a")
+        b = self._stream(rng, tx, rx, "b")
+        tx.resync("a")
+        rx.resync("a")
+        # Channel b's sequence numbers and delta base must be intact.
+        self._stream(rng, tx, rx, "b", start=b)
+        self._stream(rng, tx, rx, "a", start=a)
+
+    def test_resync_all_channels(self, rng):
+        tx = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        for key in ("a", "b"):
+            self._stream(rng, tx, rx, key)
+        tx.resync()
+        rx.resync()
+        for key in ("a", "b"):
+            self._stream(rng, tx, rx, key)
+
+    def test_resync_restarts_sequence_at_zero(self, rng):
+        codec = HaloCompressor(mode="delta")
+        a = rng.random((4, 4)).astype(np.float32)
+        codec.compress("k", a)
+        codec.compress("k", a)
+        codec.resync("k")
+        payload = codec.compress("k", a)
+        rx = HaloCompressor(mode="delta")   # fresh receiver expects seq 0
+        assert np.array_equal(rx.decompress("k", payload, a.shape), a)
+
+
+class TestProbeRatio:
+    """Probes must measure without committing channel state — a probed
+    channel's next real message may not desync the receiver."""
+
+    def test_probe_matches_committed_ratio(self, rng):
+        codec = HaloCompressor(mode="delta")
+        a = rng.random((19, 8, 8)).astype(np.float32)
+        probed = codec.probe_ratio("k", a)
+        committed = len(codec.compress("k", a)) / a.nbytes
+        assert probed == committed
+
+    def test_probe_does_not_advance_state(self, rng):
+        tx = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        a = rng.random((5, 6)).astype(np.float32)
+        out = rx.decompress("k", tx.compress("k", a), a.shape)
+        assert np.array_equal(out, a)
+        for _ in range(3):                    # rx never sees the probes
+            tx.probe_ratio("k", a + 1)
+        b = a + np.float32(0.01)
+        assert np.array_equal(
+            rx.decompress("k", tx.compress("k", b), b.shape), b)
+
+    def test_probe_does_not_touch_stats(self, rng):
+        codec = HaloCompressor(mode="delta")
+        a = rng.random((5, 6)).astype(np.float32)
+        codec.compress("k", a)
+        before = (codec.stats.raw_bytes, codec.stats.compressed_bytes,
+                  codec.stats.messages)
+        codec.probe_ratio("k", a)
+        assert (codec.stats.raw_bytes, codec.stats.compressed_bytes,
+                codec.stats.messages) == before
+
+
+class TestBitSpaceDelta:
+    """The delta stage differences uint32 bit patterns, so the round
+    trip is exact for *any* floats — including values where float
+    subtraction would not be."""
+
+    def test_special_values_round_trip(self, rng):
+        tx = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        a = rng.random((4, 8)).astype(np.float32)
+        a[0, 0] = np.inf
+        a[1, 2] = -np.inf
+        a[2, 4] = np.nan
+        a[3, 6] = np.float32(1e-45)   # subnormal
+        rx.decompress("k", tx.compress("k", a), a.shape)
+        b = a * np.float32(1.5)
+        out = rx.decompress("k", tx.compress("k", b), b.shape)
+        assert np.array_equal(out.view(np.uint32), b.view(np.uint32))
+
+    def test_extreme_magnitude_gap_is_exact(self, rng):
+        """(a - p) + p in float space would lose bits here; bit-space
+        deltas cannot."""
+        tx = HaloCompressor(mode="delta")
+        rx = HaloCompressor(mode="delta")
+        a = np.full((6, 6), 1e30, dtype=np.float32)
+        rx.decompress("k", tx.compress("k", a), a.shape)
+        b = np.full((6, 6), 1e-30, dtype=np.float32)
+        out = rx.decompress("k", tx.compress("k", b), b.shape)
+        assert np.array_equal(out, b)

@@ -1,0 +1,387 @@
+"""Tests for the merged per-neighbor halo wire.
+
+Covers the packing manifests (:mod:`repro.core.halo`), the pack/unpack
+runtime and adaptive compression controller (:mod:`repro.core.wire`),
+the schedule/switch envelope accounting, merged-exchange bit-identity
+on weighted cuts across every backend, the AA forward/reverse protocol
+under merging, and the executed SPMD message counts.  The heavyweight
+end-to-end sweep lives in ``python -m repro check-exchange``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterConfig, CPUClusterLBM
+from repro.core.decomposition import BlockDecomposition, uniform_cuts
+from repro.core.halo import HaloPlan, PACK_MODES
+from repro.core.schedule import CommSchedule
+from repro.core.wire import (AdaptiveCompressionController, pack_halo,
+                             unpack_halo)
+from repro.lbm.solver import LBMSolver
+from repro.net.switch import GigabitSwitch
+from repro.perf.counters import KernelCounters
+
+SUB = (6, 6, 4)
+ARRANGEMENT = (2, 2, 1)
+SHAPE = tuple(s * a for s, a in zip(SUB, ARRANGEMENT))
+
+
+def _reference(shape, tau, rng, solid=None, steps=4):
+    ref = LBMSolver(shape, tau=tau, solid=solid)
+    ref.initialize(rho=np.ones(shape, np.float32),
+                   u=(0.02 * rng.standard_normal((3,) + shape)
+                      ).astype(np.float32))
+    f0 = ref.f.copy()
+    ref.step(steps)
+    return ref.f.copy(), f0
+
+
+class TestNeighborManifest:
+    def setup_method(self):
+        self.plan = HaloPlan(SUB)
+
+    def test_segment_layout_is_deterministic(self):
+        m = self.plan.neighbor_manifest(0, (1, -1), "pull")
+        assert m.sides == (-1, 1)                  # side -1 always first
+        offset = 0
+        for seg in m.segments:
+            assert seg.offset == offset
+            assert seg.links == tuple(sorted(seg.links))
+            assert seg.floats == len(seg.links) * int(
+                np.prod(m.plane_shape))
+            offset += seg.floats
+        assert m.total_floats == offset
+        assert m.nbytes == 4 * offset
+
+    def test_plane_spans_padded_cross_section(self):
+        for axis in range(3):
+            m = self.plan.neighbor_manifest(axis, (1,), "pull")
+            want = tuple(s + 2 for a, s in enumerate(SUB) if a != axis)
+            assert m.plane_shape == want
+
+    def test_five_links_per_segment(self):
+        for axis in range(3):
+            for mode in PACK_MODES:
+                m = self.plan.neighbor_manifest(axis, (-1, 1), mode)
+                assert all(len(seg.links) == 5 for seg in m.segments)
+
+    def test_mode_link_selection(self):
+        # pull / aa_reverse carry the links streaming *out* of the
+        # side; aa_forward mirrors (reversed-slot layout).
+        for axis in range(3):
+            pull = set(self.plan.pack_links(axis, 1, "pull"))
+            rev = set(self.plan.pack_links(axis, 1, "aa_reverse"))
+            fwd = set(self.plan.pack_links(axis, 1, "aa_forward"))
+            assert pull == rev
+            assert fwd == set(self.plan.face_links(axis, -1))
+            assert pull.isdisjoint(fwd)
+
+    def test_manifests_are_cached(self):
+        a = self.plan.neighbor_manifest(1, (1,), "pull")
+        b = self.plan.neighbor_manifest(1, (1,), "pull")
+        assert a is b
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            self.plan.neighbor_manifest(0, (1,), "push")
+        with pytest.raises(ValueError, match="sides"):
+            self.plan.neighbor_manifest(0, (), "pull")
+        with pytest.raises(ValueError, match="sides"):
+            self.plan.neighbor_manifest(0, (2,), "pull")
+
+    def test_wire_message_count(self):
+        assert self.plan.wire_message_count("merged", 4) == 1
+        assert self.plan.wire_message_count("perface", 4) == 5
+        with pytest.raises(ValueError, match="wire"):
+            self.plan.wire_message_count("bulk")
+
+
+class TestPackUnpack:
+    def _fg(self, rng):
+        padded = (19,) + tuple(s + 2 for s in SUB)
+        return rng.random(padded).astype(np.float32)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    @pytest.mark.parametrize("side", [-1, 1])
+    def test_pull_round_trip(self, rng, axis, side):
+        plan = HaloPlan(SUB)
+        sender = self._fg(rng)
+        receiver = self._fg(rng)
+        m = plan.neighbor_manifest(axis, (side,), "pull")
+        buf = np.empty(m.total_floats, np.float32)
+        pack_halo(sender, SUB, m, buf)
+        unpack_halo(receiver, SUB, m, buf)
+        border = 1 if side == -1 else SUB[axis]       # sender border layer
+        ghost = SUB[axis] + 1 if side == -1 else 0    # receiver ghost at -side
+        for q in m.segments[0].links:
+            src = np.take(sender[q], border, axis=axis)
+            dst = np.take(receiver[q], ghost, axis=axis)
+            assert np.array_equal(dst, src), q
+
+    def test_aa_reverse_writes_only_carried_links(self, rng):
+        plan = HaloPlan(SUB)
+        sender = self._fg(rng)
+        receiver = self._fg(rng)
+        before = receiver.copy()
+        m = plan.neighbor_manifest(0, (1,), "aa_reverse")
+        buf = np.empty(m.total_floats, np.float32)
+        pack_halo(sender, SUB, m, buf)    # reads the sender's ghost shell
+        unpack_halo(receiver, SUB, m, buf)
+        carried = set(m.segments[0].links)
+        for q in range(19):
+            src = np.take(sender[q], SUB[0] + 1, axis=0)   # sender ghost
+            dst = np.take(receiver[q], 1, axis=0)          # receiver border
+            old = np.take(before[q], 1, axis=0)
+            if q in carried:
+                assert np.array_equal(dst, src), q
+            else:
+                # Uncarried border slots hold this rank's own scatter
+                # and must survive the fold.
+                assert np.array_equal(dst, old), q
+
+    def test_both_sides_message_round_trips(self, rng):
+        plan = HaloPlan(SUB)
+        fg = self._fg(rng)
+        m = plan.neighbor_manifest(2, (-1, 1), "pull")
+        buf = np.empty(m.total_floats, np.float32)
+        pack_halo(fg, SUB, m, buf)
+        out = self._fg(rng)
+        unpack_halo(out, SUB, m, buf)
+        for seg in m.segments:
+            border = 1 if seg.side == -1 else SUB[2]
+            ghost = SUB[2] + 1 if seg.side == -1 else 0
+            for q in seg.links:
+                assert np.array_equal(np.take(out[q], ghost, axis=2),
+                                      np.take(fg[q], border, axis=2))
+
+
+class TestMergedBitIdentity:
+    """The merged wire must reproduce the single-domain bits on every
+    backend — including non-uniform (weighted) cuts and the AA
+    forward/reverse protocol."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_weighted_cuts(self, rng, backend):
+        solid = np.zeros(SHAPE, bool)
+        solid[:SHAPE[0] // 3] = True      # x-low third all obstacle
+        ref_f, f0 = _reference(SHAPE, 0.8, rng, solid=solid)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARRANGEMENT, tau=0.8,
+                            solid=solid, decomposition="weighted",
+                            backend=backend, autotune="heuristic",
+                            max_workers=4 if backend == "threads" else 1)
+        with CPUClusterLBM(cfg) as cluster:
+            assert cluster.config.wire == "merged"
+            assert (cluster.decomp.cuts[0]
+                    != uniform_cuts(SHAPE[0], ARRANGEMENT[0]))
+            cluster.load_global_distributions(f0)
+            cluster.step(4)
+            assert np.array_equal(cluster.gather_distributions(), ref_f)
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_aa_forward_reverse(self, rng, backend):
+        ref_f, f0 = _reference(SHAPE, 0.7, rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARRANGEMENT, tau=0.7,
+                            kernel="aa", backend=backend,
+                            max_workers=4 if backend == "threads" else 1)
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(4)
+            assert np.array_equal(cluster.gather_distributions(), ref_f)
+
+    def test_compression_always_is_bit_identical(self, rng):
+        ref_f, f0 = _reference(SHAPE, 0.7, rng)
+        cfg = ClusterConfig(sub_shape=SUB, arrangement=ARRANGEMENT, tau=0.7,
+                            compression="always")
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.load_global_distributions(f0)
+            cluster.step(4)
+            assert np.array_equal(cluster.gather_distributions(), ref_f)
+            saved = cluster.counters.stats["comm.compress.saved_bytes"]
+            assert saved.value > 0        # the codec really engaged
+
+    def test_wire_validation(self):
+        with pytest.raises(ValueError, match="wire"):
+            ClusterConfig(sub_shape=SUB, arrangement=ARRANGEMENT, tau=0.7,
+                          wire="bulk")
+        with pytest.raises(ValueError, match="compression"):
+            ClusterConfig(sub_shape=SUB, arrangement=ARRANGEMENT, tau=0.7,
+                          compression="sometimes")
+        with pytest.raises(ValueError, match="merged"):
+            ClusterConfig(sub_shape=SUB, arrangement=ARRANGEMENT, tau=0.7,
+                          wire="perface", compression="always")
+
+
+class TestAdaptiveController:
+    def _halo(self, rng):
+        # Smooth, near-uniform data: compresses far below break-even.
+        return (np.full((5, 8, 6), 1 / 19, np.float32)
+                + (1e-4 * rng.standard_normal((5, 8, 6))).astype(np.float32))
+
+    def test_always_engages(self, rng):
+        ctl = AdaptiveCompressionController(policy="always")
+        wp = ctl.encode("k", self._halo(rng))
+        assert wp.compressed and wp.data.dtype == np.uint8
+        assert wp.wire_bytes < wp.raw_bytes
+
+    def test_off_passes_through(self, rng):
+        ctl = AdaptiveCompressionController(policy="off")
+        arr = self._halo(rng)
+        wp = ctl.encode("k", arr)
+        assert not wp.compressed and wp.data.dtype == np.float32
+        assert np.array_equal(ctl.decode("k", wp.data, arr.shape), arr)
+
+    def test_adaptive_engages_on_slow_link(self, rng):
+        ctl = AdaptiveCompressionController(policy="adaptive",
+                                            bandwidth_bytes_per_s=1e4)
+        wp = ctl.encode("k", self._halo(rng))
+        st = ctl.channels["k"]
+        assert st.probes == 1 and st.engaged and wp.compressed
+
+    def test_adaptive_bypasses_on_fast_link(self, rng):
+        # Fast interconnect: the codec can't keep up with the wire, so
+        # even a perfect ratio loses once encode+decode time is charged.
+        ctl = AdaptiveCompressionController(policy="adaptive",
+                                            bandwidth_bytes_per_s=1e9)
+        assert not ctl.worth_it(0.0)      # even a free lunch loses
+        wp = ctl.encode("k", self._halo(rng))
+        assert not wp.compressed
+        assert ctl.channels["k"].probes == 1
+
+    def test_bypassed_channel_reprobes_periodically(self, rng):
+        ctl = AdaptiveCompressionController(policy="adaptive",
+                                            bandwidth_bytes_per_s=1e12,
+                                            probe_interval=4)
+        arr = self._halo(rng)
+        for _ in range(9):
+            ctl.encode("k", arr)
+        assert ctl.channels["k"].probes == 3    # msg 1, 5, 9
+
+    def test_probes_do_not_desync_receiver(self, rng):
+        tx = AdaptiveCompressionController(policy="adaptive",
+                                           bandwidth_bytes_per_s=1e4)
+        rx = AdaptiveCompressionController(policy="adaptive",
+                                           bandwidth_bytes_per_s=1e4)
+        arr = self._halo(rng)
+        for step in range(4):
+            a = arr + np.float32(1e-3 * step)
+            out = rx.decode("k", tx.encode("k", a).data, a.shape)
+            assert np.array_equal(out, a), step
+
+    def test_counters_record_decisions(self, rng):
+        counters = KernelCounters()
+        ctl = AdaptiveCompressionController(policy="always",
+                                            counters=counters)
+        ctl.encode("k", self._halo(rng))
+        assert counters.stats["comm.compress.engaged"].value == 1
+        assert counters.stats["comm.bytes_wire"].value \
+            < counters.stats["comm.bytes_raw"].value
+
+    def test_summary_aggregates_channels(self, rng):
+        ctl = AdaptiveCompressionController(policy="always")
+        for key in ("a", "b"):
+            ctl.encode(key, self._halo(rng))
+        s = ctl.summary()
+        assert s["channels"] == 2 and s["messages"] == 2
+        assert s["engaged_channels"] == 2
+        assert 0.0 < s["ratio"] < 1.0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            AdaptiveCompressionController(policy="maybe")
+
+
+class TestScheduleEnvelopes:
+    def _schedule(self, wire):
+        decomp = BlockDecomposition(SHAPE, ARRANGEMENT,
+                                    periodic=(True, True, True))
+        return CommSchedule(decomp, HaloPlan(SUB), wire=wire)
+
+    def test_merged_is_one_envelope_per_pair(self):
+        sched = self._schedule("merged")
+        assert all(m == 1 for rnd in sched.round_messages() for m in rnd)
+
+    def test_perface_counts_piggybacked_edges(self):
+        sched = self._schedule("perface")
+        # 2D arrangement: each face message forwards 2 edge lines.
+        assert all(m == 3 for rnd in sched.round_messages() for m in rnd)
+
+    def test_round_messages_parallel_to_round_bytes(self):
+        sched = self._schedule("merged")
+        assert [len(r) for r in sched.round_messages()] \
+            == [len(r) for r in sched.round_bytes()]
+
+    def test_switch_single_message_expression_unchanged(self):
+        sw = GigabitSwitch()
+        assert sw.message_time(4096) == sw.message_time(4096, messages=1)
+        assert sw.message_time(4096, messages=3) > sw.message_time(4096)
+
+    def test_merged_phase_is_cheaper(self):
+        sw = GigabitSwitch()
+        merged = self._schedule("merged")
+        perface = self._schedule("perface")
+        assert merged.round_bytes() == perface.round_bytes()  # same volume
+        t_merged = sw.phase_time(merged.round_bytes(), 4,
+                                 round_messages=merged.round_messages())
+        t_perface = sw.phase_time(perface.round_bytes(), 4,
+                                  round_messages=perface.round_messages())
+        assert t_merged < t_perface
+
+    def test_invalid_wire_rejected(self):
+        decomp = BlockDecomposition(SHAPE, ARRANGEMENT,
+                                    periodic=(True, True, True))
+        with pytest.raises(ValueError, match="wire"):
+            CommSchedule(decomp, HaloPlan(SUB), wire="bulk")
+
+
+class TestSPMDWire:
+    def _run(self, rng, wire, compression="off", steps=2):
+        from repro.core.spmd import SPMDClusterLBM
+        from repro.net.simmpi import SimCluster
+        from repro.perf.trace import Tracer
+
+        decomp = BlockDecomposition(SHAPE, ARRANGEMENT,
+                                    periodic=(True, True, True))
+        ref_f, f0 = _reference(SHAPE, 0.7, rng, steps=steps)
+        tracer = Tracer(enabled=True)
+        spmd = SPMDClusterLBM(decomp, tau=0.7, f0=f0, wire=wire,
+                              compression=compression)
+        got, _ = spmd.run(steps, cluster=SimCluster(decomp.n_nodes,
+                                                    tracer=tracer))
+        assert np.array_equal(got, ref_f)
+        return [e for e in tracer.events if e.name == "mpi.msg"], spmd
+
+    def test_merged_sends_one_message_per_neighbor(self, rng):
+        msgs, _ = self._run(rng, "merged")
+        # (2,2,1) periodic: 4 ranks x 2 active axes x 1 both-sides
+        # message = 8 per step.
+        assert len(msgs) == 8 * 2
+        per_channel: dict = {}
+        for e in msgs:
+            ch = (e.meta["src"], e.meta["dst"], e.meta["tag"])
+            per_channel[ch] = per_channel.get(ch, 0) + 1
+        assert all(n == 2 for n in per_channel.values())
+
+    def test_merged_halves_perface_envelopes(self, rng):
+        merged, _ = self._run(rng, "merged")
+        perface, _ = self._run(rng, "perface")
+        assert len(merged) < len(perface)
+        assert len(perface) == 16 * 2
+
+    def test_compressed_messages_carry_raw_bytes(self, rng):
+        msgs, spmd = self._run(rng, "merged", compression="always")
+        compressed = [e for e in msgs if "raw_bytes" in e.meta]
+        assert compressed
+        for e in compressed:
+            assert e.meta["bytes"] < e.meta["raw_bytes"]
+        assert all(s and s["engaged_channels"] > 0
+                   for s in spmd.compression_summaries)
+
+    def test_spmd_validation(self):
+        from repro.core.spmd import SPMDClusterLBM
+        decomp = BlockDecomposition(SHAPE, ARRANGEMENT,
+                                    periodic=(True, True, True))
+        with pytest.raises(ValueError, match="wire"):
+            SPMDClusterLBM(decomp, tau=0.7, wire="bulk")
+        with pytest.raises(ValueError, match="merged"):
+            SPMDClusterLBM(decomp, tau=0.7, wire="perface",
+                           compression="always")
