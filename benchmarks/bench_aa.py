@@ -11,9 +11,15 @@ longer fits in cache.  This suite records, on the 64^3 dense domain,
 * ``autotune_overhead`` — the measured autotuner's one-off probe cost
   (:func:`repro.lbm.autotune.choose_kernel` on a cold cache) as a
   fraction of a 100-step run at the chosen kernel (< 5%),
+* ``dispersion_step_split`` / ``dispersion_step_inplace`` — the
+  bounded urban-dispersion case (voxelized city, equilibrium inlet,
+  zero-gradient outflow) on the split reference pipeline vs the
+  in-place AA kernel with the boundary closure folded into its sweeps
+  (:mod:`repro.lbm.esoteric`), and ``inplace_bounded_speedup`` their
+  ratio (acceptance floor 1.15x, single distribution array asserted),
 
-into ``BENCH_kernels.json`` so ``check_regression.py`` guards both the
-AA throughput and the probe staying cheap.
+into ``BENCH_kernels.json`` so ``check_regression.py`` guards the AA
+throughput (periodic and bounded) and the probe staying cheap.
 
 Entry points:
 
@@ -46,6 +52,23 @@ SHAPE = (64, 64, 64)
 OVERHEAD_RUN_STEPS = 100
 
 
+def _dispersion_solver(kernel: str, shape):
+    """Bounded voxelized-city solver: inlet at x-low, outflow at x-high."""
+    from repro.lbm import LBMSolver
+    from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
+    from repro.lbm.lattice import D3Q19
+    from repro.urban.city import times_square_like
+    from repro.urban.voxelize import voxelize_city
+
+    res_m = 384.0 / shape[0]    # same ~384 m footprint at any shape
+    solid = voxelize_city(times_square_like(seed=7), shape,
+                          resolution_m=res_m, ground_layers=2)
+    bcs = [EquilibriumVelocityInlet(D3Q19, 0, "low", (0.04, 0.0, 0.0), 1.0),
+           OutflowBoundary(D3Q19, 0, "high")]
+    return LBMSolver(shape, tau=0.7, solid=solid, periodic=False,
+                     boundaries=bcs, kernel=kernel)
+
+
 def _throughput_mcells(solver, steps: int, repeats: int) -> float:
     """Best-of-``repeats`` Mcells/s over ``steps``-step batches."""
     solver.step(2)  # warm up (even pair: AA returns to canonical layout)
@@ -73,6 +96,25 @@ def run_aa_benchmarks(steps: int = 8, repeats: int = 3,
     results["reference_full_step_aa"] = {"mcells_per_s": round(mc["aa"], 3)}
     results["aa_speedup"] = {"ratio": round(mc["aa"] / mc["fused"], 3)}
 
+    # Bounded urban-dispersion case: the in-place AA kernel (rotated
+    # boundary closure, single array) vs the split reference pipeline.
+    mc_d = {}
+    for kind in ("split", "aa"):
+        solver = _dispersion_solver(kind, shape)
+        mc_d[kind] = _throughput_mcells(solver, steps, repeats)
+        if kind == "aa":
+            assert solver.kernel_used == "aa", (
+                f"bounded case fell back to {solver.kernel_used!r} "
+                f"({solver.kernel_reason})")
+            assert solver._fg_next_buf is None, (
+                "bounded AA kernel allocated a second buffer")
+    results["dispersion_step_split"] = {
+        "mcells_per_s": round(mc_d["split"], 3)}
+    results["dispersion_step_inplace"] = {
+        "mcells_per_s": round(mc_d["aa"], 3)}
+    results["inplace_bounded_speedup"] = {
+        "ratio": round(mc_d["aa"] / mc_d["split"], 3)}
+
     # Autotune overhead: cold-cache probe time vs a 100-step run at the
     # kernel the probe selected.
     clear_autotune_cache()
@@ -97,8 +139,12 @@ def comparison_lines(results: dict) -> str:
     aa = results["reference_full_step_aa"]["mcells_per_s"]
     ratio = results["aa_speedup"]["ratio"]
     ov = results["autotune_overhead"]
+    disp = results["dispersion_step_inplace"]["mcells_per_s"]
+    bratio = results["inplace_bounded_speedup"]["ratio"]
     return "\n".join([
         f"  aa {aa:7.3f} Mcells/s on {SHAPE} (aa/fused {ratio:.2f}x)",
+        f"  bounded dispersion inplace {disp:7.3f} Mcells/s "
+        f"(inplace/split {bratio:.2f}x)",
         f"  autotune probe {ov['probe_ms']:.1f} ms = {ov['ratio']:.1%} of a "
         f"{ov['run_steps']}-step run (picked {ov['chosen']!r})",
     ])

@@ -233,20 +233,25 @@ def _cmd_check_aa(args) -> int:
     """AA-kernel gate: the swap-free two-phase kernel is bit-identical
     to the reference on a voxelized-city mask after every step
     (macroscopic fields always, distributions via the odd-parity
-    reconstruction), runs on one distribution array (no back buffer),
-    and the cluster drivers' forward/reverse halo protocol reproduces
-    the reference bits on the serial and processes backends."""
+    reconstruction), runs on one distribution array (no back buffer) —
+    on a fully periodic box AND a bounded inlet/outflow box — and the
+    cluster drivers' forward/reverse halo protocol reproduces the
+    reference bits on the serial and processes backends."""
     from repro.lbm.aa import run_aa_equivalence_check
 
     report = run_aa_equivalence_check(steps=args.steps)
     print(f"aa kernel OK: bit-identical to the reference on a "
           f"{report['occupancy']:.0%}-solid city mask over "
-          f"{args.steps} steps, single distribution array")
-    for backend, rows in report["backends"].items():
-        print(f"  backend {backend}:")
-        for row in rows:
-            print(f"    rank {row['rank']:>3}: kernel {row['kernel']:<9} "
-                  f"solid {row['solid_fraction']:.1%}")
+          f"{args.steps} steps, single distribution array "
+          f"(cases: {', '.join(report['cases'])})")
+    for case, info in report["cases"].items():
+        for backend, rows in info["backends"].items():
+            print(f"  case {case}, backend {backend}:")
+            for row in rows:
+                print(f"    rank {row['rank']:>3}: "
+                      f"kernel {row['kernel']:<9} "
+                      f"layout {row.get('layout', 'soa'):<4} "
+                      f"solid {row['solid_fraction']:.1%}")
     return 0
 
 

@@ -59,6 +59,22 @@ def occupancy_cost_field(global_shape, solid=None,
     return np.where(solid, float(solid_weight), 1.0)
 
 
+def rate_for_row(row) -> float | None:
+    """Measured probe rate for a kernel-report row's chosen pick.
+
+    Autotune rates are keyed per (kernel, layout) pair — the bare
+    kernel name for the SoA layout and ``"<kernel>/aos"`` for AoS (see
+    :func:`repro.lbm.autotune.rate_key`) — so the lookup tries the
+    pair key for the row's reported layout first and falls back to the
+    bare kernel key, which also keeps pre-layout reports working.
+    """
+    rates = row.get("rates") or {}
+    kernel = row.get("kernel")
+    layout = row.get("layout", "soa")
+    rate = rates.get(f"{kernel}/{layout}") if layout != "soa" else None
+    return rate if rate else rates.get(kernel)
+
+
 def rates_cost_field(decomp: BlockDecomposition, report_rows) -> np.ndarray:
     """Predicted per-cell cost from the autotuner's probe rates.
 
@@ -71,8 +87,7 @@ def rates_cost_field(decomp: BlockDecomposition, report_rows) -> np.ndarray:
     densities: dict[int, float | None] = {}
     for row in report_rows:
         rank = int(row["rank"])
-        rates = row.get("rates") or {}
-        rate = rates.get(row.get("kernel"))
+        rate = rate_for_row(row)
         densities[rank] = (1.0 / float(rate)) if rate else None
     known = [d for d in densities.values() if d is not None]
     fallback = float(np.mean(known)) if known else 1.0

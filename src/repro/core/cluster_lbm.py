@@ -155,12 +155,27 @@ class ClusterConfig:
         (:class:`~repro.lbm.SparseStepKernel`) when the *local* solid
         fraction reaches ``sparse_threshold``, the dense phase-split
         path otherwise.  ``kernel="aa"`` forces the swap-free
-        AA-pattern kernel on every rank (CPU numeric ranks only;
-        requires a fully periodic domain because the driver plays the
-        role of the periodic fold: forward halo exchange after even
-        phases, reverse ghost scatter exchange after odd phases).
-        Every choice is bit-identical; :meth:`kernel_report` and the
-        ``kernel.*`` counters record what each rank ran and why.
+        AA-pattern kernel on every rank (CPU numeric ranks only; the
+        driver plays the role of the kernel's ghost closure: forward
+        halo exchange after even phases, reverse ghost scatter
+        exchange after odd phases, with true domain-boundary faces on
+        non-periodic axes folding locally through the zero-gradient
+        crossing-slot rule instead of wrapping — see
+        :func:`repro.lbm.streaming.fold_face_zero_gradient`; per-rank
+        inlet/outflow handlers run through the rotated closure,
+        :mod:`repro.lbm.esoteric`).  Every choice is bit-identical;
+        :meth:`kernel_report` and the ``kernel.*`` counters record
+        what each rank ran and why.
+    layout:
+        Physical distribution-array layout on every CPU rank:
+        ``"soa"`` (default), ``"aos"`` or ``"auto"`` (each rank's
+        measured autotuner probes both layouts for the
+        layout-sensitive kernels and keeps the faster — see
+        :class:`repro.lbm.LBMSolver` and :mod:`repro.lbm.autotune`).
+        All layouts are bit-identical; :meth:`kernel_report` shows the
+        per-rank choice.  GPU drivers require SoA, and non-SoA CPU
+        ranks on the processes backend stage gathers/loads through a
+        copy instead of adopting the shared buffers directly.
     wire:
         Halo wire protocol.  ``"merged"`` (default) gathers everything
         bound for one neighbor — the five streaming links over the full
@@ -222,6 +237,7 @@ class ClusterConfig:
     kernel: str = "auto"
     sparse_threshold: float = 0.5
     autotune: str = "measured"
+    layout: str = "soa"
     decomposition: str = "uniform"
     cuts: tuple | None = None
     wire: str = "merged"
@@ -272,12 +288,10 @@ class ClusterConfig:
             raise ValueError(
                 f"autotune must be 'heuristic' or 'measured', "
                 f"got {self.autotune!r}")
-        if self.kernel == "aa" and not all(self.periodic):
+        if self.layout not in ("soa", "aos", "auto"):
             raise ValueError(
-                "kernel='aa' requires a fully periodic domain: the "
-                "reverse (odd-step) exchange folds ghost-scattered "
-                "populations back onto wrap images and has no "
-                "zero-gradient analogue")
+                f"layout must be 'soa', 'aos' or 'auto', "
+                f"got {self.layout!r}")
         if not 0.0 <= float(self.sparse_threshold) <= 1.0:
             raise ValueError(
                 f"sparse_threshold must be within [0, 1], "
@@ -417,24 +431,29 @@ class _ClusterLBMBase:
             "sparse_threshold": cfg.sparse_threshold,
             "autotune": cfg.autotune,
             "wire": cfg.wire,
+            "layout": cfg.layout,
         }
 
     def kernel_report(self) -> list[dict]:
         """Per-rank hot-path choice and local solid occupancy.
 
-        One row per rank — ``{"rank", "kernel", "solid_fraction",
-        "reason", "rates", "block", "cells"}`` — for the timing
-        summary: which kernel the rank's last step ran (``"aa"``,
-        ``"sparse"``, ``"split"``, ``"fused"``, ``"gpu"``, or
-        ``"unstepped"``/``"model"`` before the first numeric step), the
-        rank-local solid fraction, *why* it was selected (forced /
-        heuristic threshold / measured probe), for measured autotuning
-        the probe's MLUPS per candidate kernel (None otherwise), and
-        the rank's block shape and cell count (unequal under weighted
-        cuts — the load balancer's output).
+        One row per rank — ``{"rank", "kernel", "layout",
+        "solid_fraction", "reason", "rates", "block", "cells"}`` — for
+        the timing summary: which kernel the rank's last step ran
+        (``"aa"``, ``"sparse"``, ``"split"``, ``"fused"``, ``"gpu"``,
+        or ``"unstepped"``/``"model"`` before the first numeric step),
+        the concrete memory layout its distribution array currently
+        has (``"soa"``/``"aos"`` — the autotuner's pick under
+        ``layout="auto"``), the rank-local solid fraction, *why* the
+        kernel was selected (forced / heuristic threshold / measured
+        probe), for measured autotuning the probe's MLUPS per
+        (kernel, layout) candidate (None otherwise), and the rank's
+        block shape and cell count (unequal under weighted cuts — the
+        load balancer's output).
         """
         return [{"rank": getattr(node, "rank", i),
                  "kernel": getattr(node, "kernel_used", "n/a"),
+                 "layout": getattr(node, "kernel_layout", "soa"),
                  "solid_fraction": float(getattr(node, "solid_fraction", 0.0)),
                  "reason": getattr(node, "kernel_reason", None),
                  "rates": getattr(node, "kernel_rates", None),
@@ -453,7 +472,7 @@ class _ClusterLBMBase:
         imbalance from :func:`repro.perf.report.trace_imbalance_rows`.
         """
         from repro.core.balance import (imbalance, occupancy_cost_field,
-                                        predicted_rank_costs)
+                                        predicted_rank_costs, rate_for_row)
         from repro.perf.report import trace_imbalance_rows
 
         cost = occupancy_cost_field(self.config.global_shape,
@@ -461,7 +480,7 @@ class _ClusterLBMBase:
         predicted = predicted_rank_costs(self.decomp, cost)
         rows = self.kernel_report()
         for row, pred in zip(rows, predicted):
-            rate = (row["rates"] or {}).get(row["kernel"])
+            rate = rate_for_row(row)
             if rate:
                 # The probe measured this rank's kernel throughput:
                 # cells / MLUPS predicts its step seconds directly.
@@ -810,7 +829,14 @@ class _ClusterLBMBase:
                     m, buf = packed[(rank, rank)]
                     node.write_packed(m, buf)
                 for direction in entry["zeros"]:
-                    node.fill_ghost_zero_gradient(axis, direction)
+                    if mode == "aa_reverse":
+                        # True domain edge on an odd AA step: the
+                        # outward-pushed crossing populations fold back
+                        # locally as the zero-gradient closure instead
+                        # of travelling to a neighbour.
+                        node.fold_border_zero_gradient(axis, direction)
+                    else:
+                        node.fill_ghost_zero_gradient(axis, direction)
         if rec.enabled:
             rec.metric("comm.msgs", msgs)
             if comp is None:
@@ -862,9 +888,14 @@ class _ClusterLBMBase:
             for rank, node in enumerate(self.nodes):
                 for direction in (-1, 1):
                     peer = self.decomp.neighbor(rank, axis, direction)
+                    if peer is None and not self.config.periodic[axis]:
+                        # True domain edge: fold the outward-pushed
+                        # crossing populations back locally (the
+                        # zero-gradient closure of the bounded box).
+                        node.fold_border_zero_gradient(axis, direction)
+                        continue
+                    # peer None with a periodic axis is a self-wrap.
                     source = rank if peer is None else peer
-                    # peer is None only on a periodic self-wrap here
-                    # (ClusterConfig rejects kernel='aa' otherwise).
                     node.write_border_crossing(axis, direction,
                                                ghosts[source][-direction])
 
@@ -1041,6 +1072,11 @@ class GPUClusterLBM(_ClusterLBMBase):
             raise ValueError(
                 "kernel='aa' is CPU-only: the simulated GPU pipeline "
                 "has no AA halo protocol (use CPUClusterLBM)")
+        if config.layout != "soa":
+            raise ValueError(
+                "layout overrides are CPU-only: the simulated GPU "
+                "pipeline packs distributions into texture stacks "
+                "(use CPUClusterLBM)")
         super().__init__(config)
 
     def _make_node(self, rank: int, solid):
@@ -1096,7 +1132,8 @@ class CPUClusterLBM(_ClusterLBMBase):
                        force=self.config.force,
                        kernel=self.config.kernel,
                        sparse_threshold=self.config.sparse_threshold,
-                       autotune=self.config.autotune)
+                       autotune=self.config.autotune,
+                       layout=self.config.layout)
 
     def _node_distributions(self, node) -> np.ndarray:
         return node.solver.f.copy()

@@ -31,7 +31,7 @@ class CPUNode:
                  cpu_spec: CPUSpec = XEON_2_4, inlet=None, outflow=None,
                  force=None, use_sse: bool = False, kernel: str = "auto",
                  sparse_threshold: float = 0.5,
-                 autotune: str = "heuristic") -> None:
+                 autotune: str = "heuristic", layout: str = "soa") -> None:
         self.rank = rank
         self.sub_shape = tuple(int(s) for s in sub_shape)
         self.tau = float(tau)
@@ -56,7 +56,7 @@ class CPUNode:
                                     boundaries=bcs, force=force, periodic=False,
                                     kernel=kernel,
                                     sparse_threshold=sparse_threshold,
-                                    autotune=autotune)
+                                    autotune=autotune, layout=layout)
             # The cluster driver steps this solver phase by phase
             # (collide / exchange / stream), which rules the
             # whole-step-only kernels (fused, AA single-domain stepping)
@@ -71,7 +71,8 @@ class CPUNode:
                 if not AAStepKernel.eligible(self.solver):
                     raise ValueError(
                         "kernel='aa' on a cluster rank requires a plain "
-                        "BGK sub-domain without inlet/outflow boundaries")
+                        "BGK sub-domain whose boundary handlers the "
+                        "rotated closure supports (inlet/outflow only)")
         self.compute_s = 0.0
         self.agp_s = 0.0           # always 0: no GPU on this path
         self.overlap_window_s = 0.0
@@ -98,6 +99,11 @@ class CPUNode:
     def kernel_rates(self) -> dict | None:
         """Measured probe MLUPS per candidate (measured autotune only)."""
         return None if self.solver is None else self.solver.kernel_rates
+
+    @property
+    def kernel_layout(self) -> str:
+        """Concrete memory layout of this rank's distribution array."""
+        return "soa" if self.solver is None else self.solver.layout
 
     # -- geometry ---------------------------------------------------------
     @property
@@ -269,6 +275,18 @@ class CPUNode:
             c = self.solver.lattice.c
             cache[key] = np.flatnonzero(c[:, axis] == -direction)
         return cache[key]
+
+    def fold_border_zero_gradient(self, axis: int, direction: int) -> None:
+        """Zero-gradient closure of an AA odd scatter at a true edge.
+
+        On a non-periodic cluster boundary face there is no neighbour
+        to ship the outward-pushed crossing populations to; they fold
+        back onto the border layer locally, exactly as the
+        single-domain AA kernel's ghost fold does on a bounded box.
+        """
+        from repro.lbm.streaming import fold_face_zero_gradient
+        fold_face_zero_gradient(self.solver.lattice, self.solver.fg,
+                                axis, direction)
 
     def fill_ghost_zero_gradient(self, axis: int, direction: int) -> None:
         side = "low" if direction == -1 else "high"

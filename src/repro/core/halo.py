@@ -28,13 +28,21 @@ Three manifest modes cover every exchange the cluster performs:
     *border* layer feeds the receiver's *ghost* layer; side ``s``
     carries the links with ``c[axis] == s``.
 ``aa_forward``
-    The forward exchange on an odd AA step: after the even phase the
-    array is in reversed-slot layout, so side ``s`` carries the links
-    with ``c[axis] == -s`` instead.
+    The forward exchange after an AA even phase (feeding the next odd
+    gather): the in-place even sweep leaves the array in reversed-slot
+    layout, so side ``s`` carries the links with ``c[axis] == -s``
+    instead.
 ``aa_reverse``
     The post-odd-phase write-back: the sender's *ghost* layer (holding
     the odd scatter's overshoot) feeds the receiver's *border* layer;
     side ``s`` carries the crossing links ``c[axis] == s``.
+
+A manifest always describes a *neighbor* message.  Faces on a
+non-periodic cluster edge have no neighbor and never enter a manifest:
+the drivers close them locally instead — zero-gradient ghost fill on
+the forward modes, zero-gradient border fold
+(:func:`repro.lbm.streaming.fold_face_zero_gradient`) after an AA odd
+scatter.
 """
 
 from __future__ import annotations

@@ -98,6 +98,7 @@ class WorkerSpec:
     sparse_threshold: float = 0.5
     autotune: str = "heuristic"         # "heuristic" | "measured"
     wire: str = "merged"                # halo wire: "merged" | "perface"
+    layout: str = "soa"                 # distribution layout: "soa" | "aos" | "auto"
 
 
 class RankProxy:
@@ -109,7 +110,7 @@ class RankProxy:
 
     __slots__ = ("rank", "compute_s", "agp_s", "overlap_window_s",
                  "kernel_used", "solid_fraction", "kernel_reason",
-                 "kernel_rates")
+                 "kernel_rates", "kernel_layout")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
@@ -120,6 +121,7 @@ class RankProxy:
         self.solid_fraction = 0.0
         self.kernel_reason: str | None = None
         self.kernel_rates: dict | None = None
+        self.kernel_layout = "soa"
 
 
 def _build_node(spec: WorkerSpec):
@@ -139,7 +141,7 @@ def _build_node(spec: WorkerSpec):
                    inlet=spec.inlet, outflow=spec.outflow, force=spec.force,
                    kernel=spec.kernel,
                    sparse_threshold=spec.sparse_threshold,
-                   autotune=spec.autotune)
+                   autotune=spec.autotune, layout=spec.layout)
 
 
 class _Worker:
@@ -178,7 +180,11 @@ class _Worker:
             # merged payloads.
             from repro.core.halo import HaloPlan
             self.plan = HaloPlan(spec.sub_shape)
-        if spec.node_kind == "cpu":
+        # A non-SoA (or autotuned, hence rebindable) layout cannot live
+        # on the shared segment: gathers/loads stage copies instead.
+        self._fg_adopted = (spec.node_kind == "cpu"
+                            and spec.layout == "soa")
+        if self._fg_adopted:
             self._adopt_shared_fg()
 
     def _adopt_shared_fg(self) -> None:
@@ -261,13 +267,18 @@ class _Worker:
             self._barrier_wait()
             for direction in (-1, 1):
                 peer = spec.neighbors[(axis, direction)]
-                if (peer is None and not spec.periodic[axis]
-                        and mode != "aa_reverse"):
-                    node.fill_ghost_zero_gradient(axis, direction)
+                if peer is None and not spec.periodic[axis]:
+                    # True domain edge: zero-gradient fill on forward
+                    # modes, local crossing-slot fold after an AA odd
+                    # scatter (no neighbour to ship the pushes to).
+                    if mode == "aa_reverse":
+                        node.fold_border_zero_gradient(axis, direction)
+                    else:
+                        node.fill_ghost_zero_gradient(axis, direction)
                     continue
                 # The peer at (axis, direction) packed its side
-                # -direction; a self-wrap reads this rank's own
-                # opposite mailbox (AA guarantees full periodicity).
+                # -direction; a periodic self-wrap reads this rank's
+                # own opposite mailbox.
                 mail = (own_mail if peer is None
                         else self.peer_mail[peer].mail)
                 node.write_packed(
@@ -296,7 +307,11 @@ class _Worker:
             for direction in (-1, 1):
                 peer = spec.neighbors[(axis, direction)]
                 if peer is None:
-                    # ClusterConfig guarantees full periodicity for AA.
+                    if not spec.periodic[axis]:
+                        # True domain edge: fold the outward pushes
+                        # back locally (zero-gradient closure).
+                        node.fold_border_zero_gradient(axis, direction)
+                        continue
                     node.write_border_crossing(
                         axis, direction, own_mail[axis][-direction][slot])
                 else:
@@ -338,6 +353,7 @@ class _Worker:
             "solid_fraction": float(getattr(node, "solid_fraction", 0.0)),
             "kernel_reason": getattr(node, "kernel_reason", None),
             "kernel_rates": getattr(node, "kernel_rates", None),
+            "kernel_layout": getattr(node, "kernel_layout", "soa"),
             "counters": rec.summary(),
             "cur": self.step_count & 1,
         }
@@ -347,8 +363,17 @@ class _Worker:
         return reply
 
     def _gather(self) -> dict:
+        cur = self.step_count & 1
         if self.spec.node_kind == "gpu":
             self.segs.stage[...] = self.node.solver.distributions()
+        elif not self._fg_adopted:
+            # Non-adopted layouts (AoS or autotuned): the solver's
+            # array never lives on the shared segment, so stage a
+            # canonical copy into the parity-matching shared buffer.
+            solver = self.node.solver
+            inner = (slice(None),) + tuple(slice(1, -1)
+                                           for _ in solver.shape)
+            self.segs.fg_bufs[cur][inner] = solver.f
         elif self.spec.kernel == "aa" and (self.step_count & 1):
             # Odd AA parity: the single shared array holds the rotated
             # mid-pair layout.  Stage the canonical read-only
@@ -362,11 +387,20 @@ class _Worker:
         else:
             # CPU distributions already live in the shared fg buffers.
             pass
-        return {"cur": self.step_count & 1}
+        return {"cur": cur}
 
     def _load(self) -> dict:
         if self.spec.node_kind == "gpu":
             self.node.solver.load_distributions(np.array(self.segs.stage))
+        elif not self._fg_adopted:
+            # Mirror of the staged gather: the coordinator wrote the
+            # shared interior; copy it into the solver's own array.
+            solver = self.node.solver
+            cur = self.step_count & 1
+            inner = (slice(None),) + tuple(slice(1, -1)
+                                           for _ in solver.shape)
+            solver.f[...] = self.segs.fg_bufs[cur][inner].astype(
+                solver.dtype, copy=False)
         return {}
 
     def _initialize(self, rho, u) -> dict:
@@ -483,6 +517,10 @@ class ProcessBackend:
                            for a in specs_args)
         q = specs_args[0].get("q", 19)
         wire = specs_args[0].get("wire", "merged")
+        # Ranks whose layout is not statically SoA never adopt the
+        # shared fg segment, so loads need an explicit copy-back step.
+        self._needs_load = (node_kind == "cpu" and any(
+            a.get("layout", "soa") != "soa" for a in specs_args))
         mail_names = tuple(segment_name(self.token, "mail", r)
                            for r in range(self.n_ranks))
         try:
@@ -618,6 +656,7 @@ class ProcessBackend:
             proxy.solid_fraction = payload.get("solid_fraction", 0.0)
             proxy.kernel_reason = payload.get("kernel_reason")
             proxy.kernel_rates = payload.get("kernel_rates")
+            proxy.kernel_layout = payload.get("kernel_layout", "soa")
         return payloads
 
     def gather_parts(self) -> list[np.ndarray]:
@@ -645,6 +684,10 @@ class ProcessBackend:
             payloads = self._command(("gather",))
             for rank, seg in enumerate(self.segments):
                 seg.interior(payloads[rank]["cur"])[...] = parts[rank]
+            if self._needs_load:
+                # Non-adopted ranks copy the staged interior back into
+                # their own (differently laid out) arrays.
+                self._command(("load",))
         else:
             for seg, part in zip(self.segments, parts):
                 seg.stage[...] = part

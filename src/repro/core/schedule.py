@@ -19,6 +19,12 @@ lists the :class:`~repro.net.switch.GigabitSwitch` prices.
 
 :func:`naive_schedule` is the unscheduled baseline: every node fires
 all its face *and* direct diagonal messages at once.
+
+Pairs exist only where two blocks actually share a face: on a
+non-periodic axis the wraparound pairing between the first and last
+node is absent, so bounded domains schedule (and price) strictly fewer
+exchanges — the boundary faces are closed locally by the drivers and
+never touch the switch.
 """
 
 from __future__ import annotations

@@ -327,7 +327,8 @@ def run_exchange_check(sub_shape=(6, 6, 4), arrangement=(2, 2, 1),
       per-face wire still matches too;
     * **AA protocol**: the merged forward/reverse exchange of the
       AA-pattern kernel reproduces the reference bits on the serial
-      and processes backends;
+      and processes backends, on the periodic torus *and* on a bounded
+      box (true domain edges fill/fold locally instead of messaging);
     * **Message counts**: the executed SPMD/SimMPI program sends
       exactly one message per neighbor per exchange phase — asserted
       per ordered (src, dst, tag) channel from the per-message trace
@@ -389,19 +390,33 @@ def run_exchange_check(sub_shape=(6, 6, 4), arrangement=(2, 2, 1),
         report["variants"][label] = {"bit_identical": True,
                                      "comm": stats}
 
-    # 2. AA-pattern forward/reverse exchange under merging.
-    for backend in ("serial", "processes"):
-        cfg = ClusterConfig(sub_shape=sub_shape, arrangement=arrangement,
-                            tau=0.7, backend=backend, kernel="aa")
-        with CPUClusterLBM(cfg) as cluster:
-            cluster.load_global_distributions(f0)
-            cluster.step(steps)
-            got = cluster.gather_distributions()
-        if not np.array_equal(got, ref_f):
-            raise AssertionError(
-                f"aa/{backend}: merged forward/reverse exchange diverged "
-                f"from the reference")
-        report["variants"][f"aa/{backend}/merged"] = {"bit_identical": True}
+    # 2. AA-pattern forward/reverse exchange under merging — on the
+    #    periodic torus and on a bounded box, where true domain edges
+    #    take the local zero-gradient fill/fold instead of a message.
+    ref_b = LBMSolver(shape, tau=0.7, periodic=False)
+    ref_b.initialize(rho=np.ones(shape, np.float32))
+    ref_b.f[...] = f0
+    f0_b = ref_b.f.copy()
+    ref_b.step(steps)
+    ref_b_f = ref_b.f.copy()
+    aa_cases = {"periodic": ((True,) * 3, f0, ref_f),
+                "bounded": ((False,) * 3, f0_b, ref_b_f)}
+    for case, (periodic, start, want) in aa_cases.items():
+        for backend in ("serial", "processes"):
+            cfg = ClusterConfig(sub_shape=sub_shape,
+                                arrangement=arrangement,
+                                tau=0.7, backend=backend, kernel="aa",
+                                periodic=periodic)
+            with CPUClusterLBM(cfg) as cluster:
+                cluster.load_global_distributions(start)
+                cluster.step(steps)
+                got = cluster.gather_distributions()
+            if not np.array_equal(got, want):
+                raise AssertionError(
+                    f"aa/{case}/{backend}: merged forward/reverse "
+                    f"exchange diverged from the reference")
+            report["variants"][f"aa/{case}/{backend}/merged"] = {
+                "bit_identical": True}
 
     # 3. Executed message counts on the SPMD/SimMPI path.
     decomp = BlockDecomposition(shape, arrangement,

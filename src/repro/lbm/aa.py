@@ -54,12 +54,21 @@ zero-coefficient links; this can only flip signed zeros in ``j``/``u``,
 which IEEE-754 guarantees cannot reach the equilibrium value (``u``
 enters via ``c_i . u`` and ``u . u`` only, and ``1 + (+/-0) == 1.0``).
 
-Eligibility: plain BGK collision, **no** boundary handlers (post-stream
-handlers would read/write the rotated mid-pair layout), and either a
-periodic domain (ghost traffic handled here by fill/fold) or a cluster
-driver that has claimed the halo protocol (``solver.aa_halo_managed``):
-even steps reuse the forward border->ghost exchange, odd steps run the
-reverse ghost->border exchange (see ``repro.core.cluster_lbm``).
+Eligibility: plain BGK collision and boundary handlers limited to the
+types the rotated applicator supports
+(:data:`repro.lbm.esoteric.SUPPORTED_BOUNDARY_TYPES` — the dispersion
+scenario's inlet/outflow; anything else would read or write the rotated
+mid-pair layout incorrectly).  Ghost traffic is handled per domain
+kind: periodic single-domain by fill/fold, *bounded* single-domain by
+the zero-gradient fill and crossing-slot fold
+(:func:`repro.lbm.streaming.fold_ghosts_zero_gradient`) with handlers
+imposed through the rotated write rule
+(:class:`repro.lbm.esoteric.RotatedBoundaryApplicator`), and clusters
+by a driver that has claimed the halo protocol
+(``solver.aa_halo_managed``): even steps reuse the forward
+border->ghost exchange, odd steps run the reverse ghost->border
+exchange with boundary faces folding locally instead of wrapping (see
+``repro.core.cluster_lbm``).
 """
 
 from __future__ import annotations
@@ -67,7 +76,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lbm.lattice import Lattice
-from repro.lbm.streaming import fill_ghosts_periodic, fold_ghosts_periodic
+from repro.lbm.macroscopic import sum_over_links
+from repro.lbm.streaming import (fill_ghosts_periodic,
+                                 fill_ghosts_zero_gradient,
+                                 fold_ghosts_periodic,
+                                 fold_ghosts_zero_gradient)
 from repro.lbm.fused import build_solid_padded
 
 #: Whole-domain phases sweep axis-0 slabs of roughly this many cells so
@@ -95,7 +108,11 @@ class AAStepKernel:
         if type(solver.collision) is not BGKCollision:
             raise TypeError("AAStepKernel requires a plain BGKCollision")
         if solver.boundaries:
-            raise TypeError("AAStepKernel does not support boundary handlers")
+            from repro.lbm.esoteric import boundaries_supported
+            if not boundaries_supported(solver.boundaries):
+                raise TypeError(
+                    "AAStepKernel supports only inlet/outflow boundary "
+                    "handlers (rotated closure, see repro.lbm.esoteric)")
         lat: Lattice = solver.lattice
         dtype = solver.dtype
         pshape = solver.fg.shape[1:]
@@ -140,6 +157,9 @@ class AAStepKernel:
         self._slab = max(1, SLAB_TARGET_CELLS // trailing)
         self.solid_padded = (build_solid_padded(solver, pshape)
                              if solver.solid.any() else None)
+        #: Rotated boundary applicator, built lazily on first use (only
+        #: solvers with handlers ever need one).
+        self._rotated_bc = None
         if solver.counters is not None:
             n_bufs = 9 + (1 if self.solid_padded is not None else 0)
             solver.counters.alloc("aa.workspace", n_bufs)
@@ -149,18 +169,18 @@ class AAStepKernel:
     def eligible(solver) -> bool:
         """True if ``solver`` can run the AA pipeline.
 
-        Requires plain BGK collision, no boundary handlers at all (they
-        would observe the rotated mid-pair layout), and ghost traffic
-        that this kernel (periodic fill/fold) or a cluster driver
-        (``aa_halo_managed``) controls.
+        Requires plain BGK collision and only boundary handlers the
+        rotated closure supports (inlet/outflow; anything else would
+        observe the rotated mid-pair layout).  Both periodic and
+        bounded domains are eligible: ghost traffic is controlled by
+        this kernel (fill/fold, periodic or zero-gradient) or by a
+        cluster driver (``aa_halo_managed``).
         """
         from repro.lbm.collision import BGKCollision
+        from repro.lbm.esoteric import boundaries_supported
         if type(solver.collision) is not BGKCollision:
             return False
-        if solver.boundaries:
-            return False
-        return solver.periodic or bool(getattr(solver, "aa_halo_managed",
-                                               False))
+        return boundaries_supported(solver.boundaries)
 
     # -- region plumbing -------------------------------------------------
     @staticmethod
@@ -237,8 +257,9 @@ class AAStepKernel:
         fgP = fg[(slice(None),) + P]
         u = self.u[(slice(None),) + P]
         usq, bl, wr = self.usq[P], self._bool[P], self._wr[P]
-        # Moments exactly as the fused kernel computes them.
-        fgP.sum(axis=0, out=rho)
+        # Moments exactly as the fused kernel computes them (the
+        # layout-stable reduction keeps AoS bit-identical to SoA).
+        sum_over_links(fgP, out=rho)
         np.einsum("qa,q...->a...", self._c, fgP,
                   out=self.j[(slice(None),) + P])
         self._guarded_velocity(rho, self.j[(slice(None),) + P], u, wr, bl)
@@ -357,14 +378,43 @@ class AAStepKernel:
             else:
                 Rv[...] = hr
 
-    # -- ghost handling (periodic single-domain) -------------------------
+    # -- ghost handling (single-domain) ----------------------------------
+    def fill_ghosts(self) -> None:
+        """Post-even ghost fill: periodic wrap or zero-gradient copy."""
+        if self.solver.periodic:
+            fill_ghosts_periodic(self.solver.fg)
+        else:
+            fill_ghosts_zero_gradient(self.solver.fg)
+
     def fold_ghosts(self) -> None:
-        """Fold odd-phase ghost scatter onto the wrapped interior."""
-        fold_ghosts_periodic(self.lattice, self.solver.fg)
+        """Fold the odd-phase ghost scatter back onto the interior.
+
+        Periodic domains fold onto the wrap image; bounded domains run
+        the zero-gradient crossing-slot fold (each face's border layer
+        re-reads its inward neighbours, emulating the reference
+        solver's ghost-fill-then-pull closure).
+        """
+        if self.solver.periodic:
+            fold_ghosts_periodic(self.lattice, self.solver.fg)
+        else:
+            fold_ghosts_zero_gradient(self.lattice, self.solver.fg)
+
+    # -- rotated boundary closure ----------------------------------------
+    def apply_boundaries_rotated(self) -> None:
+        """Impose the solver's handlers on the rotated mid-pair layout.
+
+        Called by ``post_stream`` after even phases (canonical handlers
+        would corrupt the rotated storage); bit-identical to the
+        reference's sequential post-stream application.
+        """
+        if self._rotated_bc is None:
+            from repro.lbm.esoteric import RotatedBoundaryApplicator
+            self._rotated_bc = RotatedBoundaryApplicator(self)
+        self._rotated_bc.apply()
 
     # -- whole-step driver ------------------------------------------------
     def step_once(self) -> None:
-        """Advance the bound (periodic) solver one time step."""
+        """Advance the bound single-domain solver one time step."""
         s = self.solver
         rec = s.counters
         even = (s.time_step & 1) == 0
@@ -376,11 +426,12 @@ class AAStepKernel:
                 with rec.phase("aa.even"):
                     self.even_phase(None)
                 with rec.phase("aa.ghosts"):
-                    fill_ghosts_periodic(s.fg)
+                    self.fill_ghosts()
             else:
                 self.even_phase(None)
-                fill_ghosts_periodic(s.fg)
+                self.fill_ghosts()
             s._bounce_folded = True
+            s._aa_rotated = True
         else:
             if live:
                 with rec.phase("aa.odd"):
@@ -391,6 +442,7 @@ class AAStepKernel:
                 self.odd_phase(None)
                 self.fold_ghosts()
             s._bounce_folded = False
+            s._aa_rotated = False
         if live:
             with rec.phase("aa.post_stream"):
                 s.post_stream()
@@ -427,15 +479,26 @@ def run_aa_equivalence_check(shape=(24, 20, 4), steps: int = 4,
                              seed: int = 0) -> dict:
     """The ``check-aa`` gate: AA vs reference on the voxelized city.
 
-    Single-domain: the AA kernel must match the phase-split reference
-    bit for bit after every even number of steps, match its macroscopic
-    fields (via reconstruction) after *every* step, and keep exactly
-    one full distribution array (``_fg_next_buf`` never allocated).
-    Cluster: a uniform-AA 2x2x1 decomposition must reproduce the
-    single-domain reference bit for bit on every requested backend, at
-    both an odd (reconstructed gather) and even step count.
-    Raises ``AssertionError`` on any violation; returns a small report.
+    Two cases share the city mask:
+
+    * ``periodic`` — the original fully periodic box;
+    * ``bounded`` — a non-periodic box driven by an equilibrium-
+      velocity inlet at x-low and a zero-gradient outflow at x-high,
+      both folded into the in-place sweeps by the rotated closure
+      (:mod:`repro.lbm.esoteric`).
+
+    Per case, single-domain: the AA kernel must match the phase-split
+    reference bit for bit after every even number of steps, match its
+    macroscopic fields (via reconstruction) after *every* step, and
+    keep exactly one full distribution array (``_fg_next_buf`` never
+    allocated).  Cluster: a uniform-AA 2x2x1 decomposition must
+    reproduce the single-domain reference bit for bit on every
+    requested backend, at both an odd (reconstructed gather) and even
+    step count.  Raises ``AssertionError`` on any violation; returns
+    ``{"occupancy", "cases": {case: {"backends": {backend: rows}}}}``.
     """
+    from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
+    from repro.lbm.lattice import D3Q19
     from repro.lbm.solver import LBMSolver
     from repro.urban.city import times_square_like
     from repro.urban.voxelize import voxelize_city
@@ -448,50 +511,84 @@ def run_aa_equivalence_check(shape=(24, 20, 4), steps: int = 4,
     if steps % 2:
         raise ValueError("steps must be even (AA pairs steps)")
 
-    aa = LBMSolver(shape, tau=0.7, solid=solid, kernel="aa")
-    ref = LBMSolver(shape, tau=0.7, solid=solid, kernel="split")
-    for s in (aa, ref):
+    inlet = (0, "low", (0.04, 0.0, 0.0), 1.0)
+    outflow = (0, "high")
+
+    def bounded_bcs():
+        return [EquilibriumVelocityInlet(D3Q19, *inlet),
+                OutflowBoundary(D3Q19, *outflow)]
+
+    cases = {
+        "periodic": {"solver": {"periodic": True},
+                     "cluster": {}},
+        "bounded": {"solver": {"periodic": False,
+                               "boundaries": bounded_bcs},
+                    "cluster": {"periodic": (False, False, False),
+                                "inlet": inlet, "outflow": outflow}},
+    }
+
+    def make(kernel, kwargs):
+        kw = dict(kwargs)
+        bcs = kw.pop("boundaries", None)
+        s = LBMSolver(shape, tau=0.7, solid=solid, kernel=kernel,
+                      boundaries=bcs() if bcs else (), **kw)
         s.initialize(rho=np.ones(shape, np.float32), u=u0.copy())
-    for t in range(steps):
-        aa.step(1)
-        ref.step(1)
-        rho_a, u_a = aa.macroscopic()
-        rho_r, u_r = ref.macroscopic()
-        assert np.array_equal(rho_a, rho_r), f"rho diverged at step {t + 1}"
-        assert np.array_equal(u_a, u_r), f"u diverged at step {t + 1}"
-        assert np.array_equal(aa.f, ref.f), (
-            f"distributions diverged at step {t + 1}")
-    assert aa.kernel_used == "aa"
-    # Working-set contract: one distribution array, no spare buffer.
-    assert aa._fg_next_buf is None, "AA kernel allocated a second buffer"
+        return s
 
     from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM
 
-    ref2 = LBMSolver(shape, tau=0.7, solid=solid, kernel="split")
-    ref2.initialize(rho=np.ones(shape, np.float32), u=u0.copy())
-    f0 = ref2.f.copy()
-    odd_steps = steps - 1
-    ref2.step(odd_steps)
-    f_odd = ref2.f.copy()
-    ref2.step(1)
-    f_even = ref2.f.copy()
-    sub = (shape[0] // 2, shape[1] // 2, shape[2])
-    report: dict = {"occupancy": float(solid.mean()), "backends": {}}
-    for backend in backends:
-        cfg = ClusterConfig(sub_shape=sub, arrangement=(2, 2, 1), tau=0.7,
-                            solid=solid, backend=backend, kernel="aa")
-        with CPUClusterLBM(cfg) as cluster:
-            cluster.load_global_distributions(f0)
-            cluster.step(odd_steps)
-            got_odd = cluster.gather_distributions().copy()
-            cluster.step(1)
-            got_even = cluster.gather_distributions().copy()
-            rows = cluster.kernel_report()
-        assert np.array_equal(got_odd, f_odd), (
-            f"{backend}: AA cluster diverged at odd step {odd_steps}")
-        assert np.array_equal(got_even, f_even), (
-            f"{backend}: AA cluster diverged at step {steps}")
-        kinds = {r["kernel"] for r in rows}
-        assert kinds == {"aa"}, f"{backend}: expected uniform AA, got {kinds}"
-        report["backends"][backend] = rows
+    report: dict = {"occupancy": float(solid.mean()), "cases": {}}
+    for case, spec in cases.items():
+        aa = make("aa", spec["solver"])
+        ref = make("split", spec["solver"])
+        for t in range(steps):
+            aa.step(1)
+            ref.step(1)
+            rho_a, u_a = aa.macroscopic()
+            rho_r, u_r = ref.macroscopic()
+            assert np.array_equal(rho_a, rho_r), (
+                f"{case}: rho diverged at step {t + 1}")
+            assert np.array_equal(u_a, u_r), (
+                f"{case}: u diverged at step {t + 1}")
+            assert np.array_equal(aa.f, ref.f), (
+                f"{case}: distributions diverged at step {t + 1}")
+        assert aa.kernel_used == "aa"
+        # Working-set contract: one distribution array, no spare
+        # buffer — on the bounded case too (the rotated closure folds
+        # the handlers without materialising a canonical copy).
+        assert aa._fg_next_buf is None, (
+            f"{case}: AA kernel allocated a second buffer")
+
+        ref2 = make("split", spec["solver"])
+        f0 = ref2.f.copy()
+        odd_steps = steps - 1
+        ref2.step(odd_steps)
+        f_odd = ref2.f.copy()
+        ref2.step(1)
+        f_even = ref2.f.copy()
+        sub = (shape[0] // 2, shape[1] // 2, shape[2])
+        case_report: dict = {"backends": {}}
+        for backend in backends:
+            cfg = ClusterConfig(sub_shape=sub, arrangement=(2, 2, 1),
+                                tau=0.7, solid=solid, backend=backend,
+                                kernel="aa", **spec["cluster"])
+            with CPUClusterLBM(cfg) as cluster:
+                cluster.load_global_distributions(f0)
+                cluster.step(odd_steps)
+                got_odd = cluster.gather_distributions().copy()
+                cluster.step(1)
+                got_even = cluster.gather_distributions().copy()
+                rows = cluster.kernel_report()
+            assert np.array_equal(got_odd, f_odd), (
+                f"{case}/{backend}: AA cluster diverged at odd step "
+                f"{odd_steps}")
+            assert np.array_equal(got_even, f_even), (
+                f"{case}/{backend}: AA cluster diverged at step {steps}")
+            kinds = {r["kernel"] for r in rows}
+            assert kinds == {"aa"}, (
+                f"{case}/{backend}: expected uniform AA, got {kinds}")
+            for row in rows:
+                row["case"] = case
+            case_report["backends"][backend] = rows
+        report["cases"][case] = case_report
     return report

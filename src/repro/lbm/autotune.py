@@ -59,6 +59,23 @@ PRIORITY = ("aa", "fused", "sparse", "split")
 #: Sparse compaction only pays once a real fraction of sites is solid;
 #: below this the candidate is not even probed.
 SPARSE_PROBE_MIN_FRACTION = 0.25
+#: Distribution layouts the probe can compare (SoA first: it is the
+#: allocation default and wins priority ties within a kernel).
+LAYOUTS = ("soa", "aos")
+#: Kernels whose throughput is layout-sensitive enough to probe both
+#: layouts when the solver requests ``layout="auto"`` (the sparse
+#: kernel requires SoA; split gains nothing from AoS).
+LAYOUT_KERNELS = ("aa", "fused")
+
+
+def rate_key(kernel: str, layout: str) -> str:
+    """Rates-dict key for a (kernel, layout) pair.
+
+    SoA entries keep the bare kernel name (the historical key, so
+    reports and baselines stay comparable); AoS entries are suffixed
+    ``"kernel/aos"``.
+    """
+    return kernel if layout == "soa" else f"{kernel}/{layout}"
 
 
 @dataclass(frozen=True)
@@ -66,9 +83,12 @@ class KernelChoice:
     """A resolved autotune decision."""
     kernel: str
     reason: str
-    #: Measured MLUPS per candidate (empty when no probe was needed).
+    #: Measured MLUPS per candidate pair, keyed by :func:`rate_key`
+    #: (empty when no probe was needed).
     rates: dict[str, float] = field(default_factory=dict)
     probed: bool = False
+    #: Distribution layout the winning probe ran with.
+    layout: str = "soa"
 
     def cost_density(self) -> float | None:
         """Measured seconds-per-cell of the chosen kernel, or None.
@@ -79,7 +99,8 @@ class KernelChoice:
         1e6)`` seconds per lattice cell, so faster (sparse) ranks
         attract proportionally more cells when cuts are sized.
         """
-        rate = self.rates.get(self.kernel)
+        rate = (self.rates.get(rate_key(self.kernel, self.layout))
+                or self.rates.get(self.kernel))
         if not rate or rate <= 0.0:
             return None
         return 1.0 / (float(rate) * 1e6)
@@ -133,34 +154,125 @@ def candidate_kernels(solver) -> tuple[str, ...]:
     return tuple(cands)
 
 
-def _probe_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
-    """Crop ``shape`` (halving the longest axis) to the probe budget."""
+def candidate_pairs(solver) -> tuple[tuple[str, str], ...]:
+    """Eligible (kernel, layout) probe pairs, in priority order.
+
+    Layout becomes a second autotune axis only when the solver asked
+    for it (``layout="auto"``) and only for the layout-sensitive
+    kernels (:data:`LAYOUT_KERNELS`); every other candidate is paired
+    with the solver's current concrete layout.
+    """
+    probe_layouts = getattr(solver, "layout_requested", "soa") == "auto"
+    base = getattr(solver, "layout", "soa")
+    pairs: list[tuple[str, str]] = []
+    for k in candidate_kernels(solver):
+        if probe_layouts and k in LAYOUT_KERNELS:
+            pairs.extend((k, layout) for layout in LAYOUTS)
+        else:
+            pairs.append((k, base))
+    return tuple(pairs)
+
+
+def _active_faces(solver) -> tuple[tuple[int, str], ...]:
+    """``(axis, side)`` of every face-resident boundary handler."""
+    faces = []
+    for b in solver.boundaries:
+        axis = getattr(b, "axis", None)
+        side = getattr(b, "side", None)
+        if axis is not None and side in ("low", "high"):
+            faces.append((int(axis), side))
+    return tuple(faces)
+
+
+def _probe_shape(shape: tuple[int, ...],
+                 faces: tuple[tuple[int, str], ...] = ()) -> tuple[int, ...]:
+    """Crop ``shape`` to the probe budget, boundary-aware.
+
+    Axes carrying no active boundary face are halved first (longest
+    first), so a bounded domain's inlet/outflow faces stay inside the
+    probe and their handler cost is measured, not ignored.  If the
+    budget still isn't met, axes with a face on only one side are
+    halved too (the caller anchors the crop to that side); axes with
+    active faces on *both* sides are never cropped.
+    """
+    sides: dict[int, set] = {}
+    for axis, side in faces:
+        sides.setdefault(axis, set()).add(side)
     dims = list(shape)
     while int(np.prod(dims)) > PROBE_MAX_CELLS:
-        ax = int(np.argmax(dims))
-        if dims[ax] <= 2:
+        free = [a for a in range(len(dims))
+                if a not in sides and dims[a] > 2]
+        single = [a for a in sides
+                  if len(sides[a]) == 1 and dims[a] > 2]
+        pool = free or single
+        if not pool:
             break
+        ax = max(pool, key=lambda a: dims[a])
         dims[ax] = max(2, dims[ax] // 2)
     return tuple(dims)
 
 
-def _cache_key(solver, cands: tuple[str, ...]) -> tuple:
+def _bc_signature(solver) -> tuple:
+    """Hashable summary of the boundary configuration (types + faces).
+
+    Part of the cache key: a periodic box and a bounded inlet/outflow
+    domain of the same shape and occupancy must not share a cached
+    decision — their kernel costs differ.
+    """
+    return tuple((type(b).__name__, getattr(b, "axis", None),
+                  getattr(b, "side", None)) for b in solver.boundaries)
+
+
+def _cache_key(solver, cands: tuple) -> tuple:
     bucket = int(round(solver.solid_fraction * 20))
     return (solver.shape, str(solver.dtype), bucket, cands,
-            solver.periodic, solver.phase_driven)
+            solver.periodic, solver.phase_driven, _bc_signature(solver),
+            getattr(solver, "layout_requested", "soa"))
 
 
-def _probe_rates(solver, cands: tuple[str, ...]) -> dict[str, float]:
-    """Measured MLUPS per candidate on a crop of the solver's domain."""
+def _probe_rates(solver, cands: tuple[tuple[str, str], ...],
+                 ) -> dict[str, float]:
+    """Measured MLUPS per candidate pair on a crop of the domain.
+
+    The probe replicates the solver's real configuration — same dtype,
+    solid crop, periodicity and (shape-independent) boundary handlers —
+    so the measured rate includes the boundary-closure cost the chosen
+    kernel will actually pay.  The crop is anchored so every active
+    boundary face survives (asserted).
+    """
+    from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
     from repro.lbm.solver import LBMSolver
-    pshape = _probe_shape(solver.shape)
-    crop = tuple(slice(0, n) for n in pshape)
+    faces = _active_faces(solver)
+    pshape = _probe_shape(solver.shape, faces)
+    crop = []
+    for a, n in enumerate(pshape):
+        full = solver.shape[a]
+        face_sides = {side for axis, side in faces if axis == a}
+        if face_sides == {"high"}:
+            crop.append(slice(full - n, full))
+        else:
+            crop.append(slice(0, n))
+    crop = tuple(crop)
+    for axis, side in faces:
+        face_idx = 0 if side == "low" else solver.shape[axis] - 1
+        assert crop[axis].start <= face_idx < crop[axis].stop, (
+            f"probe crop {crop} lost the active boundary face "
+            f"(axis {axis}, {side})")
     solid = np.ascontiguousarray(solver.solid[crop])
+    # Face handlers are shape-independent (they slice whatever array
+    # they are applied to), so the probe can share the solver's own
+    # instances; anything else (e.g. Bouzidi link lists are
+    # shape-bound) is omitted — those configurations fall back to the
+    # split-only candidate set anyway.
+    boundaries = [b for b in solver.boundaries
+                  if isinstance(b, (EquilibriumVelocityInlet,
+                                    OutflowBoundary))]
     cells = float(np.prod(pshape))
     rates: dict[str, float] = {}
-    for cand in cands:
+    for kern, layout in cands:
         probe = LBMSolver(pshape, tau=solver.collision.tau, solid=solid,
-                          periodic=True, dtype=solver.dtype, kernel=cand,
+                          boundaries=boundaries, periodic=solver.periodic,
+                          dtype=solver.dtype, kernel=kern, layout=layout,
                           sparse_threshold=solver.sparse_threshold,
                           autotune="heuristic")
         probe.counters.enabled = False
@@ -170,25 +282,15 @@ def _probe_rates(solver, cands: tuple[str, ...]) -> dict[str, float]:
             t0 = time.perf_counter()
             probe.step(TIMED_STEPS)
             dt = min(dt, time.perf_counter() - t0)
-        rates[cand] = cells * TIMED_STEPS / max(dt, 1e-9) / 1e6
+        rates[rate_key(kern, layout)] = cells * TIMED_STEPS / max(dt, 1e-9) / 1e6
     return rates
 
 
-def choose_kernel(solver) -> KernelChoice:
-    """Resolve the measured kernel choice for ``solver`` (cached).
-
-    Single-candidate configurations (e.g. non-BGK collision, or a
-    phase-driven rank whose solid fraction rules sparse out) skip the
-    probe entirely — the autotuner never costs anything when there is
-    no decision to make.
-    """
-    cands = candidate_kernels(solver)
+def _resolve(solver, pairs: tuple[tuple[str, str], ...]) -> KernelChoice:
+    """Probe ``pairs`` (cached) and pick the margin/priority winner."""
     rec = solver.counters
     live = rec is not None and rec.enabled
-    if len(cands) == 1:
-        return KernelChoice(cands[0],
-                            f"measured: only candidate is {cands[0]!r}")
-    key = _cache_key(solver, cands)
+    key = _cache_key(solver, pairs)
     cached = _CACHE.get(key)
     if cached is not None:
         if live:
@@ -196,16 +298,48 @@ def choose_kernel(solver) -> KernelChoice:
         return cached
     if live:
         with rec.phase("autotune.probe"):
-            rates = _probe_rates(solver, cands)
+            rates = _probe_rates(solver, pairs)
     else:
-        rates = _probe_rates(solver, cands)
+        rates = _probe_rates(solver, pairs)
     best = max(rates.values())
-    winner = next(k for k in PRIORITY
-                  if k in rates and rates[k] >= MARGIN * best)
+    winner_k, winner_l = next(
+        (k, layout) for k in PRIORITY for layout in LAYOUTS
+        if rate_key(k, layout) in rates
+        and rates[rate_key(k, layout)] >= MARGIN * best)
+    label = rate_key(winner_k, winner_l)
     detail = ", ".join(f"{k}={rates[k]:.1f}" for k in rates)
     choice = KernelChoice(
-        winner, f"measured: probe on {_probe_shape(solver.shape)} "
-                f"picked {winner!r} (MLUPS: {detail})",
-        rates=rates, probed=True)
+        winner_k,
+        f"measured: probe on {_probe_shape(solver.shape, _active_faces(solver))} "
+        f"picked {label!r} (MLUPS: {detail})",
+        rates=rates, probed=True, layout=winner_l)
     _CACHE[key] = choice
     return choice
+
+
+def choose_kernel(solver) -> KernelChoice:
+    """Resolve the measured (kernel, layout) choice for ``solver`` (cached).
+
+    Single-candidate configurations (e.g. non-BGK collision, or a
+    phase-driven rank whose solid fraction rules sparse out) skip the
+    probe entirely — the autotuner never costs anything when there is
+    no decision to make.
+    """
+    pairs = candidate_pairs(solver)
+    if len(pairs) == 1:
+        kern, layout = pairs[0]
+        return KernelChoice(kern,
+                            f"measured: only candidate is {kern!r}",
+                            layout=layout)
+    return _resolve(solver, pairs)
+
+
+def choose_layout(solver, kernel: str) -> KernelChoice:
+    """Resolve the measured layout for a *forced* kernel (cached).
+
+    Used when a solver pins ``kernel=`` but leaves ``layout="auto"``
+    (the cluster drivers' per-rank configuration): only the forced
+    kernel's layout variants are probed.
+    """
+    pairs = tuple((kernel, layout) for layout in LAYOUTS)
+    return _resolve(solver, pairs)

@@ -1,0 +1,176 @@
+"""Rotated (esoteric-twist-style) boundary closure for the AA kernel.
+
+The swap-free AA kernel (:mod:`repro.lbm.aa`) leaves the single
+distribution array in a *rotated* layout mid-pair: after the even
+phase, location ``(p, y)`` holds the post-stream population
+``F_opp(p)(y - c_p)`` of the step just completed.  Geier & Schönherr's
+esoteric-twist observation is that boundary conditions need no second
+array either — any post-stream condition can be imposed directly on
+the rotated storage by writing through the layout bijection.
+
+The bijection: the canonical post-stream value ``F_i(x)`` lives at
+location ``(opp(i), x - c_i)`` when ``x`` is fluid.  At solid ``x``
+the even phase stored a plain (un-reversed) copy, so the canonical
+slot ``i`` of a solid site lives at ``(i, x + c_i)`` — equivalently,
+location ``(opp(i), x - c_i)`` owns slot ``opp(i)`` there.  Hence the
+single write rule used throughout this module:
+
+    to impose ``T_i(x)`` for all ``i``, write into ``(opp(i), x - c_i)``
+    the value ``T_i(x)`` when ``x`` is fluid and ``T_opp(i)(x)`` when
+    ``x`` is solid.
+
+Because the rule writes whole-Q layers through a per-site permutation,
+sequential handler application on the rotated storage is bit-identical
+to sequential application on the canonical array — which is exactly
+the reference solver's ``post_stream``.  Writes whose target leaves
+the interior land in the ghost shell; single-domain they are dead (the
+even phase reads interior sites only), on a cluster they are precisely
+the boundary-image slots the reverse exchange ships (solid sites'
+slots survive the next odd scatter, fluid sites' are overwritten by
+it — both by construction hold what the neighbour needs).
+
+Supported handlers are the dispersion scenario's open boundaries:
+:class:`~repro.lbm.boundaries.EquilibriumVelocityInlet` (imposes the
+face equilibrium — a scatter-only write) and
+:class:`~repro.lbm.boundaries.OutflowBoundary` (zero-gradient copy —
+gather the source layer canonically, scatter it into the face layer).
+Full-way bounce-back was already folded into the even phase's reversed
+writes; the bounded-face zero-gradient closure of faces *without* a
+handler is the crossing-slot fold in
+:func:`repro.lbm.streaming.fold_ghosts_zero_gradient`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
+
+#: Boundary handler types the rotated applicator can fold into the
+#: in-place AA sweeps.  Anything else makes the AA kernel ineligible.
+SUPPORTED_BOUNDARY_TYPES = (EquilibriumVelocityInlet, OutflowBoundary)
+
+
+def boundaries_supported(boundaries) -> bool:
+    """Whether every handler can run through the rotated applicator."""
+    return all(isinstance(b, SUPPORTED_BOUNDARY_TYPES) for b in boundaries)
+
+
+class _LayerPlan:
+    """Precomputed geometry for one handler's face layer.
+
+    ``region`` addresses the layer in padded coordinates with explicit
+    non-negative bounds (an int along the face axis, ``slice(1, n-1)``
+    elsewhere) so shifting by a lattice velocity stays a plain integer
+    adjustment.  ``lsolid``/``lfluid`` are the layer's obstacle masks,
+    or ``None`` when the layer is solid-free and plain assignments
+    suffice.
+    """
+
+    __slots__ = ("region", "lsolid", "lfluid")
+
+    def __init__(self, solver, axis: int, layer_padded: int) -> None:
+        D = solver.lattice.D
+        region: list = [slice(1, solver.fg.shape[1 + a] - 1) for a in range(D)]
+        region[axis] = layer_padded
+        self.region = tuple(region)
+        interior_idx: list = [slice(None)] * D
+        interior_idx[axis] = layer_padded - 1
+        lsolid = solver.solid[tuple(interior_idx)]
+        if lsolid.any():
+            self.lsolid = lsolid
+            self.lfluid = ~lsolid
+        else:
+            self.lsolid = None
+            self.lfluid = None
+
+
+class RotatedBoundaryApplicator:
+    """Applies a solver's boundary handlers on the rotated AA layout.
+
+    Built lazily by :class:`repro.lbm.aa.AAStepKernel` the first time a
+    bounded-domain even phase completes; reused every pair of steps.
+    """
+
+    def __init__(self, kernel) -> None:
+        solver = kernel.solver
+        if not boundaries_supported(solver.boundaries):
+            unsupported = [type(b).__name__ for b in solver.boundaries
+                           if not isinstance(b, SUPPORTED_BOUNDARY_TYPES)]
+            raise TypeError(
+                f"rotated AA boundary closure supports "
+                f"{[t.__name__ for t in SUPPORTED_BOUNDARY_TYPES]}, "
+                f"got {unsupported}")
+        self.solver = solver
+        lat = solver.lattice
+        self.Q = lat.Q
+        self.c = lat.c
+        self.opp = [int(o) for o in lat.opp]
+        self._plans = [self._build(b) for b in solver.boundaries]
+
+    # -- geometry ------------------------------------------------------
+    def _build(self, handler):
+        axis = handler.axis
+        n = self.solver.fg.shape[1 + axis]
+        face = 1 if handler.side == "low" else n - 2
+        if isinstance(handler, EquilibriumVelocityInlet):
+            return ("inlet", handler, _LayerPlan(self.solver, axis, face), None)
+        src = face + (1 if handler.side == "low" else -1)
+        return ("outflow", handler,
+                _LayerPlan(self.solver, axis, face),
+                _LayerPlan(self.solver, axis, src))
+
+    def _shifted(self, region, q: int) -> tuple:
+        """``region`` translated by ``-c_q`` (padded coords stay valid)."""
+        out = []
+        for a, r in enumerate(region):
+            d = int(self.c[q, a])
+            if isinstance(r, slice):
+                out.append(slice(r.start - d, r.stop - d))
+            else:
+                out.append(r - d)
+        return tuple(out)
+
+    # -- primitives ----------------------------------------------------
+    def _gather(self, plan: _LayerPlan) -> np.ndarray:
+        """Canonical post-stream values of a layer, read rotated.
+
+        ``v_i(x) = storage(opp(i), x - c_i)`` for fluid ``x``; at solid
+        sites the canonical slot sits mirrored, so a final opposite-slot
+        swap restores the raw canonical values there too.
+        """
+        fg = self.solver.fg
+        first = fg[(self.opp[0],) + self._shifted(plan.region, 0)]
+        out = np.empty((self.Q,) + first.shape, dtype=fg.dtype)
+        out[0] = first
+        for q in range(1, self.Q):
+            out[q] = fg[(self.opp[q],) + self._shifted(plan.region, q)]
+        if plan.lsolid is not None:
+            out[:, plan.lsolid] = out[self.opp][:, plan.lsolid]
+        return out
+
+    def _scatter(self, plan: _LayerPlan, values) -> None:
+        """Impose canonical values ``values[i]`` on a layer, writing rotated.
+
+        ``values`` indexes per slot (array rows or scalars).  The write
+        rule (module docstring) sends ``T_i`` to ``(opp(i), x - c_i)``
+        at fluid sites and ``T_opp(i)`` there at solid sites.
+        """
+        fg = self.solver.fg
+        for q in range(self.Q):
+            dst = fg[(self.opp[q],) + self._shifted(plan.region, q)]
+            if plan.lsolid is None:
+                dst[...] = values[q]
+            else:
+                np.copyto(dst, values[q], where=plan.lfluid)
+                np.copyto(dst, values[self.opp[q]], where=plan.lsolid)
+
+    # -- application ---------------------------------------------------
+    def apply(self) -> None:
+        """Run every handler, in declaration order, on the rotated storage."""
+        dtype = self.solver.fg.dtype
+        for kind, handler, dst_plan, src_plan in self._plans:
+            if kind == "inlet":
+                self._scatter(dst_plan, handler._feq.astype(dtype))
+            else:
+                self._scatter(dst_plan, self._gather(src_plan))

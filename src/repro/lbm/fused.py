@@ -52,6 +52,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.lbm.lattice import Lattice
+from repro.lbm.macroscopic import sum_over_links
 from repro.lbm.streaming import interior, pull_slice_table
 
 
@@ -169,7 +170,7 @@ class FusedStepKernel:
         fg = self.solver.fg
         rho, j, u = self.rho, self.j, self.u
         usq, wr, bl = self.usq, self._wr, self._bool
-        fg.sum(axis=0, out=rho)
+        sum_over_links(fg, out=rho)
         np.einsum("qa,q...->a...", self._c, fg, out=j)
         np.greater(rho, 0, out=bl)
         if bl.all():

@@ -12,9 +12,34 @@ import numpy as np
 from repro.lbm.lattice import Lattice
 
 
+def sum_over_links(f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Reduction over the leading (link) axis, memory-layout-stable.
+
+    ``np.sum`` picks its reduction blocking from the memory layout, so
+    an AoS (link-fastest) distribution array sums in a different order
+    than SoA and the low bits of the result differ.  This helper keeps
+    numpy's reduction for SoA-ordered views (bit-identical to the
+    historical ``f.sum(axis=0)``) and switches to an explicit
+    sequential slot-order accumulation — the order numpy's pairwise
+    reduction degenerates to on SoA for Q < its block size — exactly
+    when the link axis is the fastest-varying, so both layouts produce
+    identical bits.
+    """
+    if f.ndim > 1 and f.strides and abs(f.strides[0]) <= min(
+            abs(s) for s in f.strides[1:]):
+        if out is None:
+            out = f[0].copy()
+        else:
+            np.copyto(out, f[0])
+        for q in range(1, f.shape[0]):
+            out += f[q]
+        return out
+    return f.sum(axis=0, out=out)
+
+
 def density(f: np.ndarray) -> np.ndarray:
     """Density ``rho = sum_i f_i``; shape ``grid``."""
-    return f.sum(axis=0)
+    return sum_over_links(f)
 
 
 def momentum(lattice: Lattice, f: np.ndarray) -> np.ndarray:

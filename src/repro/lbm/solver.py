@@ -22,7 +22,8 @@ from repro.lbm.fused import FusedStepKernel
 from repro.lbm.lattice import D3Q19, Lattice
 from repro.lbm.macroscopic import macroscopic
 from repro.lbm.mrt import MRTCollision
-from repro.lbm.streaming import (fill_ghosts_periodic, interior,
+from repro.lbm.streaming import (fill_ghosts_periodic,
+                                 fill_ghosts_zero_gradient, interior,
                                  pull_slice_table, shell_partition,
                                  stream_pull)
 from repro.perf.counters import KernelCounters
@@ -80,6 +81,18 @@ class LBMSolver:
     sparse_threshold:
         Solid fraction at or above which ``kernel="auto"`` selects the
         sparse kernel (default 0.5).
+    layout:
+        Physical memory layout of the distribution array: ``"soa"``
+        (default, structure-of-arrays — the Q axis slowest, each
+        population plane contiguous), ``"aos"`` (array-of-structures —
+        the Q axis fastest-varying in memory, exposed through a
+        transposed view so all indexing is unchanged), or ``"auto"``
+        (start SoA and let the measured autotuner probe both layouts
+        for the layout-sensitive kernels — see
+        :mod:`repro.lbm.autotune`; with ``autotune="heuristic"`` it
+        stays SoA).  All layouts are bit-identical; only the stride
+        pattern, and hence throughput, differs (Calore et al.,
+        arXiv:1703.00185).  The sparse kernel requires SoA.
     autotune:
         How ``kernel="auto"`` decides: ``"heuristic"`` (default) keeps
         the solid-fraction threshold rule above; ``"measured"``
@@ -96,7 +109,7 @@ class LBMSolver:
                  force=None, periodic: bool = True, dtype=np.float32,
                  fused: bool = True, kernel: str = "auto",
                  sparse_threshold: float = 0.5,
-                 autotune: str = "heuristic") -> None:
+                 autotune: str = "heuristic", layout: str = "soa") -> None:
         self.lattice = lattice
         self.shape = tuple(int(s) for s in shape)
         if len(self.shape) != lattice.D:
@@ -122,8 +135,16 @@ class LBMSolver:
         self.boundaries = list(boundaries)
         self._bounce = BounceBackNodes(lattice, self.solid)
 
+        if layout not in ("soa", "aos", "auto"):
+            raise ValueError(f"layout must be 'soa', 'aos' or 'auto', "
+                             f"got {layout!r}")
+        #: The configured layout request ("auto" defers to the
+        #: measured autotuner); ``self.layout`` below is always the
+        #: concrete layout the array currently has.
+        self.layout_requested = layout
+        self.layout = "soa" if layout == "auto" else layout
         padded = (lattice.Q,) + tuple(s + 2 for s in self.shape)
-        self.fg = np.zeros(padded, dtype=self.dtype)
+        self.fg = self._alloc_fg(self.layout)
         #: Spare streaming buffer, allocated on first use (see the
         #: ``_fg_next`` property) so the swap-free AA kernel keeps a
         #: single-array distribution working set.
@@ -165,6 +186,12 @@ class LBMSolver:
         #: Set by the sparse stream (bounce-back is folded into its
         #: gather table) so post_stream skips the dense swap.
         self._bounce_folded = False
+        #: True while the single AA array sits in the rotated mid-pair
+        #: layout (after an even phase): ``post_stream`` then imposes
+        #: boundary handlers through the rotated write rule
+        #: (:mod:`repro.lbm.esoteric`) instead of applying them
+        #: canonically.
+        self._aa_rotated = False
         self._shell_parts: tuple[list, tuple] | None = None
         self.counters = KernelCounters()
         #: Span tracer (see :mod:`repro.perf.trace`); the shared
@@ -191,6 +218,39 @@ class LBMSolver:
             return self._aa_kernel.reconstruct()
         return self.fg[(slice(None),) + interior(self.lattice.D)]
 
+    def _alloc_fg(self, layout: str) -> np.ndarray:
+        """Allocate a zeroed padded distribution array in ``layout``.
+
+        Both layouts expose the identical logical ``(Q,) + padded``
+        indexing; AoS allocates with the Q axis physically
+        fastest-varying and returns a transposed view, so every kernel
+        and exchange path runs unchanged on either.
+        """
+        lat = self.lattice
+        padded = tuple(s + 2 for s in self.shape)
+        if layout == "aos":
+            base = np.zeros(padded + (lat.Q,), dtype=self.dtype)
+            return np.moveaxis(base, -1, 0)
+        return np.zeros((lat.Q,) + padded, dtype=self.dtype)
+
+    def _set_layout(self, layout: str) -> None:
+        """Switch the distribution array's physical layout in place.
+
+        Contents are preserved bit for bit; the spare buffer and the
+        kernel instances are dropped so nothing holds views or stride
+        assumptions of the old array.
+        """
+        if layout == self.layout:
+            return
+        old = self.fg
+        self.fg = self._alloc_fg(layout)
+        self.fg[...] = old
+        self.layout = layout
+        self._fg_next_buf = None
+        self._fused_kernel = None
+        self._sparse_kernel = None
+        self._aa_kernel = None
+
     @property
     def _fg_next(self) -> np.ndarray:
         """Spare streaming buffer, allocated lazily on first access."""
@@ -209,6 +269,7 @@ class LBMSolver:
         # parity ``self.f`` returns a read-only reconstruction, and a
         # reset solver starts canonical at step 0 by definition.
         self.time_step = 0
+        self._aa_rotated = False
         lat = self.lattice
         if np.isscalar(rho) and (u is None or np.asarray(u).ndim == 1):
             uvec = np.zeros(lat.D) if u is None else np.asarray(u, dtype=np.float64)
@@ -249,6 +310,20 @@ class LBMSolver:
             kern_cls = {"sparse": SparseStepKernel, "fused": FusedStepKernel,
                         "aa": AAStepKernel}[self.kernel]
             if kern_cls.eligible(self):
+                if (self.layout_requested == "auto"
+                        and self.autotune == "measured"):
+                    from repro.lbm import autotune
+                    if (self.kernel in autotune.LAYOUT_KERNELS
+                            and self._autotune_choice is None):
+                        # Forced kernel, free layout: probe just this
+                        # kernel's layout variants and switch if AoS
+                        # measured faster on this sub-domain.
+                        choice = autotune.choose_layout(self, self.kernel)
+                        self._autotune_choice = choice
+                        self.kernel_rates = choice.rates
+                        self._set_layout(choice.layout)
+                        return self._note_selection(
+                            self.kernel, (choice.reason,))
                 return self._note_selection(
                     self.kernel, ("forced kernel=", repr(self.kernel)))
             return self._note_selection(
@@ -260,6 +335,7 @@ class LBMSolver:
             if choice is None:
                 choice = self._autotune_choice = autotune.choose_kernel(self)
                 self.kernel_rates = choice.rates
+                self._set_layout(choice.layout)
             if autotune.still_eligible(self, choice.kernel):
                 return self._note_selection(choice.kernel, (choice.reason,))
             # Configuration drifted since the probe (e.g. a boundary
@@ -428,12 +504,12 @@ class LBMSolver:
         if (self._aa_kernel is not None and not self._aa_even()
                 and self._select_kernel() == "aa"):
             # Odd AA phase: the scatter pushed border populations into
-            # the ghost shell — fold them back onto their wrap image
-            # instead of filling (the forward fill only serves the even
-            # phase's gather).  Periodic-only; cluster drivers with
-            # ``aa_halo_managed`` run their reverse exchange instead.
-            if not self.periodic:
-                raise RuntimeError("AA ghost fold requires a periodic domain")
+            # the ghost shell — fold them back onto the interior
+            # (wrap image when periodic, zero-gradient crossing-slot
+            # fold on bounded faces) instead of filling (the forward
+            # fill only serves the even phase's gather).  Cluster
+            # drivers with ``aa_halo_managed`` run their reverse
+            # exchange instead.
             self._aa_kernel.fold_ghosts()
             return
         if self.periodic:
@@ -441,14 +517,7 @@ class LBMSolver:
         else:
             # Zero-gradient: copy the edge layer outward so nothing
             # spurious streams in; inlets/outlets overwrite afterwards.
-            for ax in range(1, self.fg.ndim):
-                n = self.fg.shape[ax]
-                lo = [slice(None)] * self.fg.ndim
-                src = [slice(None)] * self.fg.ndim
-                lo[ax], src[ax] = 0, 1
-                self.fg[tuple(lo)] = self.fg[tuple(src)]
-                lo[ax], src[ax] = n - 1, n - 2
-                self.fg[tuple(lo)] = self.fg[tuple(src)]
+            fill_ghosts_zero_gradient(self.fg)
 
     def stream(self) -> None:
         """Pull-stream into the double buffer and swap.
@@ -469,6 +538,7 @@ class LBMSolver:
                                   kernel="aa"):
                 self.kernel_used = "aa"
                 self._bounce_folded = self._aa_even()
+                self._aa_rotated = self._aa_even()
             if rec is not None and rec.enabled:
                 rec.add("kernel.aa", 0.0)
             return
@@ -491,12 +561,23 @@ class LBMSolver:
             rec.add(f"kernel.{self.kernel_used}", 0.0)
 
     def post_stream(self) -> None:
-        """Bounce-back on solids, then user boundary handlers."""
+        """Bounce-back on solids, then user boundary handlers.
+
+        While the AA array sits in its rotated mid-pair layout (after
+        an even phase) the handlers are imposed through the rotated
+        write rule instead — canonical application would corrupt the
+        layout.  Both paths are bit-identical on the canonical state.
+        """
         with self.tracer.span("solver.post_stream", step=self.time_step):
             if self._bounce_folded:
                 self._bounce_folded = False
             elif self.solid.any():
                 self._bounce.apply(self.fg)
+            if self._aa_rotated:
+                if self.boundaries:
+                    self._aa_kernel.apply_boundaries_rotated()
+                self._aa_rotated = False
+                return
             for b in self.boundaries:
                 b.apply(self.fg)
 
@@ -541,10 +622,6 @@ class LBMSolver:
         for _ in range(n):
             selected = self._select_kernel()
             if selected == "aa":
-                if not self.periodic:
-                    raise RuntimeError(
-                        "AA single-domain stepping requires a periodic "
-                        "domain (cluster drivers manage the halo instead)")
                 akern = self._aa_kernel_for_phase()
                 self.kernel_used = "aa"
                 with self.tracer.span("solver.step", step=self.time_step,

@@ -146,6 +146,10 @@ class SparseStepKernel:
         path, so the two kernels advertise one eligibility rule).
         """
         from repro.lbm.fused import FusedStepKernel
+        if getattr(solver, "layout", "soa") != "soa":
+            # The compact gather tables flatten ``fg`` zero-copy as
+            # ``(Q, P)`` with C-order strides; an AoS array cannot.
+            return False
         return FusedStepKernel.eligible(solver)
 
     @staticmethod

@@ -154,6 +154,71 @@ def fill_ghosts_periodic(f: np.ndarray) -> None:
         f[tuple(lo)] = f[tuple(hi)]
 
 
+def fill_ghosts_zero_gradient(f: np.ndarray) -> None:
+    """Fill the ghost shell with zero-gradient (edge-copy) values.
+
+    Per axis the two ghost planes become copies of the adjacent edge
+    layer, so nothing spurious streams in across a bounded face;
+    inlet/outflow handlers overwrite their faces with the real
+    condition afterwards.  Axes are processed sequentially over the
+    full plane extent, so edge/corner ghosts end up holding the
+    component-wise clamp of the nearest interior cell — exactly the
+    closure the bounded reference solver applies.
+    """
+    for ax in range(1, f.ndim):
+        n = f.shape[ax]
+        lo = [slice(None)] * f.ndim
+        src = [slice(None)] * f.ndim
+        lo[ax], src[ax] = 0, 1
+        f[tuple(lo)] = f[tuple(src)]
+        lo[ax], src[ax] = n - 1, n - 2
+        f[tuple(lo)] = f[tuple(src)]
+
+
+def fold_face_zero_gradient(lattice: Lattice, fg: np.ndarray,
+                            axis: int, direction: int) -> None:
+    """Bounded-face analogue of the periodic crossing-slot fold.
+
+    After the AA odd-phase scatter, a border cell ``x`` on a bounded
+    face is still missing the inbound populations whose pull source
+    ``x - c_i`` would be a ghost cell; the reference solver fills those
+    ghosts zero-gradient before streaming, so the streamed-in value is
+    ``h_i`` of the clamped (one row inside) source.  Because the scatter
+    pushed ``h_i(y)`` to location ``(i, y + c_i)``, that exact value
+    already sits one row inside the face for every crossing slot —
+    including solid rows, where the mid-pair layout stores the same
+    population.  The fold therefore copies, for the inward-pointing
+    slots (``c_i[axis] == -direction``), the border layer from the
+    adjacent interior layer over the *full* padded extent of the other
+    axes (rims included, so later-axis folds and the cluster's reverse
+    exchange relay corner contributions exactly like the fill does).
+    """
+    n = fg.shape[1 + axis]
+    slots = np.flatnonzero(lattice.c[:, axis] == -direction)
+    border = 1 if direction == -1 else n - 2
+    inner = border + (1 if direction == -1 else -1)
+    dst: list = [slice(None)] * fg.ndim
+    src: list = [slice(None)] * fg.ndim
+    dst[0] = slots
+    src[0] = slots
+    dst[1 + axis] = border
+    src[1 + axis] = inner
+    fg[tuple(dst)] = fg[tuple(src)]
+
+
+def fold_ghosts_zero_gradient(lattice: Lattice, fg: np.ndarray) -> None:
+    """Apply :func:`fold_face_zero_gradient` to every face, axis by axis.
+
+    Sequential axis order with full-extent copies resolves the
+    double-inward corner slots by chaining (the later axis reads the
+    already-folded neighbour), reproducing the component-wise clamp of
+    the reference solver's sequential zero-gradient ghost fill.
+    """
+    for ax in range(fg.ndim - 1):
+        for direction in (-1, 1):
+            fold_face_zero_gradient(lattice, fg, ax, direction)
+
+
 def fold_ghosts_periodic(lattice: Lattice, fg: np.ndarray) -> None:
     """Fold ghost-plane *crossing* populations onto their wrap image.
 

@@ -86,12 +86,19 @@ class DispersionScenario:
         return (0, "low")
 
     # ------------------------------------------------------------------
-    def make_single_solver(self) -> LBMSolver:
-        """Single-domain solver with the scenario's boundary conditions."""
+    def make_single_solver(self, **kwargs) -> LBMSolver:
+        """Single-domain solver with the scenario's boundary conditions.
+
+        Extra keyword arguments reach :class:`~repro.lbm.LBMSolver`
+        unchanged — e.g. ``kernel="aa"`` for the in-place bounded
+        sweep (the inlet/outflow closure folds into it, DESIGN.md
+        §5i) or ``layout="auto"`` to let the measured autotuner pick
+        the distribution layout.
+        """
         bcs = [EquilibriumVelocityInlet(D3Q19, *self.inlet),
                OutflowBoundary(D3Q19, *self.outflow)]
         return LBMSolver(self.shape, self.tau, solid=self.solid,
-                         boundaries=bcs, periodic=False)
+                         boundaries=bcs, periodic=False, **kwargs)
 
     def make_cluster(self, arrangement, timing_only: bool = False,
                      **kwargs) -> GPUClusterLBM:

@@ -22,7 +22,7 @@ import pytest
 from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM, GPUClusterLBM
 from repro.lbm import AAStepKernel, LBMSolver
 from repro.lbm.lattice import D3Q19
-from repro.lbm.boundaries import OutflowBoundary
+from repro.lbm.boundaries import Boundary, OutflowBoundary
 
 SHAPE = (16, 12, 6)
 
@@ -110,8 +110,14 @@ class TestSingleDomain:
             assert np.array_equal(aa.f, ref.f)
 
     def test_forced_aa_ineligible_falls_back_to_split(self):
+        # An unsupported handler type (one the rotated closure cannot
+        # fold) still forces the split fallback.
+        class CustomBoundary(Boundary):
+            def apply(self, fg):
+                pass
+
         s = LBMSolver(SHAPE, tau=0.7, periodic=False, kernel="aa",
-                      boundaries=[OutflowBoundary(D3Q19, 0, "low")])
+                      boundaries=[CustomBoundary()])
         s.initialize(rho=np.ones(SHAPE, np.float32), u=None)
         s.step(1)
         assert s.kernel_used == "split"
@@ -120,10 +126,22 @@ class TestSingleDomain:
     def test_eligibility_rules(self):
         s = LBMSolver(SHAPE, tau=0.7)
         assert AAStepKernel.eligible(s)
+        # Bounded domains are eligible (zero-gradient fill/fold closure).
         bounded = LBMSolver(SHAPE, tau=0.7, periodic=False)
-        assert not AAStepKernel.eligible(bounded)
-        bounded.aa_halo_managed = True      # a cluster driver owns the halo
         assert AAStepKernel.eligible(bounded)
+        # Inlet/outflow handlers run through the rotated applicator ...
+        open_box = LBMSolver(
+            SHAPE, tau=0.7, periodic=False,
+            boundaries=[OutflowBoundary(D3Q19, 0, "low")])
+        assert AAStepKernel.eligible(open_box)
+        # ... but arbitrary handlers do not.
+        class CustomBoundary(Boundary):
+            def apply(self, fg):
+                pass
+
+        custom = LBMSolver(SHAPE, tau=0.7, periodic=False,
+                           boundaries=[CustomBoundary()])
+        assert not AAStepKernel.eligible(custom)
 
     def test_counters_mark_aa_kernel(self):
         _, aa = _pair()
@@ -193,11 +211,13 @@ class TestCluster:
         with pytest.raises(ValueError, match="CPU-only"):
             GPUClusterLBM(cfg)
 
-    def test_aa_requires_fully_periodic(self):
-        with pytest.raises(ValueError, match="periodic"):
-            ClusterConfig(sub_shape=(6, 6, 4), arrangement=(2, 1, 1),
-                          tau=0.7, kernel="aa",
-                          periodic=(True, True, False))
+    def test_aa_accepts_bounded_domains(self):
+        # Non-periodic axes are handled by the boundary-aware reverse
+        # protocol (local zero-gradient folds at true domain edges).
+        cfg = ClusterConfig(sub_shape=(6, 6, 4), arrangement=(2, 1, 1),
+                            tau=0.7, kernel="aa",
+                            periodic=(True, True, False))
+        assert cfg.kernel == "aa"
 
 
 def test_gate_runs():
@@ -206,4 +226,9 @@ def test_gate_runs():
     from repro.lbm.aa import run_aa_equivalence_check
     report = run_aa_equivalence_check(steps=2, backends=("serial",))
     assert report["occupancy"] > 0
-    assert set(report["backends"]) == {"serial"}
+    assert set(report["cases"]) == {"periodic", "bounded"}
+    for case, info in report["cases"].items():
+        assert set(info["backends"]) == {"serial"}
+        for row in info["backends"]["serial"]:
+            assert row["case"] == case
+            assert row["kernel"] == "aa"

@@ -15,7 +15,10 @@ import pytest
 from repro.lbm import (LBMSolver, choose_kernel, clear_autotune_cache)
 from repro.lbm import autotune
 from repro.lbm.autotune import (MARGIN, PRIORITY, candidate_kernels,
-                                _probe_shape)
+                                candidate_pairs, rate_key,
+                                _active_faces, _probe_shape)
+from repro.lbm.boundaries import EquilibriumVelocityInlet, OutflowBoundary
+from repro.lbm.lattice import D3Q19
 
 SHAPE = (10, 10, 4)  # 400 cells: exact halves are representable
 
@@ -160,6 +163,49 @@ class TestCacheAndProbeShape:
         nx, ny, nz = _probe_shape((512, 8, 8))
         assert nx * ny * nz <= autotune.PROBE_MAX_CELLS
 
+    def test_probe_shape_never_crops_away_boundary_faces(self):
+        # Free axes absorb the whole crop; the inlet/outflow axis keeps
+        # its full extent so both handlers stay inside the probe.
+        both = ((0, "low"), (0, "high"))
+        shape = _probe_shape((256, 32, 32), both)
+        assert shape[0] == 256
+        assert int(np.prod(shape)) <= autotune.PROBE_MAX_CELLS
+        # With a face on only one side the axis may shrink (the crop is
+        # anchored to that side), but only after the free axes are
+        # exhausted.
+        shape = _probe_shape((65536, 2, 2), ((0, "low"),))
+        assert shape == (8192, 2, 2)
+        # Faces on both sides of the only croppable axis: the budget is
+        # unreachable and the shape is returned whole rather than a
+        # face being sliced off.
+        assert _probe_shape((65536, 2, 2), both) == (65536, 2, 2)
+
+    def test_active_faces_and_probe_crop_keep_handlers(self):
+        bcs = [EquilibriumVelocityInlet(D3Q19, 0, "low", (0.04, 0, 0), 1.0),
+               OutflowBoundary(D3Q19, 0, "high")]
+        s = LBMSolver((64, 64, 16), tau=0.7, periodic=False, boundaries=bcs,
+                      kernel="auto", autotune="measured")
+        assert _active_faces(s) == ((0, "low"), (0, "high"))
+        pshape = _probe_shape(s.shape, _active_faces(s))
+        assert pshape[0] == 64  # the bounded axis survives the crop
+        assert int(np.prod(pshape)) <= autotune.PROBE_MAX_CELLS
+
+    def test_bc_signature_separates_cached_decisions(self):
+        # Same shape and occupancy, different boundary configuration:
+        # the bounded solver must probe for itself, not inherit the
+        # periodic box's cached decision.
+        a = _solver(n_solid=0, kernel="auto", autotune="measured")
+        a.step(1)
+        assert "autotune.probe" in a.counters.summary()
+        bcs = [EquilibriumVelocityInlet(D3Q19, 0, "low", (0.04, 0, 0), 1.0),
+               OutflowBoundary(D3Q19, 0, "high")]
+        b = LBMSolver(SHAPE, tau=0.7, periodic=False, boundaries=bcs,
+                      kernel="auto", autotune="measured")
+        b.step(1)
+        summary = b.counters.summary()
+        assert "autotune.probe" in summary
+        assert "autotune.cached" not in summary
+
     def test_measured_auto_bit_identical_to_split(self):
         from repro.urban.city import times_square_like
         from repro.urban.voxelize import voxelize_city
@@ -177,3 +223,77 @@ class TestCacheAndProbeShape:
         ref.step(6)
         auto.step(6)
         assert np.array_equal(auto.f, ref.f)
+
+
+class TestLayoutAxis:
+    """The SoA/AoS layout as a second autotune axis."""
+
+    def test_candidate_pairs_expand_layouts_only_on_auto(self):
+        s = _solver(n_solid=0, kernel="auto", autotune="measured",
+                    layout="auto")
+        pairs = candidate_pairs(s)
+        for k in autotune.LAYOUT_KERNELS:
+            if k in candidate_kernels(s):
+                assert (k, "soa") in pairs and (k, "aos") in pairs
+        fixed = _solver(n_solid=0, kernel="auto", autotune="measured")
+        assert all(layout == "soa" for _, layout in candidate_pairs(fixed))
+
+    def test_rate_key_convention(self):
+        assert rate_key("aa", "soa") == "aa"
+        assert rate_key("fused", "aos") == "fused/aos"
+
+    def test_aos_win_switches_layout(self, monkeypatch):
+        monkeypatch.setattr(autotune, "_probe_rates",
+                            lambda solver, cands: {"aa": 5.0, "aa/aos": 10.0,
+                                                   "fused": 4.0, "split": 1.0})
+        s = _solver(n_solid=0, kernel="auto", autotune="measured",
+                    layout="auto")
+        s.step(2)
+        assert s.kernel_used == "aa"
+        assert s.layout == "aos"
+        assert "aa/aos" in s.kernel_reason
+
+    def test_layout_auto_bit_identical_to_split(self):
+        rng = np.random.default_rng(11)
+        shape = (12, 10, 6)
+        u0 = (0.02 * rng.standard_normal((3,) + shape)).astype(np.float32)
+        ref = LBMSolver(shape, tau=0.7, kernel="split")
+        auto = LBMSolver(shape, tau=0.7, kernel="auto", autotune="measured",
+                         layout="auto")
+        for s in (ref, auto):
+            s.initialize(rho=np.ones(shape, np.float32), u=u0)
+        ref.step(6)
+        auto.step(6)
+        assert np.array_equal(auto.f, ref.f)
+
+    def test_cluster_layout_auto_flows_into_reports(self):
+        from repro.core.balance import rate_for_row
+        from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM
+        cfg = ClusterConfig(sub_shape=(8, 6, 6), arrangement=(2, 1, 1),
+                            tau=0.7, kernel="aa", layout="auto",
+                            autotune="measured")
+        with CPUClusterLBM(cfg) as cluster:
+            cluster.step(2)
+            rows = cluster.kernel_report()
+            report = cluster.balance_report()
+        for row in rows:
+            assert row["layout"] in ("soa", "aos")
+            # The forced-kernel layout probe measured both variants.
+            assert set(row["rates"]) == {"aa", "aa/aos"}
+            assert rate_for_row(row) == row["rates"][
+                rate_key(row["kernel"], row["layout"])]
+        # balance_report refines predicted cost from the pair rate.
+        for row in report["rows"]:
+            assert row["predicted_cost"] == pytest.approx(
+                row["cells"] / (rate_for_row(row) * 1e6))
+
+    def test_rate_for_row_pair_lookup_and_fallback(self):
+        from repro.core.balance import rate_for_row
+        row = {"kernel": "aa", "layout": "aos",
+               "rates": {"aa": 5.0, "aa/aos": 8.0}}
+        assert rate_for_row(row) == 8.0
+        assert rate_for_row({**row, "layout": "soa"}) == 5.0
+        # Pre-layout reports (no pair key) fall back to the bare kernel.
+        assert rate_for_row({"kernel": "aa", "layout": "aos",
+                             "rates": {"aa": 5.0}}) == 5.0
+        assert rate_for_row({"kernel": "aa", "rates": {}}) is None

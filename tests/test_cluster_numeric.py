@@ -113,6 +113,36 @@ class TestDiagonalRouting:
         assert np.array_equal(cluster.gather_distributions(), ref.f)
 
 
+_BOUNDED_INLET = (0, "low", (0.04, 0.0, 0.0), 1.0)
+_BOUNDED_OUTFLOW = (0, "high")
+
+
+def _bounded_city(rng, shape=(16, 12, 6), half=False):
+    """Voxelized-city solid + bounded inlet/outflow reference pair.
+
+    With ``half`` the city covers only the downstream (high-x) half —
+    the occupancy-skewed domain that makes weighted cuts non-uniform.
+    """
+    from repro.urban.city import times_square_like
+    from repro.urban.voxelize import voxelize_city
+    if half:
+        nx = shape[0] // 2
+        city = voxelize_city(times_square_like(seed=7),
+                             (nx,) + shape[1:],
+                             resolution_m=24.0, ground_layers=2)
+        solid = np.zeros(shape, dtype=bool)
+        solid[nx:] = city
+        solid[:nx, :, :1] = True    # bare ground plane upstream
+    else:
+        solid = voxelize_city(times_square_like(seed=7), shape,
+                              resolution_m=24.0, ground_layers=2)
+    bcs = [EquilibriumVelocityInlet(D3Q19, *_BOUNDED_INLET),
+           OutflowBoundary(D3Q19, *_BOUNDED_OUTFLOW)]
+    ref, f0 = _reference(shape, 0.7, rng, solid=solid, steps=0,
+                         periodic=False, boundaries=bcs, kernel="split")
+    return solid, ref, f0
+
+
 class TestBoundedDomain:
     def test_inlet_outflow_cluster_matches_reference(self, rng):
         """Non-periodic domain with the urban-style inlet/outflow."""
@@ -130,6 +160,51 @@ class TestBoundedDomain:
         cluster.load_global_distributions(f0)
         cluster.step(6)
         assert np.allclose(cluster.gather_distributions(), ref.f, atol=2e-7)
+
+    def test_bounded_aa_matches_reference_all_backends(self, rng):
+        """Forced-AA bounded domain (inlet + outflow): the boundary-
+        aware reverse protocol must reproduce the reference bits on
+        every execution backend, at every step parity."""
+        for backend, workers in (("serial", 1), ("threads", 4),
+                                 ("processes", 2)):
+            solid, ref, f0 = _bounded_city(rng)
+            cfg = ClusterConfig(sub_shape=(8, 6, 6), arrangement=(2, 2, 1),
+                                tau=0.7, solid=solid, backend=backend,
+                                max_workers=workers, kernel="aa",
+                                periodic=(False, False, False),
+                                inlet=_BOUNDED_INLET,
+                                outflow=_BOUNDED_OUTFLOW)
+            with CPUClusterLBM(cfg) as cluster:
+                cluster.load_global_distributions(f0)
+                for step in range(1, 5):
+                    ref.step(1)
+                    cluster.step(1)
+                    assert np.array_equal(cluster.gather_distributions(),
+                                          ref.f), (
+                        f"bounded AA cluster diverged at step {step} "
+                        f"({backend})")
+                rows = cluster.kernel_report()
+            assert {r["kernel"] for r in rows} == {"aa"}
+
+    def test_bounded_aa_weighted_cuts_match_reference(self, rng):
+        """Bounded AA under occupancy-weighted (unequal) cuts: the
+        reverse folds and exchanges follow the shifted cut positions."""
+        # Dense city downstream, open terrain upstream: the occupancy
+        # skew pushes the x cut off centre, so ranks get unequal blocks.
+        shape = (16, 12, 6)
+        solid, ref, f0 = _bounded_city(rng, shape=shape, half=True)
+        cfg = ClusterConfig(sub_shape=(8, 6, 6), arrangement=(2, 2, 1),
+                            tau=0.7, solid=solid, kernel="aa",
+                            decomposition="weighted",
+                            periodic=(False, False, False),
+                            inlet=_BOUNDED_INLET, outflow=_BOUNDED_OUTFLOW)
+        with CPUClusterLBM(cfg) as cluster:
+            assert not cluster.decomp.uniform, \
+                "weighted cuts degenerated to uniform on the city mask"
+            cluster.load_global_distributions(f0)
+            ref.step(4)
+            cluster.step(4)
+            assert np.array_equal(cluster.gather_distributions(), ref.f)
 
     def test_macroscopic_gather(self, rng):
         sub, arrangement = (6, 6, 4), (2, 1, 1)
