@@ -1,0 +1,142 @@
+"""Telemetry-overhead benchmark: monitored vs unmonitored stepping.
+
+The telemetry subsystem (:mod:`repro.perf.telemetry`) makes the same
+cost promise as tracing: a disabled registry is a strict no-op (the
+record calls stay in the hot paths permanently), and an *enabled*
+session — registry, per-step histograms, health bookkeeping — observes
+without meaningfully slowing the step.  This suite measures both on
+the serial cluster backend and records, into ``BENCH_kernels.json``,
+
+* ``cluster_step_unmonitored`` — Mcells/s with the default
+  ``NULL_REGISTRY`` (the shipping configuration; the entry also logs
+  the measured disabled *record* cost in ns/call),
+* ``cluster_step_monitored`` — Mcells/s with a full
+  :class:`~repro.perf.telemetry.TelemetrySession` attached (counters,
+  step histograms, imbalance gauges, health rows every step),
+* ``telemetry_overhead`` — unmonitored-over-monitored ratio (>= 1
+  means telemetry costs something),
+
+so ``check_regression.py --suite telemetry`` guards the unmonitored
+entry like any other throughput number and the monitored entry
+documents the observation cost trajectory PR over PR.
+
+Entry points:
+
+* ``python benchmarks/bench_telemetry.py`` — print the comparison and
+  merge the entries into the repo-root ``BENCH_kernels.json``.
+* :func:`run_telemetry_benchmarks` — called by the regression guard's
+  ``--suite telemetry`` / ``--suite all`` sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # allow `python benchmarks/bench_telemetry.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SUB_SHAPE = (24, 24, 12)
+ARRANGEMENT = (2, 1, 1)
+
+
+def _make_cluster():
+    from repro.core.cluster_lbm import ClusterConfig, CPUClusterLBM
+    cfg = ClusterConfig(sub_shape=SUB_SHAPE, arrangement=ARRANGEMENT,
+                        tau=0.7, backend="serial")
+    return CPUClusterLBM(cfg)
+
+
+def _step_throughput(cluster, steps: int, repeats: int,
+                     monitored: bool) -> float:
+    """Best-of-``repeats`` Mcells/s; fresh registry state per repeat."""
+    session = cluster.enable_telemetry() if monitored else None
+    cluster.step(2)  # warm up kernels and the exchange schedule
+    cells = float(cluster.cells_total())
+    best = float("inf")
+    for _ in range(repeats):
+        if session is not None:
+            session.registry.snapshot(reset=True)
+        t0 = time.perf_counter()
+        cluster.step(steps)
+        best = min(best, (time.perf_counter() - t0) / steps)
+    return cells / best / 1e6
+
+
+def run_telemetry_benchmarks(steps: int = 8, repeats: int = 3) -> dict:
+    """Measure monitored vs unmonitored cluster stepping; bench entries."""
+    from repro.perf.telemetry import disabled_record_overhead_ns
+
+    mc = {}
+    for kind, monitored in (("unmonitored", False), ("monitored", True)):
+        with _make_cluster() as cluster:
+            mc[kind] = _step_throughput(cluster, steps, repeats, monitored)
+    noop = disabled_record_overhead_ns()
+    noop_ns = max(noop.values())
+    return {
+        "cluster_step_unmonitored": {
+            "mcells_per_s": round(mc["unmonitored"], 3),
+            "noop_record_ns": round(noop_ns, 1)},
+        "cluster_step_monitored": {"mcells_per_s": round(mc["monitored"], 3)},
+        "telemetry_overhead": {
+            "ratio": round(mc["unmonitored"] / mc["monitored"], 3)},
+    }
+
+
+def comparison_lines(results: dict) -> str:
+    un = results["cluster_step_unmonitored"]
+    mo = results["cluster_step_monitored"]
+    ratio = results["telemetry_overhead"]["ratio"]
+    return (f"  unmonitored {un['mcells_per_s']:7.3f} | monitored "
+            f"{mo['mcells_per_s']:7.3f} Mcells/s  "
+            f"(unmonitored/monitored {ratio:.2f}x, disabled record "
+            f"{un['noop_record_ns']:.0f} ns/call)")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                         / "BENCH_kernels.json"),
+                    help="BENCH json to merge the entries into (if it exists)")
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+    if args.steps < 1 or args.repeats < 1:
+        ap.error("--steps and --repeats must be >= 1")
+    results = run_telemetry_benchmarks(steps=args.steps, repeats=args.repeats)
+    for name, entry in sorted(results.items()):
+        val = entry.get("mcells_per_s", entry.get("ratio"))
+        print(f"  {name:36s} {val}")
+    print(comparison_lines(results))
+    out = Path(args.out)
+    if out.exists():
+        data = json.loads(out.read_text())
+        data.setdefault("results", {}).update(results)
+        out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"merged into {out}")
+    return 0
+
+
+# -- pytest-benchmark entry points -------------------------------------
+
+
+def test_cluster_step_unmonitored(benchmark):
+    with _make_cluster() as cluster:
+        cluster.step(1)
+        benchmark(lambda: cluster.step(1))
+
+
+def test_cluster_step_monitored(benchmark):
+    with _make_cluster() as cluster:
+        cluster.enable_telemetry()
+        cluster.step(1)
+        benchmark(lambda: cluster.step(1))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

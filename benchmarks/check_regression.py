@@ -57,7 +57,8 @@ try:  # allow `python benchmarks/check_regression.py` without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SUITES = ("kernels", "sparse", "aa", "trace", "balance", "exchange", "all")
+SUITES = ("kernels", "sparse", "aa", "trace", "balance", "exchange",
+          "telemetry", "all")
 
 
 def run_suites(suite: str, steps: int, repeats: int) -> dict:
@@ -85,6 +86,9 @@ def run_suites(suite: str, steps: int, repeats: int) -> dict:
     if suite in ("exchange", "all"):
         from bench_exchange import run_exchange_benchmarks
         results.update(run_exchange_benchmarks(steps=steps, repeats=repeats))
+    if suite in ("telemetry", "all"):
+        from bench_telemetry import run_telemetry_benchmarks
+        results.update(run_telemetry_benchmarks(steps=steps, repeats=repeats))
     meta["results"] = results
     return meta
 

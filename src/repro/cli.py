@@ -16,6 +16,8 @@
     python -m repro check-trace       # trace schema + no-op overhead gate
     python -m repro check-balance     # weighted-decomposition load-balance gate
     python -m repro check-exchange    # merged-wire message-count + equivalence gate
+    python -m repro check-telemetry   # live-telemetry bit-identity + watchdog gate
+    python -m repro doctor            # shm leak audit + procpool smoke check
     python -m repro verify            # tier-1 tests + backend gates + regression guard
 
 All output comes from the same row generators the benchmark harness
@@ -124,7 +126,21 @@ def _cmd_dispersion(args) -> None:
     scenario = DispersionScenario(shape=tuple(args.shape))
     cluster = scenario.make_cluster(tuple(args.arrangement), timing_only=True)
     tracer = cluster.enable_tracing() if args.trace else None
-    t = cluster.step()
+    session = status = None
+    if args.live or args.telemetry_jsonl:
+        from repro.perf.telemetry import StatusLine
+        session = cluster.enable_telemetry(
+            jsonl_path=args.telemetry_jsonl)
+        if args.live:
+            status = StatusLine()
+    t = None
+    for _ in range(max(1, args.steps)):
+        t = cluster.step()
+        if status is not None:
+            status.update(session.status_text())
+    if status is not None:
+        status.update(session.status_text(), force=True)
+        status.close()
     print(f"{scenario.shape} on {cluster.decomp.n_nodes} GPU nodes: "
           f"{t.total_s:.3f} s/step (paper: 0.31)")
     for k, v in t.ms().items():
@@ -132,6 +148,12 @@ def _cmd_dispersion(args) -> None:
     print("per-rank kernels:")
     for line in _kernel_report_lines(cluster):
         print(line)
+    if session is not None:
+        from repro.perf.report import format_telemetry_summary
+        print(format_telemetry_summary(session.snapshot()), end="")
+        if args.telemetry_jsonl:
+            session.close()
+            print(f"wrote telemetry snapshots to {args.telemetry_jsonl}")
     if tracer is not None:
         tracer.write_chrome(args.trace)
         print(f"wrote Chrome trace ({len(tracer.events)} spans, incl. the "
@@ -313,6 +335,75 @@ def _cmd_check_exchange(args) -> int:
     return 0
 
 
+def _cmd_check_telemetry(args) -> int:
+    """Telemetry gate: monitored runs bit-identical to unmonitored on
+    the serial and processes backends, schema-valid Prometheus/JSONL
+    exports, disabled-registry overhead within the microsecond budget,
+    and the step watchdog flags (and survives) a SIGSTOPped worker."""
+    from repro.perf.telemetry import run_telemetry_check
+
+    report = run_telemetry_check(overhead_budget_us=args.budget_us)
+    for backend, info in report["backends"].items():
+        print(f"  backend {backend}: {info['prometheus_series']} prometheus "
+              f"series, {info['jsonl_snapshots']} JSONL snapshots "
+              f"({info['instruments']} instruments), heartbeats from "
+              f"ranks {info['ranks']}")
+    wd = report["watchdog"]
+    print(f"  watchdog: SIGSTOPped rank {wd['stalled_rank']} flagged "
+          f"({', '.join(wd['statuses'])}), run recovered bit-clean")
+    worst = max(report["disabled_overhead_ns"].values())
+    print(f"telemetry OK: bit-identical monitored vs unmonitored, "
+          f"disabled-record overhead {worst:.0f} ns/call "
+          f"(budget {args.budget_us * 1e3:.0f} ns)")
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    """Environment health audit: leaked shared-memory segments from any
+    previous run, plus a procpool spawn/step/teardown smoke check.
+    Exits nonzero on leaks or a failed smoke check."""
+    import os
+    from pathlib import Path
+
+    from repro.core.shm import SEGMENT_PREFIX, shm_root
+
+    failures = 0
+    root = shm_root()
+    if root is None:
+        print("shm audit: /dev/shm not inspectable on this platform "
+              "(skipped)")
+        stale = []
+    else:
+        stale = sorted(p.name for p in Path(root).iterdir()
+                       if p.name.startswith(f"{SEGMENT_PREFIX}-"))
+    if stale:
+        # Segments from *any* pid: doctor audits the whole machine
+        # state, not just this process (dead creators leak forever).
+        print(f"shm audit: {len(stale)} stale segment(s) "
+              f"with the {SEGMENT_PREFIX!r} prefix:")
+        for name in stale:
+            print(f"  /dev/shm/{name}")
+        failures += 1
+    else:
+        print("shm audit: no stale segments")
+
+    print("procpool smoke: spawning a 2-rank processes cluster ...")
+    try:
+        from repro.core.procpool import run_equivalence_check
+        run_equivalence_check(steps=1)
+    except Exception as exc:  # noqa: BLE001 - reported, not re-raised
+        print(f"procpool smoke FAILED: {type(exc).__name__}: {exc}")
+        failures += 1
+    else:
+        print("procpool smoke: spawn/step/teardown OK, bit-identical to "
+              "serial, no leaks, no orphans")
+    if failures:
+        print(f"doctor: {failures} problem(s) found")
+        return 1
+    print("doctor: healthy")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     """The repo's single verification gate: tier-1 pytest, the
     process-backend equivalence/leak gate, then the kernel-throughput
@@ -340,6 +431,8 @@ def _cmd_verify(args) -> int:
          [sys.executable, "-m", "repro", "check-balance"]),
         ("merged-exchange gate",
          [sys.executable, "-m", "repro", "check-exchange"]),
+        ("telemetry gate",
+         [sys.executable, "-m", "repro", "check-telemetry"]),
     ]
     if not args.skip_bench:
         stages.append(
@@ -374,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("dispersion")
     sp.add_argument("--shape", type=_int_list, default=(480, 400, 80))
     sp.add_argument("--arrangement", type=_int_list, default=(6, 5, 1))
+    sp.add_argument("--steps", type=int, default=1,
+                    help="steps to run (default 1)")
+    sp.add_argument("--live", action="store_true",
+                    help="live TTY status line (step rate, MLUPS, "
+                         "imbalance, comm share) plus a telemetry "
+                         "summary at the end")
+    sp.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                    help="stream per-step telemetry snapshots (JSONL) "
+                         "to PATH")
     sp.add_argument("--trace", default=None, metavar="PATH",
                     help="write a Chrome trace-event JSON of the step "
                          "(incl. the simulated network schedule) to PATH")
@@ -430,6 +532,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "recovery")
     sp.add_argument("--steps", type=int, default=4,
                     help="steps to compare (default 4, rounded even)")
+    sp = sub.add_parser("check-telemetry",
+                        help="live-telemetry gate: monitored runs "
+                             "bit-identical, schema-valid exports, "
+                             "disabled overhead in budget, watchdog "
+                             "catches a stalled worker")
+    sp.add_argument("--budget-us", type=float, default=1.0,
+                    help="disabled-record overhead budget in "
+                         "microseconds per call (default 1.0)")
+    sub.add_parser("doctor",
+                   help="audit /dev/shm for stale segments and smoke-"
+                        "test procpool spawn/step/teardown; exits "
+                        "nonzero on leaks")
     sp = sub.add_parser("verify",
                         help="run the tier-1 tests, the process-backend "
                              "and sparse-kernel gates and the kernel "
@@ -472,6 +586,10 @@ def main(argv=None) -> int:
         return _cmd_check_balance(args)
     elif cmd == "check-exchange":
         return _cmd_check_exchange(args)
+    elif cmd == "check-telemetry":
+        return _cmd_check_telemetry(args)
+    elif cmd == "doctor":
+        return _cmd_doctor(args)
     elif cmd == "verify":
         return _cmd_verify(args)
     elif cmd == "report":

@@ -40,6 +40,7 @@ from repro.core.schedule import CommSchedule
 from repro.gpu.specs import AGP_8X, GEFORCE_FX_5800_ULTRA, XEON_2_4, BusSpec, CPUSpec, GPUSpec
 from repro.net.switch import GigabitSwitch
 from repro.perf.counters import KernelCounters
+from repro.perf.telemetry import TelemetrySession
 from repro.perf.trace import NULL_TRACER, Tracer
 
 
@@ -371,6 +372,7 @@ class _ClusterLBMBase:
         self.last_timing: StepTiming | None = None
         self.counters = KernelCounters()
         self.tracer = NULL_TRACER
+        self.telemetry: TelemetrySession | None = None
         self._halo_bytes = 0
         self._halo_msgs = 0
         self._executor: ThreadPoolExecutor | None = None
@@ -602,6 +604,35 @@ class _ClusterLBMBase:
                     solver.tracer = self.tracer.for_rank(rank)
         return self.tracer
 
+    # -- live telemetry ----------------------------------------------------
+    def enable_telemetry(self, **kwargs) -> TelemetrySession:
+        """Attach live metrics and the health watchdog to this driver.
+
+        Mirrors :meth:`enable_tracing`, but for the *live* layer (see
+        :mod:`repro.perf.telemetry`): the step loop records step rate /
+        MLUPS / per-rank imbalance into the session's
+        :class:`~repro.perf.telemetry.MetricsRegistry`, per-rank solver
+        instruments point at per-rank views of it, and on the processes
+        backend the workers switch their own registries on over the
+        command pipe (snapshot deltas merge at every step reply) and
+        start heartbeating through the shared health segments, which is
+        what the step watchdog reads.  Keyword arguments reach
+        :class:`~repro.perf.telemetry.TelemetrySession` (e.g.
+        ``jsonl_path=``, ``stall_timeout_s=``).  Telemetry is
+        observational only: monitored runs stay bit-identical to
+        unmonitored ones (the check-telemetry gate enforces this).
+        """
+        session = TelemetrySession(self, **kwargs)
+        self.telemetry = session
+        if self._proc_backend is not None:
+            self._proc_backend.set_telemetry(True)
+        else:
+            for rank, node in enumerate(self.nodes):
+                solver = getattr(node, "solver", None)
+                if solver is not None and hasattr(solver, "metrics"):
+                    solver.metrics = session.registry.for_rank(rank)
+        return session
+
     # -- threaded node stepping -------------------------------------------
     def _run_on_nodes(self, method: str, span: str | None = None) -> None:
         """Invoke ``method`` on every node, threaded when opted in.
@@ -640,6 +671,12 @@ class _ClusterLBMBase:
     def shutdown(self) -> None:
         """Release thread pools, worker processes and shared memory
         (idempotent)."""
+        if self.telemetry is not None:
+            try:
+                self.telemetry.close()
+            except Exception:
+                pass
+            self.telemetry = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -937,7 +974,9 @@ class _ClusterLBMBase:
         timing = self.last_timing
         rec = self.counters
         overlapped = self._overlap_capable()
+        tel = self.telemetry
         for _ in range(n):
+            tel_t0 = time.perf_counter() if tel is not None else 0.0
             self.tracer.begin_step(self.time_step)
             for node in self.nodes:
                 node.begin_step()
@@ -991,6 +1030,9 @@ class _ClusterLBMBase:
                 measured_exchange_s=measured_exchange,
             )
             self.time_step += 1
+            if tel is not None:
+                now = time.perf_counter()
+                tel.record_step(now - tel_t0, now=now)
         self.last_timing = timing
         return timing
 
@@ -1004,18 +1046,23 @@ class _ClusterLBMBase:
         driver's :class:`KernelCounters` (seconds are summed across
         ranks, so multi-rank phases read like CPU time).
         """
+        tel = self.telemetry
         self.tracer.begin_step(self.time_step)
+        if tel is not None:
+            tel.note_step_command(n)
         t0 = time.perf_counter()
         with self.counters.phase("cluster.proc_step"):
             payloads = self._proc_backend.step(n)
-        self.tracer.add_span("cluster.proc_step", t0, time.perf_counter(),
-                             steps=n)
+        t1 = time.perf_counter()
+        self.tracer.add_span("cluster.proc_step", t0, t1, steps=n)
         for rank, payload in enumerate(payloads):
             self.counters.merge(payload["counters"])
             spans = payload.get("spans")
             if spans:
                 self.tracer.extend(
                     spans, offset_s=self._proc_backend.trace_offset(rank))
+            if tel is not None and "metrics" in payload:
+                tel.registry.merge(payload["metrics"])
         net_total = (self.switch.phase_time(
                          self.schedule.round_bytes(),
                          self.decomp.n_nodes,
@@ -1030,6 +1077,8 @@ class _ClusterLBMBase:
         )
         self.time_step += n
         self.last_timing = timing
+        if tel is not None:
+            tel.record_proc_batch(n, t1 - t0)
         return timing
 
     # -- observables -----------------------------------------------------------

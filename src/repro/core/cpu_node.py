@@ -13,6 +13,8 @@ against each other and against the single-domain solver.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.lbm.solver import LBMSolver
@@ -76,6 +78,11 @@ class CPUNode:
         self.compute_s = 0.0
         self.agp_s = 0.0           # always 0: no GPU on this path
         self.overlap_window_s = 0.0
+        #: *Measured* wall seconds this rank spent computing during the
+        #: last step (vs the modeled ``compute_s``).  Telemetry's
+        #: per-rank imbalance gauge reads this; two perf_counter calls
+        #: per phase keep it far below kernel cost.
+        self.busy_s = 0.0
 
     # -- kernel report ----------------------------------------------------
     @property
@@ -132,14 +139,17 @@ class CPUNode:
         self.compute_s = 0.0
         self.agp_s = 0.0
         self.overlap_window_s = 0.0
+        self.busy_s = 0.0
 
     def collide_phase(self) -> None:
         """Collision (software); the second thread overlaps the network
         with the *entire* computation, so the window is set at finish."""
         if not self.timing_only:
+            t0 = time.perf_counter()
             self.solver.collide()
             for b in self.solver.boundaries:
                 b.pre_stream(self.solver.fg)
+            self.busy_s += time.perf_counter() - t0
 
     # -- split collide (executed overlap protocol) ------------------------
     @property
@@ -160,15 +170,19 @@ class CPUNode:
     def collide_boundary_phase(self) -> None:
         """Collide the depth-1 shell so borders are exchange-ready."""
         if not self.timing_only:
+            t0 = time.perf_counter()
             self.solver.collide_boundary()
+            self.busy_s += time.perf_counter() - t0
 
     def collide_inner_phase(self) -> None:
         """Collide the inner core (runs while the exchange is in flight;
         touches no border or ghost memory)."""
         if not self.timing_only:
+            t0 = time.perf_counter()
             self.solver.collide_inner()
             for b in self.solver.boundaries:
                 b.pre_stream(self.solver.fg)
+            self.busy_s += time.perf_counter() - t0
 
     # -- ghost-layer plumbing on the padded array ----------------------------
     def _layer_index(self, axis: int, side: str, ghost: bool) -> int:
@@ -305,8 +319,10 @@ class CPUNode:
 
     def finish_step(self) -> None:
         if not self.timing_only:
+            t0 = time.perf_counter()
             self.solver.stream()
             self.solver.post_stream()
             self.solver.time_step += 1
+            self.busy_s += time.perf_counter() - t0
         self.compute_s = self._model_compute_s()
         self.overlap_window_s = self.compute_s

@@ -51,7 +51,8 @@ import numpy as np
 from repro.core.shm import RankSegments, segment_name, unique_token, unlink_segment_names
 from repro.gpu.specs import BusSpec, CPUSpec, GPUSpec
 from repro.perf.counters import KernelCounters
-from repro.perf.trace import Tracer
+from repro.perf.telemetry import MetricsRegistry, rss_bytes
+from repro.perf.trace import Tracer, estimate_clock_offset
 
 #: Fallback start method order: fork is cheap and keeps tests fast on
 #: Linux; spawn is the portable fallback.
@@ -156,12 +157,18 @@ class _Worker:
         #: ("trace", True) command.  Spans are drained into every step
         #: reply and re-based onto the coordinator clock on merge.
         self.tracer = Tracer(enabled=False, rank=spec.rank)
+        #: Per-rank live metrics; off until a ("telemetry", True)
+        #: command.  Snapshot deltas ride every step reply and merge
+        #: into the coordinator registry keyed by this rank.
+        self.metrics = MetricsRegistry(enabled=False, rank=spec.rank)
         self.broken: str | None = None
         self.step_count = 0
         self.node = _build_node(spec)
         solver = getattr(self.node, "solver", None)
         if solver is not None and hasattr(solver, "tracer"):
             solver.tracer = self.tracer
+        if solver is not None and hasattr(solver, "metrics"):
+            solver.metrics = self.metrics
         # Attach own segments, then every peer's mailbox for unpacking.
         # Peer mailbox layouts follow the *peer's* block shape — equal
         # to ours only under uniform cuts.
@@ -171,7 +178,8 @@ class _Worker:
         for peer in sorted({p for p in spec.neighbors.values()
                             if p is not None and p != spec.rank}):
             self.peer_mail[peer] = RankSegments.attach(
-                {"fg": None, "mail": spec.mail_names[peer], "stage": None},
+                {"fg": None, "mail": spec.mail_names[peer], "stage": None,
+                 "health": None},
                 spec.peer_sub_shapes[peer], spec.q, spec.wire)
         if spec.wire == "merged":
             # Packing manifests: a neighbour's cross-section always
@@ -331,7 +339,18 @@ class _Worker:
 
     def _step(self, n: int) -> dict:
         node, rec, tracer = self.node, self.counters, self.tracer
+        tel = self.metrics.enabled
+        health = self.segs.health if tel else None
+        step_hist = self.metrics.histogram("step.seconds") if tel else None
+        batch_busy = 0.0
+        if health is not None:
+            # Heartbeat slots (see shm.HEALTH_SLOTS): the coordinator
+            # watchdog reads these live, so mark busy *before* work
+            # starts and refresh hb_time at every step boundary.
+            health[2] = 1.0
+            health[0] = time.perf_counter()
         for _ in range(int(n)):
+            t_it = time.perf_counter() if tel else 0.0
             tracer.begin_step(self.step_count)
             node.begin_step()
             with rec.phase("cluster.collide"), \
@@ -345,6 +364,15 @@ class _Worker:
                     tracer.span("cluster.finish"):
                 node.finish_step()
             self.step_count += 1
+            if tel:
+                now = time.perf_counter()
+                dt = now - t_it
+                batch_busy += float(getattr(node, "busy_s", 0.0))
+                step_hist.observe(dt)
+                self.metrics.counter("worker.steps").inc()
+                health[3] = dt
+                health[1] = float(self.step_count)
+                health[0] = now
         reply = {
             "compute_s": node.compute_s,
             "agp_s": node.agp_s,
@@ -359,6 +387,12 @@ class _Worker:
         }
         if tracer.enabled:
             reply["spans"] = tracer.drain()
+        if tel:
+            reply["metrics"] = self.metrics.snapshot(reset=True)
+            health[4] = batch_busy
+            health[5] = float(rss_bytes())
+            health[2] = 0.0
+            health[0] = time.perf_counter()
         rec.reset()
         return reply
 
@@ -422,6 +456,27 @@ class _Worker:
             self.tracer.clear()
         return {"now": time.perf_counter()}
 
+    def _telemetry(self, enabled: bool) -> dict:
+        """Toggle live metrics; replies with this process's clock.
+
+        Same midpoint clock handshake as :meth:`_trace` — the
+        coordinator re-bases shared-memory heartbeat timestamps onto
+        its own timeline with the estimated offset.  Enabling also
+        writes an immediate baseline heartbeat so the watchdog never
+        sees an all-zero strip.
+        """
+        self.metrics.enabled = bool(enabled)
+        if not enabled:
+            self.metrics.reset()
+        else:
+            health = self.segs.health
+            if health is not None:
+                health[1] = float(self.step_count)
+                health[5] = float(rss_bytes())
+                health[2] = 0.0
+                health[0] = time.perf_counter()
+        return {"now": time.perf_counter()}
+
     def run(self) -> None:
         parent = os.getppid()
         try:
@@ -456,6 +511,8 @@ class _Worker:
                         payload = self._initialize(msg[1], msg[2])
                     elif cmd == "trace":
                         payload = self._trace(msg[1])
+                    elif cmd == "telemetry":
+                        payload = self._telemetry(msg[1])
                     else:
                         raise ValueError(f"unknown command {cmd!r}")
                 except BrokenBarrierError:
@@ -529,7 +586,7 @@ class ProcessBackend:
                     rank, sub_shapes[rank], q, self.token,
                     with_fg=(node_kind == "cpu"), wire=wire))
             all_names = [seg.names[k] for seg in self.segments
-                         for k in ("fg", "mail", "stage")]
+                         for k in ("fg", "mail", "stage", "health")]
             self._finalizer = weakref.finalize(
                 self, _crash_cleanup, list(self.procs), all_names)
             for rank, args in enumerate(specs_args):
@@ -706,13 +763,58 @@ class ProcessBackend:
         """
         t_send = time.perf_counter()
         payloads = self._command(("trace", bool(enabled)))
-        mid = 0.5 * (t_send + time.perf_counter())
-        self._trace_offsets = [mid - p["now"] for p in payloads]
+        t_recv = time.perf_counter()
+        self._trace_offsets = [estimate_clock_offset(t_send, t_recv, p["now"])
+                               for p in payloads]
 
     def trace_offset(self, rank: int) -> float:
         """Coordinator-clock offset for ``rank``'s drained spans."""
         offsets = getattr(self, "_trace_offsets", None)
         return offsets[rank] if offsets else 0.0
+
+    def set_telemetry(self, enabled: bool) -> None:
+        """Toggle live metrics on every worker and sync their clocks.
+
+        The same midpoint handshake as :meth:`set_tracing`; the
+        per-worker offsets re-base shared-memory heartbeat timestamps
+        (:meth:`read_health`) onto the coordinator timeline so watchdog
+        ages are comparable across processes.
+        """
+        t_send = time.perf_counter()
+        payloads = self._command(("telemetry", bool(enabled)))
+        t_recv = time.perf_counter()
+        self._telemetry_offsets = [
+            estimate_clock_offset(t_send, t_recv, p["now"])
+            for p in payloads]
+
+    def telemetry_offset(self, rank: int) -> float:
+        """Coordinator-clock offset for ``rank``'s heartbeats."""
+        offsets = getattr(self, "_telemetry_offsets", None)
+        return offsets[rank] if offsets else 0.0
+
+    def read_health(self) -> list[dict]:
+        """Live per-rank heartbeat rows, re-based to the coordinator clock.
+
+        Reads the shared health strips directly — no pipe traffic and
+        no worker cooperation required, so this is safe to call from
+        any thread while a step command is outstanding (the whole point
+        of a watchdog).  Ranks that never heartbeat are omitted.
+        """
+        rows = []
+        for rank, seg in enumerate(self.segments):
+            strip = seg.health
+            if strip is None or strip[0] == 0.0:
+                continue
+            rows.append({
+                "rank": rank,
+                "hb_time": float(strip[0]) + self.telemetry_offset(rank),
+                "step": int(strip[1]),
+                "busy": bool(strip[2]),
+                "step_seconds": float(strip[3]),
+                "busy_seconds": float(strip[4]),
+                "rss_bytes": int(strip[5]),
+            })
+        return rows
 
     def worker_pids(self) -> list[int | None]:
         return [p.pid for p in self.procs]

@@ -37,6 +37,16 @@ Per-rank segments (all float32):
     staging area by GPU workers (whose distributions live in simulated
     texture memory and need one explicit copy to become shareable).
 
+``health``
+    A tiny float64 heartbeat strip of :data:`HEALTH_SLOTS` scalars
+    (``hb_time, step, busy, step_seconds, busy_seconds, rss_bytes``)
+    the worker updates at step boundaries and the coordinator's
+    telemetry watchdog reads *at any time* — including while a step
+    command is outstanding, which is what makes live stall detection
+    possible over a synchronous pipe protocol.  Single writer, aligned
+    8-byte scalar slots: a torn read is at worst one transiently stale
+    value, never corruption.
+
 Segment names carry the creating process id
 (``reproshm-<pid>-<token>-<kind><rank>``) so tests and the
 ``python -m repro check-procs`` gate can assert that a driver's
@@ -62,6 +72,15 @@ SHM_DTYPE = np.dtype(np.float32)
 #: streaming across a face cross the wire, so the merged mailboxes are
 #: 5/19ths the size of the per-face ones.
 MAIL_LINKS = 5
+
+#: Scalar slots in the per-rank health segment (see module docstring):
+#: ``hb_time, step, busy, step_seconds, busy_seconds, rss_bytes``.
+HEALTH_SLOTS = 6
+
+#: dtype of the health heartbeat strip — float64 so perf_counter
+#: timestamps keep full precision and each slot is one aligned 8-byte
+#: store.
+HEALTH_DTYPE = np.dtype(np.float64)
 
 
 def unique_token() -> str:
@@ -174,6 +193,8 @@ class RankSegments:
         ``{axis: {direction: array(2 slots, Q, *face)}}``.
     ``stage``
         ``(Q, nx, ny, nz)`` staging block.
+    ``health``
+        ``(HEALTH_SLOTS,)`` float64 heartbeat strip.
     """
 
     def __init__(self, sub_shape, q: int, names: dict[str, str | None],
@@ -204,6 +225,7 @@ class RankSegments:
         self.fg_bufs = self._fg_views()
         self.mail = self._mail_views()
         self.stage = self._stage_view()
+        self.health = self._health_view()
 
     # -- sizes and views -------------------------------------------------
     def _nbytes(self, kind: str) -> int:
@@ -214,6 +236,8 @@ class RankSegments:
             return mailbox_nbytes(self.sub_shape, self.q, self.wire)
         if kind == "stage":
             return self.q * int(np.prod(self.sub_shape)) * SHM_DTYPE.itemsize
+        if kind == "health":
+            return HEALTH_SLOTS * HEALTH_DTYPE.itemsize
         raise ValueError(f"unknown segment kind {kind!r}")
 
     def _fg_views(self) -> tuple[np.ndarray, np.ndarray] | None:
@@ -246,6 +270,13 @@ class RankSegments:
         return np.ndarray((self.q,) + self.sub_shape, dtype=SHM_DTYPE,
                           buffer=seg.buf)
 
+    def _health_view(self) -> np.ndarray | None:
+        seg = self._segs.get("health")
+        if seg is None:
+            return None
+        return np.ndarray((HEALTH_SLOTS,), dtype=HEALTH_DTYPE,
+                          buffer=seg.buf)
+
     def interior(self, buf_index: int) -> np.ndarray:
         """Interior (unpadded) view of one fg buffer."""
         fg = self.fg_bufs[buf_index]
@@ -262,6 +293,7 @@ class RankSegments:
         self.fg_bufs = None
         self.mail = {}
         self.stage = None
+        self.health = None
         do_unlink = self.owner if unlink is None else unlink
         for seg in self._segs.values():
             try:
@@ -284,6 +316,7 @@ class RankSegments:
             "fg": segment_name(token, "fg", rank) if with_fg else None,
             "mail": segment_name(token, "mail", rank),
             "stage": segment_name(token, "stage", rank),
+            "health": segment_name(token, "health", rank),
         }
         return cls(sub_shape, q, names, owner=True, wire=wire)
 

@@ -290,17 +290,25 @@ def _resolve(solver, pairs: tuple[tuple[str, str], ...]) -> KernelChoice:
     """Probe ``pairs`` (cached) and pick the margin/priority winner."""
     rec = solver.counters
     live = rec is not None and rec.enabled
+    metrics = getattr(solver, "metrics", None)
+    metered = metrics is not None and metrics.enabled
     key = _cache_key(solver, pairs)
     cached = _CACHE.get(key)
     if cached is not None:
         if live:
             rec.add("autotune.cached", 0.0)
+        if metered:
+            metrics.counter("autotune.cache_hits").inc()
         return cached
     if live:
         with rec.phase("autotune.probe"):
             rates = _probe_rates(solver, pairs)
     else:
         rates = _probe_rates(solver, pairs)
+    if metered:
+        metrics.counter("autotune.probes").inc()
+        metrics.counter("autotune.candidates_probed").inc(len(rates))
+        metrics.gauge("autotune.best_mlups").set(max(rates.values()))
     best = max(rates.values())
     winner_k, winner_l = next(
         (k, layout) for k in PRIORITY for layout in LAYOUTS

@@ -13,6 +13,8 @@ network by the cluster driver).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.lbm.boundaries import Boundary, BounceBackNodes
@@ -27,6 +29,7 @@ from repro.lbm.streaming import (fill_ghosts_periodic,
                                  pull_slice_table, shell_partition,
                                  stream_pull)
 from repro.perf.counters import KernelCounters
+from repro.perf.telemetry import NULL_REGISTRY
 from repro.perf.trace import NULL_TRACER
 
 
@@ -198,6 +201,11 @@ class LBMSolver:
         #: disabled singleton until a driver or caller attaches a live
         #: one, so un-traced steps pay only the no-op span calls.
         self.tracer = NULL_TRACER
+        #: Live metrics registry (see :mod:`repro.perf.telemetry`);
+        #: the shared disabled singleton by default — drivers attach a
+        #: per-rank view when telemetry is enabled, and the autotuner
+        #: records its probe decisions here.
+        self.metrics = NULL_REGISTRY
         if isinstance(self.collision, BGKCollision):
             self.collision.counters = self.counters
         self.time_step = 0
@@ -619,6 +627,8 @@ class LBMSolver:
 
     def step(self, n: int = 1) -> None:
         """Advance ``n`` LBM time steps."""
+        metrics = self.metrics
+        step_t0 = time.perf_counter() if metrics.enabled else 0.0
         for _ in range(n):
             selected = self._select_kernel()
             if selected == "aa":
@@ -641,6 +651,10 @@ class LBMSolver:
             else:
                 self._step_phase_split()
             self.time_step += 1
+        if metrics.enabled:
+            dt = time.perf_counter() - step_t0
+            metrics.counter("solver.steps").inc(n)
+            metrics.histogram("solver.step.seconds").observe(dt / max(1, n))
 
     # -- observables ----------------------------------------------------
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:

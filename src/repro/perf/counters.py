@@ -168,20 +168,23 @@ class KernelCounters:
 
         The phase column widens to the longest recorded name so the
         numeric columns stay aligned (dotted span names such as
-        ``cluster.collide_boundary`` exceed the old fixed width).
+        ``cluster.collide_boundary`` exceed the old fixed width).  The
+        ``value``/``mean value`` columns (bytes, message counts —
+        whatever :meth:`metric` accumulated) appear only when at least
+        one phase recorded a value, so time-only tables stay compact.
         """
         width = max([len("phase")] + [len(n) for n in self.stats])
         has_values = any(st.value for st in self.stats.values())
         header = (f"{'phase':<{width}} {'calls':>8} {'total ms':>10} "
                   f"{'mean ms':>10} {'allocs':>8}")
         if has_values:
-            header += f" {'value':>14}"
+            header += f" {'value':>14} {'mean value':>12}"
         lines = [header]
         for name, st in sorted(self.stats.items()):
             line = (f"{name:<{width}} {st.calls:>8d} "
                     f"{st.seconds * 1e3:>10.3f} "
                     f"{st.mean_s * 1e3:>10.4f} {st.allocs:>8d}")
             if has_values:
-                line += f" {st.value:>14.1f}"
+                line += f" {st.value:>14.1f} {st.mean_value:>12.2f}"
             lines.append(line)
         return "\n".join(lines)

@@ -312,6 +312,25 @@ class Tracer:
 NULL_TRACER = Tracer(enabled=False)
 
 
+def estimate_clock_offset(t_send: float, t_recv: float,
+                          remote_now: float) -> float:
+    """Midpoint estimate of (local clock − remote clock), in seconds.
+
+    A command is sent at local time ``t_send``; the remote side replies
+    with its own :func:`time.perf_counter` reading ``remote_now``; the
+    reply lands at local time ``t_recv``.  Assuming the remote sampled
+    its clock near the middle of the round trip, the offset to *add* to
+    remote timestamps to land them on the local timeline is
+    ``(t_send + t_recv) / 2 - remote_now`` (error bounded by half the
+    round trip).  The sign is unconstrained: a remote clock ahead of the
+    local one yields a negative offset, and clocks that drift between
+    handshakes are tracked by re-estimating per handshake.  Used by
+    ``ProcessBackend.set_tracing`` (span re-basing) and
+    ``ProcessBackend.set_telemetry`` (heartbeat re-basing).
+    """
+    return 0.5 * (float(t_send) + float(t_recv)) - float(remote_now)
+
+
 # -- validation ---------------------------------------------------------
 def validate_chrome(obj: dict) -> int:
     """Schema-check a Chrome trace-event object; returns the span count.

@@ -35,6 +35,7 @@ from repro.perf.trace import (
     Tracer,
     _NULL_SPAN,
     disabled_overhead_ns,
+    estimate_clock_offset,
     validate_chrome,
 )
 
@@ -148,6 +149,54 @@ class TestSpanRecording:
         dst.extend(src.drain(), offset_s=100.0)
         (e,) = dst.events
         assert (e.t0, e.t1) == (1.0, 2.0)
+
+    def test_extend_rebases_with_negative_offset(self):
+        # A worker whose perf_counter clock runs *ahead* of the
+        # coordinator's yields a negative offset; re-basing must shift
+        # spans backwards, preserving durations and ordering.
+        src = Tracer(rank=0)
+        src.begin_step(3)
+        src.add_span("collide", 100.0, 100.25)
+        src.add_span("stream", 100.25, 100.4)
+        dst = Tracer()
+        dst.extend(src.drain(), offset_s=-97.5)
+        a, b = dst.events
+        assert (a.t0, a.t1) == pytest.approx((2.5, 2.75))
+        assert (b.t0, b.t1) == pytest.approx((2.75, 2.9))
+        assert a.t1 - a.t0 == pytest.approx(0.25)
+
+    def test_estimate_clock_offset_signs_and_midpoint(self):
+        # Remote clock *behind* local by 10 s: remote reads 5.0 when
+        # the local midpoint is 15.0 -> offset +10.
+        assert estimate_clock_offset(14.0, 16.0, 5.0) == pytest.approx(10.0)
+        # Remote clock *ahead* of local by 10 s -> negative offset.
+        assert estimate_clock_offset(14.0, 16.0, 25.0) == pytest.approx(-10.0)
+        # Perfectly synchronised clocks -> zero, error bounded by half
+        # the round trip regardless of its size.
+        assert estimate_clock_offset(10.0, 14.0, 12.0) == pytest.approx(0.0)
+        rtt_err = estimate_clock_offset(10.0, 14.0, 10.0)  # sampled at send
+        assert abs(rtt_err) <= (14.0 - 10.0) / 2
+
+    def test_extend_tracks_drifting_offsets_per_handshake(self):
+        # A remote clock that drifts between handshakes: each batch is
+        # re-based with its own freshly estimated offset, so spans land
+        # on the local timeline even though the offset changes sign.
+        dst = Tracer()
+        drifts = (-2.0, 0.5, 3.25)  # remote = local + drift, per batch
+        for step, drift in enumerate(drifts):
+            local_t0 = 10.0 * step + 1.0
+            remote_t0 = local_t0 + drift
+            src = Tracer(rank=1)
+            src.begin_step(step)
+            src.add_span("w", remote_t0, remote_t0 + 0.5)
+            # Handshake: remote samples its clock at the local midpoint.
+            t_send, t_recv = local_t0 - 0.2, local_t0 + 0.2
+            off = estimate_clock_offset(t_send, t_recv, local_t0 + drift)
+            assert off == pytest.approx(-drift)
+            dst.extend(src.drain(), offset_s=off)
+        assert [e.t0 for e in dst.events] == pytest.approx(
+            [1.0, 11.0, 21.0])
+        assert all(e.t1 - e.t0 == pytest.approx(0.5) for e in dst.events)
 
 
 class TestChromeExport:
